@@ -1,0 +1,109 @@
+// E7 — Block-level vs uniform row sampling (the paper's second future-work
+// axis: "commercial systems typically leverage block-level sampling ...
+// extending the analysis to account for page sampling is part of future
+// work").
+//
+// When values are correlated with their physical position (a clustered
+// layout), a block sample sees far fewer distinct values per sampled row
+// than a uniform row sample, so dictionary-compression estimates degrade;
+// on a shuffled layout the two coincide. Null suppression, which only needs
+// the length distribution, is robust either way.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/format.h"
+#include "datagen/table_gen.h"
+#include "estimator/evaluation.h"
+#include "index/index.h"
+
+namespace cfest {
+namespace {
+
+/// A table whose column values arrive either shuffled (independent of
+/// position) or clustered (equal values adjacent, as in a freshly
+/// bulk-loaded clustered index).
+std::unique_ptr<Table> MakeLayout(uint64_t n, uint64_t d, bool clustered,
+                                  uint64_t seed) {
+  auto base = bench::CheckResult(
+      GenerateTable({ColumnSpec::String("a", 20, d, FrequencySpec::Uniform(),
+                                        LengthSpec::Uniform(1, 0))},
+                    n, seed),
+      "generate");
+  if (!clustered) return base;
+  // Clustered layout: materialize in sorted order.
+  IndexBuildOptions build;
+  build.keep_pages = false;
+  Index index = bench::CheckResult(
+      Index::Build(*base, {"cx", {"a"}, true}, build), "sort");
+  TableBuilder builder(base->schema());
+  builder.Reserve(n);
+  for (uint64_t i = 0; i < index.num_rows(); ++i) {
+    bench::CheckOk(builder.AppendEncoded(index.row(i)), "append");
+  }
+  return builder.Finish();
+}
+
+void Run() {
+  bench::PrintHeader(
+      "E7 / Block-level sampling vs uniform row sampling",
+      "Paper future work: page/block sampling (what commercial systems "
+      "ship).");
+
+  const uint64_t n = 100000;
+  const double f = 0.02;
+  const uint32_t trials = 40;
+  auto block_sampler = MakeBlockSampler(0);
+
+  TablePrinter table({"compression", "d", "layout", "sampler", "CF (exact)",
+                      "mean CF'", "E[ratio err]"});
+  bench::Timer timer;
+  for (CompressionType type : {CompressionType::kNullSuppression,
+                               CompressionType::kDictionaryGlobal}) {
+    for (uint64_t d : {100ull, 20000ull}) {
+      for (bool clustered : {false, true}) {
+        auto table_ptr = MakeLayout(n, d, clustered, 42 + d);
+        for (const RowSampler* sampler :
+             {static_cast<const RowSampler*>(nullptr),
+              static_cast<const RowSampler*>(block_sampler.get())}) {
+          EvaluationOptions options;
+          options.fraction = f;
+          options.trials = trials;
+          options.sampler = sampler;
+          EvaluationResult eval = bench::CheckResult(
+              EvaluateSampleCF(*table_ptr, {"cx_a", {"a"}, true},
+                               CompressionScheme::Uniform(type), options),
+              "evaluate");
+          table.AddRow({CompressionTypeName(type), std::to_string(d),
+                        clustered ? "clustered" : "shuffled",
+                        sampler == nullptr ? "uniform row" : "block",
+                        FormatDouble(eval.truth.value),
+                        FormatDouble(eval.estimate_summary.mean),
+                        FormatDouble(eval.mean_ratio_error)});
+        }
+      }
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nShape: on shuffled layouts block and row sampling coincide. On "
+      "clustered layouts the\ntwo diverge in opposite directions by "
+      "technique: a block of adjacent rows reproduces the\nindex's *local* "
+      "duplication, so block sampling sharply improves the dictionary "
+      "estimate\n(the sample's d'/r finally matches the clustered d/n), "
+      "while for null suppression the\nlength-position correlation makes "
+      "block samples slightly noisier. This is why commercial\nsystems get "
+      "away with block sampling — and why the paper flags its analysis as "
+      "future work.\nelapsed %.1fs\n",
+      timer.Seconds());
+}
+
+}  // namespace
+}  // namespace cfest
+
+int main() {
+  cfest::Run();
+  return 0;
+}

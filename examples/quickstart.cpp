@@ -1,0 +1,109 @@
+// Quickstart: the whole library in one file.
+//
+//  1. Define a schema and load a table.
+//  2. See what null suppression and dictionary compression do to a column
+//     (the paper's Fig. 1 layouts).
+//  3. Estimate the compression fraction with SampleCF (Fig. 2) and compare
+//     with the exact answer.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/format.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "compression/compressor.h"
+#include "datagen/table_gen.h"
+#include "estimator/compression_fraction.h"
+#include "estimator/sample_cf.h"
+
+using namespace cfest;  // examples favour brevity
+
+namespace {
+
+// --- Fig. 1: what the compressors actually store --------------------------
+
+void ShowFig1Layouts() {
+  std::printf("Fig 1a — null suppression of 'abc' in a char(20):\n");
+  auto ns = std::move(MakeColumnCompressor(CompressionType::kNullSuppression,
+                                           CharType(20)))
+                .ValueOrDie();
+  std::string cell = "abc" + std::string(17, ' ');
+  auto chunk = ns->NewChunk();
+  const size_t before = chunk->Cost();
+  chunk->Add(Slice(cell));
+  std::printf("  uncompressed: 20 bytes ('abc' + 17 blanks)\n");
+  std::printf("  compressed:   %zu bytes (1 length byte + 3 payload bytes)\n\n",
+              chunk->Cost() - before);
+
+  std::printf("Fig 1b — page dictionary for 5 copies of 'abcdefghij':\n");
+  auto dict = std::move(MakeColumnCompressor(CompressionType::kDictionaryPage,
+                                             CharType(10)))
+                  .ValueOrDie();
+  auto dict_chunk = dict->NewChunk();
+  for (int i = 0; i < 5; ++i) dict_chunk->Add(Slice("abcdefghij"));
+  std::printf("  uncompressed: 50 bytes (5 x 10)\n");
+  std::printf(
+      "  compressed:   %zu bytes (one 10-byte dictionary entry + 5 pointers "
+      "of ceil(log2 d) bits + framing)\n\n",
+      dict_chunk->Cost());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== samplecf quickstart ===\n\n");
+  ShowFig1Layouts();
+
+  // --- A 100k-row table with a compressible column ------------------------
+  auto table = std::move(GenerateTable(
+                             {ColumnSpec::String(
+                                  "city", 24, 500, FrequencySpec::Zipf(1.0),
+                                  LengthSpec::Uniform(4, 18)),
+                              ColumnSpec::Integer("amount", 0)},
+                             100000, 42))
+                   .ValueOrDie();
+  std::printf("table: %llu rows, %s uncompressed\n\n",
+              static_cast<unsigned long long>(table->num_rows()),
+              HumanBytes(table->data_bytes()).c_str());
+
+  // --- SampleCF (Fig. 2) vs exact ------------------------------------------
+  IndexDescriptor index{"ix_city", {"city"}, /*clustered=*/false};
+  for (CompressionType type : {CompressionType::kNullSuppression,
+                               CompressionType::kDictionaryPage}) {
+    const CompressionScheme scheme = CompressionScheme::Uniform(type);
+
+    SampleCFOptions options;
+    options.fraction = 0.01;  // the 1% sample the paper's Example 1 uses
+    Random rng(7);
+    auto estimate = SampleCF(*table, index, scheme, options, &rng);
+    if (!estimate.ok()) {
+      std::fprintf(stderr, "SampleCF failed: %s\n",
+                   estimate.status().ToString().c_str());
+      return 1;
+    }
+
+    auto truth = ComputeTrueCF(*table, index, scheme);
+    if (!truth.ok()) {
+      std::fprintf(stderr, "exact CF failed: %s\n",
+                   truth.status().ToString().c_str());
+      return 1;
+    }
+
+    std::printf("%-18s estimate CF' = %.4f (from %llu sampled rows)\n",
+                CompressionTypeName(type), estimate->cf.value,
+                static_cast<unsigned long long>(estimate->sample_rows));
+    std::printf("%-18s exact    CF  = %.4f   ratio error %.4f\n\n", "",
+                truth->value, RatioError(truth->value, estimate->cf.value));
+  }
+
+  std::printf(
+      "SampleCF read 1%% of the data. Null suppression lands within a few "
+      "percent (Theorem 1);\ndictionary compression at this d/n sits in the "
+      "hard regime the paper analyses — run\n./build/examples/"
+      "accuracy_explorer to see how the error shrinks with f.\n");
+  return 0;
+}

@@ -1,0 +1,125 @@
+#include "advisor/advisor.h"
+
+#include <algorithm>
+#include <set>
+
+namespace cfest {
+namespace {
+
+std::string CandidateKey(const SizedCandidate& c) {
+  return c.config.table_name + "." + c.config.index.name;
+}
+
+AdvisorRecommendation Greedy(const std::vector<SizedCandidate>& candidates,
+                             uint64_t storage_bound) {
+  std::vector<const SizedCandidate*> order;
+  order.reserve(candidates.size());
+  for (const auto& c : candidates) order.push_back(&c);
+  std::sort(order.begin(), order.end(),
+            [](const SizedCandidate* a, const SizedCandidate* b) {
+              const double da =
+                  a->config.benefit /
+                  static_cast<double>(std::max<uint64_t>(1, a->estimated_bytes));
+              const double db =
+                  b->config.benefit /
+                  static_cast<double>(std::max<uint64_t>(1, b->estimated_bytes));
+              return da > db;
+            });
+  AdvisorRecommendation rec;
+  rec.storage_bound = storage_bound;
+  std::set<std::string> taken;
+  for (const SizedCandidate* c : order) {
+    if (c->config.benefit <= 0.0) continue;
+    if (rec.total_bytes + c->estimated_bytes > storage_bound) continue;
+    if (!taken.insert(CandidateKey(*c)).second) continue;
+    rec.selected.push_back(*c);
+    rec.total_benefit += c->config.benefit;
+    rec.total_bytes += c->estimated_bytes;
+  }
+  return rec;
+}
+
+/// Exhaustive branch-and-bound: tries candidates in order, pruning with an
+/// optimistic remaining-benefit bound.
+struct OptimalSearch {
+  const std::vector<SizedCandidate>* candidates;
+  uint64_t bound;
+  std::vector<double> suffix_benefit;  // max benefit achievable from index i on
+
+  std::vector<size_t> best;
+  double best_benefit = -1.0;
+
+  std::vector<size_t> current;
+  double current_benefit = 0.0;
+  uint64_t current_bytes = 0;
+  std::set<std::string> taken;
+
+  void Run(size_t i) {
+    if (current_benefit > best_benefit) {
+      best_benefit = current_benefit;
+      best = current;
+    }
+    if (i >= candidates->size()) return;
+    if (current_benefit + suffix_benefit[i] <= best_benefit) return;  // prune
+    const SizedCandidate& c = (*candidates)[i];
+    // Branch 1: take it (if feasible).
+    const std::string key = CandidateKey(c);
+    if (c.config.benefit > 0.0 &&
+        current_bytes + c.estimated_bytes <= bound &&
+        taken.find(key) == taken.end()) {
+      taken.insert(key);
+      current.push_back(i);
+      current_benefit += c.config.benefit;
+      current_bytes += c.estimated_bytes;
+      Run(i + 1);
+      current_bytes -= c.estimated_bytes;
+      current_benefit -= c.config.benefit;
+      current.pop_back();
+      taken.erase(key);
+    }
+    // Branch 2: skip it.
+    Run(i + 1);
+  }
+};
+
+AdvisorRecommendation Optimal(const std::vector<SizedCandidate>& candidates,
+                              uint64_t storage_bound) {
+  OptimalSearch search;
+  search.candidates = &candidates;
+  search.bound = storage_bound;
+  search.suffix_benefit.assign(candidates.size() + 1, 0.0);
+  for (size_t i = candidates.size(); i-- > 0;) {
+    search.suffix_benefit[i] = search.suffix_benefit[i + 1] +
+                               std::max(0.0, candidates[i].config.benefit);
+  }
+  search.Run(0);
+  AdvisorRecommendation rec;
+  rec.storage_bound = storage_bound;
+  for (size_t i : search.best) {
+    rec.selected.push_back(candidates[i]);
+    rec.total_benefit += candidates[i].config.benefit;
+    rec.total_bytes += candidates[i].estimated_bytes;
+  }
+  return rec;
+}
+
+}  // namespace
+
+Result<AdvisorRecommendation> SelectConfigurations(
+    const std::vector<SizedCandidate>& candidates, uint64_t storage_bound,
+    AdvisorStrategy strategy) {
+  if (strategy == AdvisorStrategy::kOptimal && candidates.size() > 24) {
+    return Status::InvalidArgument(
+        "optimal strategy is exponential; use greedy for " +
+        std::to_string(candidates.size()) + " candidates");
+  }
+  switch (strategy) {
+    case AdvisorStrategy::kGreedy:
+      return Greedy(candidates, storage_bound);
+    case AdvisorStrategy::kOptimal:
+      return Optimal(candidates, storage_bound);
+  }
+  return Status::NotSupported("unhandled strategy");
+}
+
+}  // namespace cfest

@@ -1,0 +1,46 @@
+// Copyright (c) the samplecf authors. Licensed under the MIT license.
+//
+// Storage-bounded selection of index configurations: the advisor maximizes
+// total workload benefit subject to the storage bound, choosing at most one
+// configuration per index (an index is either not built, built uncompressed,
+// or built with one compression scheme).
+
+#ifndef CFEST_ADVISOR_ADVISOR_H_
+#define CFEST_ADVISOR_ADVISOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "advisor/what_if.h"
+#include "common/result.h"
+
+namespace cfest {
+
+/// \brief Selection strategy.
+enum class AdvisorStrategy {
+  /// Benefit-per-byte greedy (the classic knapsack heuristic used by
+  /// physical design tools).
+  kGreedy,
+  /// Exact branch-and-bound over the candidate set (exponential; intended
+  /// for <= ~24 candidates).
+  kOptimal,
+};
+
+/// \brief The advisor's chosen configuration set.
+struct AdvisorRecommendation {
+  std::vector<SizedCandidate> selected;
+  double total_benefit = 0.0;
+  uint64_t total_bytes = 0;
+  uint64_t storage_bound = 0;
+};
+
+/// Picks a subset of sized candidates under `storage_bound` bytes, at most
+/// one per index name.
+Result<AdvisorRecommendation> SelectConfigurations(
+    const std::vector<SizedCandidate>& candidates, uint64_t storage_bound,
+    AdvisorStrategy strategy = AdvisorStrategy::kGreedy);
+
+}  // namespace cfest
+
+#endif  // CFEST_ADVISOR_ADVISOR_H_

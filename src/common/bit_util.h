@@ -1,0 +1,99 @@
+// Copyright (c) the samplecf authors. Licensed under the MIT license.
+//
+// Bit-level utilities: bit widths and LSB-first bit-packed streams. The
+// page-level dictionary compressor stores pointers of ceil(log2(d_page)) bits
+// each, exactly as the paper describes ("which in general requires
+// ceil(log2 d) bits").
+
+#ifndef CFEST_COMMON_BIT_UTIL_H_
+#define CFEST_COMMON_BIT_UTIL_H_
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+
+namespace cfest {
+
+/// Number of bits needed to represent values in [0, n): ceil(log2(n)).
+/// BitsFor(0) == BitsFor(1) == 0 (a single value needs no bits).
+inline int BitsFor(uint64_t n) {
+  if (n <= 1) return 0;
+  int bits = 0;
+  uint64_t v = n - 1;
+  while (v > 0) {
+    ++bits;
+    v >>= 1;
+  }
+  return bits;
+}
+
+/// Bytes needed to hold `bits` bits.
+inline size_t BytesForBits(size_t bits) { return (bits + 7) / 8; }
+
+/// \brief Appends fixed-width little-endian bit fields to a byte buffer.
+class BitWriter {
+ public:
+  explicit BitWriter(std::string* out) : out_(out) {}
+
+  /// Appends the low `width` bits of value (LSB first). width in [0, 64].
+  void Put(uint64_t value, int width) {
+    assert(width >= 0 && width <= 64);
+    for (int i = 0; i < width; ++i) {
+      const int bit = static_cast<int>((value >> i) & 1u);
+      if (bit_pos_ == 0) out_->push_back('\0');
+      if (bit) {
+        out_->back() = static_cast<char>(
+            static_cast<unsigned char>(out_->back()) | (1u << bit_pos_));
+      }
+      bit_pos_ = (bit_pos_ + 1) & 7;
+    }
+  }
+
+  /// Pads to the next byte boundary with zero bits.
+  void Align() { bit_pos_ = 0; }
+
+  size_t bits_written() const {
+    return out_->size() * 8 - (bit_pos_ == 0 ? 0 : (8 - bit_pos_));
+  }
+
+ private:
+  std::string* out_;
+  int bit_pos_ = 0;  // next free bit within out_->back(); 0 == byte boundary
+};
+
+/// \brief Reads fixed-width little-endian bit fields from a byte buffer.
+class BitReader {
+ public:
+  explicit BitReader(Slice data) : data_(data) {}
+
+  /// Reads `width` bits; returns false on exhaustion.
+  bool Get(int width, uint64_t* value) {
+    assert(width >= 0 && width <= 64);
+    uint64_t v = 0;
+    for (int i = 0; i < width; ++i) {
+      const size_t byte = pos_ >> 3;
+      if (byte >= data_.size()) return false;
+      const int bit =
+          (static_cast<unsigned char>(data_[byte]) >> (pos_ & 7)) & 1;
+      v |= static_cast<uint64_t>(bit) << i;
+      ++pos_;
+    }
+    *value = v;
+    return true;
+  }
+
+  /// Skips to the next byte boundary.
+  void Align() { pos_ = (pos_ + 7) & ~size_t{7}; }
+
+  size_t bit_position() const { return pos_; }
+
+ private:
+  Slice data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace cfest
+
+#endif  // CFEST_COMMON_BIT_UTIL_H_

@@ -1,0 +1,46 @@
+// Copyright (c) the samplecf authors. Licensed under the MIT license.
+//
+// Plain-text table rendering and byte formatting for the benchmark harness;
+// every experiment binary prints paper-style rows through TablePrinter.
+
+#ifndef CFEST_COMMON_FORMAT_H_
+#define CFEST_COMMON_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cfest {
+
+/// "1.2 KiB", "3.4 MiB", ... (binary units).
+std::string HumanBytes(uint64_t bytes);
+
+/// Fixed-precision double ("0.4213").
+std::string FormatDouble(double v, int precision = 4);
+
+/// \brief Accumulates rows and renders an aligned ASCII table.
+///
+/// Used by every experiment binary in bench/ so the output shape matches the
+/// paper's tables.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table with a header rule. Missing cells render empty.
+  std::string ToString() const;
+
+  /// Prints to stdout.
+  void Print() const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cfest
+
+#endif  // CFEST_COMMON_FORMAT_H_

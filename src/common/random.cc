@@ -1,0 +1,82 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace cfest {
+namespace {
+
+inline uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Random::Seed(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+  has_gauss_ = false;
+}
+
+uint64_t Random::NextU64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Random::NextBounded(uint64_t bound) {
+  // Lemire's multiply-shift rejection method: unbiased for any bound > 0.
+  uint64_t x = NextU64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < bound) {
+    uint64_t t = (0 - bound) % bound;
+    while (l < t) {
+      x = NextU64();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Random::NextInRange(int64_t lo, int64_t hi) {
+  const uint64_t span =
+      static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+double Random::NextDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Random::NextGaussian() {
+  if (has_gauss_) {
+    has_gauss_ = false;
+    return gauss_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * NextDouble() - 1.0;
+    v = 2.0 * NextDouble() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double mul = std::sqrt(-2.0 * std::log(s) / s);
+  gauss_ = v * mul;
+  has_gauss_ = true;
+  return u * mul;
+}
+
+Random Random::Fork() { return Random(NextU64()); }
+
+}  // namespace cfest

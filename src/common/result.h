@@ -1,0 +1,76 @@
+// Copyright (c) the samplecf authors. Licensed under the MIT license.
+//
+// Result<T>: a value or an error Status (Arrow-style).
+
+#ifndef CFEST_COMMON_RESULT_H_
+#define CFEST_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace cfest {
+
+/// \brief Holds either a successfully computed T or an error Status.
+///
+/// Use `CFEST_ASSIGN_OR_RETURN(auto v, Expr())` to unwrap inside functions
+/// that themselves return Status/Result.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status. Must not be OK.
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(rep_).ok() &&
+           "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// The error status; OK if this result holds a value.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(rep_);
+  }
+
+  /// The contained value. Requires ok().
+  const T& ValueOrDie() const& {
+    assert(ok() && "ValueOrDie called on error Result");
+    return std::get<T>(rep_);
+  }
+  T& ValueOrDie() & {
+    assert(ok() && "ValueOrDie called on error Result");
+    return std::get<T>(rep_);
+  }
+  T&& ValueOrDie() && {
+    assert(ok() && "ValueOrDie called on error Result");
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+}  // namespace cfest
+
+#define CFEST_CONCAT_IMPL(a, b) a##b
+#define CFEST_CONCAT(a, b) CFEST_CONCAT_IMPL(a, b)
+
+/// Evaluates a Result<T> expression; on error returns the Status, otherwise
+/// binds the value to `lhs` (which may include a declaration).
+#define CFEST_ASSIGN_OR_RETURN(lhs, rexpr)                            \
+  CFEST_ASSIGN_OR_RETURN_IMPL(CFEST_CONCAT(_res_, __LINE__), lhs, rexpr)
+
+#define CFEST_ASSIGN_OR_RETURN_IMPL(res, lhs, rexpr) \
+  auto res = (rexpr);                                \
+  if (!res.ok()) return res.status();                \
+  lhs = std::move(res).ValueOrDie()
+
+#endif  // CFEST_COMMON_RESULT_H_

@@ -1,0 +1,84 @@
+// Copyright (c) the samplecf authors. Licensed under the MIT license.
+//
+// Slice: a non-owning view of a byte range (RocksDB idiom). Used for zero-copy
+// access into page buffers and encoded rows.
+
+#ifndef CFEST_COMMON_SLICE_H_
+#define CFEST_COMMON_SLICE_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace cfest {
+
+/// \brief A pointer + length view over externally owned bytes.
+///
+/// The caller must guarantee the underlying storage outlives the Slice.
+class Slice {
+ public:
+  Slice() : data_(""), size_(0) {}
+  Slice(const char* d, size_t n) : data_(d), size_(n) {}
+  Slice(const std::string& s) : data_(s.data()), size_(s.size()) {}  // NOLINT
+  Slice(const char* s) : data_(s), size_(std::strlen(s)) {}          // NOLINT
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  char operator[](size_t i) const {
+    assert(i < size_);
+    return data_[i];
+  }
+
+  /// Drops the first n bytes from this slice.
+  void RemovePrefix(size_t n) {
+    assert(n <= size_);
+    data_ += n;
+    size_ -= n;
+  }
+
+  /// A sub-view [offset, offset+len). Clamps len to the available bytes.
+  Slice SubSlice(size_t offset, size_t len) const {
+    assert(offset <= size_);
+    if (len > size_ - offset) len = size_ - offset;
+    return Slice(data_ + offset, len);
+  }
+
+  std::string ToString() const { return std::string(data_, size_); }
+  std::string_view ToStringView() const { return {data_, size_}; }
+
+  int Compare(const Slice& other) const {
+    const size_t min_len = size_ < other.size_ ? size_ : other.size_;
+    int r = std::memcmp(data_, other.data_, min_len);
+    if (r == 0) {
+      if (size_ < other.size_) return -1;
+      if (size_ > other.size_) return 1;
+    }
+    return r;
+  }
+
+  bool StartsWith(const Slice& prefix) const {
+    return size_ >= prefix.size_ &&
+           std::memcmp(data_, prefix.data_, prefix.size_) == 0;
+  }
+
+ private:
+  const char* data_;
+  size_t size_;
+};
+
+inline bool operator==(const Slice& a, const Slice& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size()) == 0;
+}
+inline bool operator!=(const Slice& a, const Slice& b) { return !(a == b); }
+inline bool operator<(const Slice& a, const Slice& b) {
+  return a.Compare(b) < 0;
+}
+
+}  // namespace cfest
+
+#endif  // CFEST_COMMON_SLICE_H_

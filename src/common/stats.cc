@@ -1,0 +1,70 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace cfest {
+
+void RunningStats::Add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double QuantileSorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (q <= 0.0) return sorted.front();
+  if (q >= 1.0) return sorted.back();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+Summary Summarize(const std::vector<double>& values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  RunningStats rs;
+  for (double v : values) rs.Add(v);
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.p50 = QuantileSorted(sorted, 0.50);
+  s.p90 = QuantileSorted(sorted, 0.90);
+  s.p99 = QuantileSorted(sorted, 0.99);
+  return s;
+}
+
+double RatioError(double truth, double estimate) {
+  if (truth <= 0.0 && estimate <= 0.0) return 1.0;
+  if (truth <= 0.0 || estimate <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return std::max(truth / estimate, estimate / truth);
+}
+
+double RelativeError(double truth, double estimate) {
+  return std::abs(estimate - truth) / std::abs(truth);
+}
+
+}  // namespace cfest

@@ -1,0 +1,65 @@
+// Copyright (c) the samplecf authors. Licensed under the MIT license.
+//
+// Streaming and batch statistics used by the estimator-evaluation harness:
+// Welford accumulation, percentiles, and the paper's ratio-error metric.
+
+#ifndef CFEST_COMMON_STATS_H_
+#define CFEST_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace cfest {
+
+/// \brief Numerically stable streaming mean/variance (Welford's algorithm).
+class RunningStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Unbiased sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// \brief Batch summary of a sample: moments plus order statistics.
+struct Summary {
+  size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// Computes a Summary over values (copies and sorts internally).
+Summary Summarize(const std::vector<double>& values);
+
+/// \brief The paper's ratio error: max(truth/estimate, estimate/truth) >= 1.
+///
+/// Degenerate inputs (zero or negative on exactly one side) map to +infinity;
+/// 0/0 maps to 1 (a zero estimate of a zero quantity is exact).
+double RatioError(double truth, double estimate);
+
+/// Relative error |estimate - truth| / truth (truth must be nonzero).
+double RelativeError(double truth, double estimate);
+
+/// Linearly interpolated q-quantile (q in [0,1]) of a *sorted* vector.
+double QuantileSorted(const std::vector<double>& sorted, double q);
+
+}  // namespace cfest
+
+#endif  // CFEST_COMMON_STATS_H_

@@ -1,0 +1,239 @@
+#include "compression/combined.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bit_util.h"
+#include "compression/encoding_util.h"
+
+namespace cfest {
+namespace {
+
+size_t CommonPrefixLen(const Slice& a, const Slice& b) {
+  const size_t limit = std::min(a.size(), b.size());
+  size_t i = 0;
+  while (i < limit && a[i] == b[i]) ++i;
+  return i;
+}
+
+class CombinedChunk final : public ColumnChunkCompressor {
+ public:
+  CombinedChunk(const DataType& type, uint64_t* total_dict_entries)
+      : type_(type),
+        len_hdr_(LengthHeaderBytes(type)),
+        total_dict_entries_(total_dict_entries) {}
+
+  size_t CostWith(const Slice& cell) override {
+    const uint32_t l = NullSuppressedLength(cell, type_);
+    const std::string key(cell.data(), l);
+    size_t dict_count = entries_.size();
+    size_t sum_lens = sum_entry_lengths_;
+    size_t prefix = prefix_len_;
+    if (dict_index_.find(key) == dict_index_.end()) {
+      ++dict_count;
+      sum_lens += l;
+      prefix = entries_.empty()
+                   ? l
+                   : std::min(prefix,
+                              CommonPrefixLen(Slice(key), PrefixSlice()));
+    }
+    return ChunkCost(dict_count, sum_lens, prefix, codes_.size() + 1);
+  }
+
+  void Add(const Slice& cell) override {
+    assert(cell.size() == type_.FixedWidth());
+    const uint32_t l = NullSuppressedLength(cell, type_);
+    std::string key(cell.data(), l);
+    auto [it, inserted] = dict_index_.emplace(
+        std::move(key), static_cast<uint32_t>(entries_.size()));
+    if (inserted) {
+      if (entries_.empty()) {
+        prefix_len_ = l;
+      } else {
+        prefix_len_ = std::min(
+            prefix_len_, CommonPrefixLen(Slice(it->first), PrefixSlice()));
+      }
+      entries_.push_back(it->first);
+      sum_entry_lengths_ += l;
+    }
+    codes_.push_back(it->second);
+  }
+
+  size_t Cost() const override {
+    return ChunkCost(entries_.size(), sum_entry_lengths_, prefix_len_,
+                     codes_.size());
+  }
+
+  uint32_t count() const override {
+    return static_cast<uint32_t>(codes_.size());
+  }
+
+  std::string Finish() override {
+    const int bits = BitsFor(entries_.size());
+    std::string out;
+    out.reserve(Cost());
+    encoding::PutU16(&out, static_cast<uint16_t>(entries_.size()));
+    out.push_back(static_cast<char>(bits));
+    const size_t prefix = entries_.empty() ? 0 : prefix_len_;
+    PutLen(&out, prefix);
+    if (!entries_.empty()) {
+      out.append(entries_.front().data(), prefix);
+    }
+    for (const std::string& entry : entries_) {
+      PutLen(&out, entry.size() - prefix);
+      out.append(entry.data() + prefix, entry.size() - prefix);
+    }
+    encoding::PutU16(&out, static_cast<uint16_t>(codes_.size()));
+    BitWriter writer(&out);
+    for (uint32_t code : codes_) writer.Put(code, bits);
+    *total_dict_entries_ += entries_.size();
+    return out;
+  }
+
+ private:
+  Slice PrefixSlice() const {
+    return Slice(entries_.front().data(), prefix_len_);
+  }
+
+  void PutLen(std::string* out, size_t len) const {
+    if (len_hdr_ == 1) {
+      out->push_back(static_cast<char>(len & 0xFF));
+    } else {
+      encoding::PutU16(out, static_cast<uint16_t>(len));
+    }
+  }
+
+  size_t ChunkCost(size_t dict_count, size_t sum_lens, size_t prefix,
+                   size_t row_count) const {
+    int bits = BitsFor(dict_count);
+    const size_t entry_region =
+        dict_count == 0
+            ? len_hdr_
+            : len_hdr_ + prefix + dict_count * len_hdr_ +
+                  (sum_lens - dict_count * prefix);
+    return 2 + 1 + entry_region + 2 + BytesForBits(bits * row_count);
+  }
+
+  DataType type_;
+  uint32_t len_hdr_;
+  uint64_t* total_dict_entries_;  // owned by the parent compressor
+  std::unordered_map<std::string, uint32_t> dict_index_;
+  std::vector<std::string> entries_;  // null-suppressed payloads
+  size_t sum_entry_lengths_ = 0;
+  size_t prefix_len_ = 0;
+  std::vector<uint32_t> codes_;
+};
+
+class CombinedCompressor final : public ColumnCompressor {
+ public:
+  explicit CombinedCompressor(const DataType& type) : type_(type) {}
+
+  CompressionType type() const override {
+    return CompressionType::kPrefixDictionary;
+  }
+  const DataType& data_type() const override { return type_; }
+
+  std::unique_ptr<ColumnChunkCompressor> NewChunk() override {
+    return std::make_unique<CombinedChunk>(type_, &total_dict_entries_);
+  }
+
+  uint64_t TotalDictionaryEntries() const override {
+    return total_dict_entries_;
+  }
+
+  Status DecodeChunk(Slice chunk,
+                     std::vector<std::string>* cells) const override {
+    const uint32_t len_hdr = LengthHeaderBytes(type_);
+    size_t pos = 0;
+    uint16_t dict_count = 0;
+    if (!encoding::GetU16(chunk, &pos, &dict_count)) {
+      return Status::Corruption("combined chunk missing dict count");
+    }
+    if (pos + 1 > chunk.size()) {
+      return Status::Corruption("combined chunk missing pointer width");
+    }
+    const int bits = static_cast<unsigned char>(chunk[pos]);
+    ++pos;
+    if (bits > 32) {
+      return Status::Corruption("combined pointer width too large");
+    }
+    uint32_t prefix_len = 0;
+    CFEST_RETURN_NOT_OK(GetLen(chunk, &pos, len_hdr, &prefix_len));
+    if (pos + prefix_len > chunk.size()) {
+      return Status::Corruption("combined chunk truncated prefix");
+    }
+    const Slice prefix(chunk.data() + pos, prefix_len);
+    pos += prefix_len;
+    std::vector<std::string> entries;
+    entries.reserve(dict_count);
+    for (uint16_t i = 0; i < dict_count; ++i) {
+      uint32_t suffix_len = 0;
+      CFEST_RETURN_NOT_OK(GetLen(chunk, &pos, len_hdr, &suffix_len));
+      if (pos + suffix_len > chunk.size()) {
+        return Status::Corruption("combined chunk truncated suffix");
+      }
+      if (prefix_len + suffix_len > type_.FixedWidth()) {
+        return Status::Corruption("combined entry exceeds column width");
+      }
+      std::string payload(prefix.data(), prefix.size());
+      payload.append(chunk.data() + pos, suffix_len);
+      pos += suffix_len;
+      std::string cell;
+      encoding::PadCell(Slice(payload), type_, &cell);
+      entries.push_back(std::move(cell));
+    }
+    uint16_t row_count = 0;
+    if (!encoding::GetU16(chunk, &pos, &row_count)) {
+      return Status::Corruption("combined chunk missing row count");
+    }
+    if (row_count > 0 && dict_count == 0) {
+      return Status::Corruption("combined rows with empty dictionary");
+    }
+    BitReader reader(chunk.SubSlice(pos, chunk.size() - pos));
+    for (uint16_t i = 0; i < row_count; ++i) {
+      uint64_t code = 0;
+      if (!reader.Get(bits, &code)) {
+        return Status::Corruption("combined chunk truncated pointers");
+      }
+      if (code >= dict_count) {
+        return Status::Corruption("combined pointer out of range");
+      }
+      cells->push_back(entries[static_cast<size_t>(code)]);
+    }
+    return Status::OK();
+  }
+
+ private:
+  uint64_t total_dict_entries_ = 0;
+
+  static Status GetLen(Slice chunk, size_t* pos, uint32_t len_hdr,
+                       uint32_t* len) {
+    if (len_hdr == 1) {
+      if (*pos + 1 > chunk.size()) {
+        return Status::Corruption("truncated length header");
+      }
+      *len = static_cast<unsigned char>(chunk[*pos]);
+      *pos += 1;
+      return Status::OK();
+    }
+    uint16_t l16 = 0;
+    if (!encoding::GetU16(chunk, pos, &l16)) {
+      return Status::Corruption("truncated length header");
+    }
+    *len = l16;
+    return Status::OK();
+  }
+
+  DataType type_;
+};
+
+}  // namespace
+
+std::unique_ptr<ColumnCompressor> MakeCombinedPageCompressor(
+    const DataType& data_type) {
+  return std::make_unique<CombinedCompressor>(data_type);
+}
+
+}  // namespace cfest

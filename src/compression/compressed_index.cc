@@ -1,0 +1,193 @@
+#include "compression/compressed_index.h"
+
+#include "compression/encoding_util.h"
+#include "storage/row_codec.h"
+
+namespace cfest {
+
+Status CompressedIndex::DecodeAllRows(std::vector<std::string>* rows) const {
+  if (stats_.row_count > 0 && pages_.empty()) {
+    return Status::InvalidArgument(
+        "index was built with keep_pages = false; pages unavailable");
+  }
+  const size_t ncols = schema_.num_columns();
+  for (const Page& page : pages_) {
+    CFEST_ASSIGN_OR_RETURN(Slice record, page.record(0));
+    std::vector<std::vector<std::string>> columns(ncols);
+    size_t pos = 0;
+    for (size_t c = 0; c < ncols; ++c) {
+      uint32_t chunk_len = 0;
+      if (!encoding::GetU32(record, &pos, &chunk_len)) {
+        return Status::Corruption("compressed page missing chunk length");
+      }
+      if (pos + chunk_len > record.size()) {
+        return Status::Corruption("compressed chunk overruns page record");
+      }
+      CFEST_RETURN_NOT_OK(compressors_->column(c)->DecodeChunk(
+          record.SubSlice(pos, chunk_len), &columns[c]));
+      pos += chunk_len;
+    }
+    const size_t page_rows = columns.empty() ? 0 : columns[0].size();
+    for (size_t c = 1; c < ncols; ++c) {
+      if (columns[c].size() != page_rows) {
+        return Status::Corruption("column chunks disagree on row count");
+      }
+    }
+    for (size_t r = 0; r < page_rows; ++r) {
+      std::string row;
+      row.reserve(schema_.row_width());
+      for (size_t c = 0; c < ncols; ++c) row += columns[c][r];
+      rows->push_back(std::move(row));
+    }
+  }
+  return Status::OK();
+}
+
+CompressedIndexBuilder::CompressedIndexBuilder(
+    Schema schema, CompressionScheme scheme,
+    std::shared_ptr<ColumnCompressorSet> compressors, const Options& options)
+    : schema_(std::move(schema)),
+      scheme_(std::move(scheme)),
+      options_(options),
+      compressors_(std::move(compressors)) {
+  stats_.page_size = options_.page_size;
+  stats_.columns.resize(schema_.num_columns());
+  for (size_t c = 0; c < schema_.num_columns(); ++c) {
+    stats_.columns[c].type = compressors_->column(c)->type();
+  }
+  OpenPage();
+}
+
+Result<std::unique_ptr<CompressedIndexBuilder>> CompressedIndexBuilder::Make(
+    const Schema& schema, const CompressionScheme& scheme,
+    const Options& options) {
+  if (options.page_size < kPageHeaderSize + kSlotSize + 64) {
+    return Status::InvalidArgument("page size too small: " +
+                                   std::to_string(options.page_size));
+  }
+  if (options.page_size > 0xFFFF) {
+    return Status::InvalidArgument(
+        "page size exceeds 16-bit slot addressing: " +
+        std::to_string(options.page_size));
+  }
+  CFEST_ASSIGN_OR_RETURN(ColumnCompressorSet set,
+                         ColumnCompressorSet::Make(schema, scheme));
+  auto shared = std::make_shared<ColumnCompressorSet>(std::move(set));
+  return std::unique_ptr<CompressedIndexBuilder>(new CompressedIndexBuilder(
+      schema, scheme, std::move(shared), options));
+}
+
+void CompressedIndexBuilder::OpenPage() {
+  chunks_.clear();
+  chunks_.reserve(schema_.num_columns());
+  for (size_t c = 0; c < schema_.num_columns(); ++c) {
+    chunks_.push_back(compressors_->column(c)->NewChunk());
+  }
+}
+
+size_t CompressedIndexBuilder::PageCost(size_t extra_chunk_bytes) const {
+  // Page header + one slot + per-column u32 chunk-length framing + chunks.
+  size_t cost = kPageHeaderSize + kSlotSize + 4 * schema_.num_columns() +
+                extra_chunk_bytes;
+  for (const auto& chunk : chunks_) cost += chunk->Cost();
+  return cost;
+}
+
+Status CompressedIndexBuilder::Add(Slice encoded_row) {
+  if (finished_) return Status::InvalidArgument("builder already finished");
+  if (encoded_row.size() != schema_.row_width()) {
+    return Status::InvalidArgument(
+        "encoded row has " + std::to_string(encoded_row.size()) +
+        " bytes, expected " + std::to_string(schema_.row_width()));
+  }
+  RowCodec codec(schema_);
+  // Chunk row counts are u16 on the wire; a page whose rows cost ~0 bytes
+  // (e.g. a 0-bit-pointer dictionary page holding one distinct value) must
+  // still be closed before the count wraps.
+  if (chunks_[0]->count() >= 0xFFFF) {
+    CFEST_RETURN_NOT_OK(FlushPage());
+    OpenPage();
+  }
+  // Exact prospective page size if this row joined the current page.
+  size_t prospective = kPageHeaderSize + kSlotSize + 4 * schema_.num_columns();
+  for (size_t c = 0; c < schema_.num_columns(); ++c) {
+    prospective += chunks_[c]->CostWith(codec.Cell(encoded_row, c));
+  }
+  if (prospective > options_.page_size) {
+    if (chunks_[0]->count() == 0) {
+      return Status::CapacityExceeded(
+          "a single row compresses to more than one page (" +
+          std::to_string(prospective) + " > " +
+          std::to_string(options_.page_size) + " bytes)");
+    }
+    CFEST_RETURN_NOT_OK(FlushPage());
+    OpenPage();
+    return Add(encoded_row);
+  }
+  for (size_t c = 0; c < schema_.num_columns(); ++c) {
+    chunks_[c]->Add(codec.Cell(encoded_row, c));
+  }
+  ++rows_added_;
+  return Status::OK();
+}
+
+Status CompressedIndexBuilder::FlushPage() {
+  std::string record;
+  for (size_t c = 0; c < chunks_.size(); ++c) {
+    std::string bytes = chunks_[c]->Finish();
+    encoding::PutU32(&record, static_cast<uint32_t>(bytes.size()));
+    record += bytes;
+    stats_.chunk_bytes += bytes.size();
+    stats_.columns[c].chunk_bytes += bytes.size();
+  }
+  PageBuilder builder(next_page_id_++, PageType::kCompressedLeaf,
+                      options_.page_size);
+  CFEST_RETURN_NOT_OK(builder.Add(Slice(record)));
+  Page page = builder.Finish();
+  stats_.used_bytes += page.used_bytes();
+  ++stats_.data_pages;
+  if (options_.keep_pages) pages_.push_back(std::move(page));
+  return Status::OK();
+}
+
+Result<CompressedIndex> CompressedIndexBuilder::Finish() {
+  if (finished_) return Status::InvalidArgument("builder already finished");
+  finished_ = true;
+  if (chunks_[0]->count() > 0 || rows_added_ == 0) {
+    // Flush the trailing partial page; an empty index still owns one page
+    // (real engines allocate the root/first leaf eagerly).
+    CFEST_RETURN_NOT_OK(FlushPage());
+  }
+  CFEST_RETURN_NOT_OK(compressors_->Validate());
+
+  stats_.row_count = rows_added_;
+  stats_.aux_bytes = compressors_->AuxiliaryBytes();
+  stats_.dictionary_entries = compressors_->TotalDictionaryEntries();
+  for (size_t c = 0; c < schema_.num_columns(); ++c) {
+    stats_.columns[c].aux_bytes = compressors_->column(c)->AuxiliaryBytes();
+    stats_.columns[c].dictionary_entries =
+        compressors_->column(c)->TotalDictionaryEntries();
+  }
+  const size_t aux_capacity = options_.page_size - kPageHeaderSize;
+  stats_.aux_pages = (stats_.aux_bytes + aux_capacity - 1) / aux_capacity;
+
+  CompressedIndex index(schema_, scheme_);
+  index.stats_ = stats_;
+  index.pages_ = std::move(pages_);
+  index.compressors_ = compressors_;
+  return index;
+}
+
+Result<CompressedIndex> CompressRows(
+    const Schema& schema, const CompressionScheme& scheme,
+    const std::vector<Slice>& rows,
+    const CompressedIndexBuilder::Options& options) {
+  CFEST_ASSIGN_OR_RETURN(auto builder,
+                         CompressedIndexBuilder::Make(schema, scheme, options));
+  for (const Slice& row : rows) {
+    CFEST_RETURN_NOT_OK(builder->Add(row));
+  }
+  return builder->Finish();
+}
+
+}  // namespace cfest

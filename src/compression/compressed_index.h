@@ -1,0 +1,154 @@
+// Copyright (c) the samplecf authors. Licensed under the MIT license.
+//
+// Packing compressed rows into pages, and the size accounting that defines
+// the compression fraction.
+//
+// Page record layout (one record per compressed page):
+//   per column: u32 chunk_length, chunk bytes.
+// Rows are packed greedily in input order (the index build feeds them sorted
+// by key): a page is closed when the next row's exact compressed cost no
+// longer fits, mirroring how page-level compression behaves in real engines
+// and giving rise to the paper's Pg(i) paging effects.
+
+#ifndef CFEST_COMPRESSION_COMPRESSED_INDEX_H_
+#define CFEST_COMPRESSION_COMPRESSED_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "compression/scheme.h"
+#include "storage/page.h"
+#include "storage/schema.h"
+
+namespace cfest {
+
+/// \brief Per-column share of a compressed index's footprint.
+struct ColumnCompressionStats {
+  CompressionType type = CompressionType::kNone;
+  /// Serialized chunk bytes of this column across all pages.
+  uint64_t chunk_bytes = 0;
+  /// Auxiliary bytes (global dictionary) owned by this column.
+  uint64_t aux_bytes = 0;
+  /// Dictionary entries materialized for this column (sum Pg(i) / d).
+  uint64_t dictionary_entries = 0;
+};
+
+/// \brief Size accounting for one compressed (or uncompressed) index.
+struct CompressedIndexStats {
+  uint64_t row_count = 0;
+  /// Pages holding compressed row data.
+  uint64_t data_pages = 0;
+  /// Pages holding auxiliary state (global dictionaries).
+  uint64_t aux_pages = 0;
+  /// Exact bytes used inside data pages (headers + records + slots).
+  uint64_t used_bytes = 0;
+  /// Auxiliary bytes (global dictionary payloads).
+  uint64_t aux_bytes = 0;
+  /// Sum of serialized column-chunk bytes (content without page framing).
+  uint64_t chunk_bytes = 0;
+  /// Total dictionary entries materialized (page-level: the paper's
+  /// sum over distinct values i of Pg(i); global: d).
+  uint64_t dictionary_entries = 0;
+  size_t page_size = kDefaultPageSize;
+  /// One entry per schema column.
+  std::vector<ColumnCompressionStats> columns;
+
+  uint64_t total_pages() const { return data_pages + aux_pages; }
+  /// Page-granular footprint in bytes.
+  uint64_t page_bytes() const { return total_pages() * page_size; }
+  /// Byte-granular footprint: used page bytes plus auxiliary payloads.
+  uint64_t content_bytes() const { return used_bytes + aux_bytes; }
+};
+
+/// \brief A compressed index: stats, pages (optional), and the compressor
+/// state needed to decode them.
+class CompressedIndex {
+ public:
+  const CompressedIndexStats& stats() const { return stats_; }
+  const Schema& schema() const { return schema_; }
+  const CompressionScheme& scheme() const { return scheme_; }
+
+  /// The retained page images (empty if built with keep_pages = false).
+  const std::vector<Page>& pages() const { return pages_; }
+
+  /// Reconstructs all encoded fixed-width rows, in index order. Requires
+  /// keep_pages = true at build time. Appends row_width-byte strings.
+  Status DecodeAllRows(std::vector<std::string>* rows) const;
+
+ private:
+  friend class CompressedIndexBuilder;
+  CompressedIndex(Schema schema, CompressionScheme scheme)
+      : schema_(std::move(schema)), scheme_(std::move(scheme)) {}
+
+  Schema schema_;
+  CompressionScheme scheme_;
+  CompressedIndexStats stats_;
+  std::vector<Page> pages_;
+  std::shared_ptr<ColumnCompressorSet> compressors_;  // decode needs dict state
+};
+
+/// \brief Build options for compressed (and uncompressed) index packing.
+struct IndexBuildOptions {
+  size_t page_size = kDefaultPageSize;
+  /// Retain page images (needed for DecodeAllRows; costs memory).
+  bool keep_pages = true;
+};
+
+/// \brief Streams sorted encoded rows into compressed pages.
+class CompressedIndexBuilder {
+ public:
+  using Options = IndexBuildOptions;
+
+  /// Fails if the scheme does not fit the schema.
+  static Result<std::unique_ptr<CompressedIndexBuilder>> Make(
+      const Schema& schema, const CompressionScheme& scheme,
+      const Options& options = {});
+
+  /// Adds one encoded row (exactly schema.row_width() bytes). Rows should be
+  /// fed in index (sorted) order.
+  Status Add(Slice encoded_row);
+
+  uint64_t rows_added() const { return rows_added_; }
+
+  /// Closes the final page, validates compressor state, and returns the
+  /// compressed index. The builder must not be reused.
+  Result<CompressedIndex> Finish();
+
+ private:
+  CompressedIndexBuilder(Schema schema, CompressionScheme scheme,
+                         std::shared_ptr<ColumnCompressorSet> compressors,
+                         const Options& options);
+
+  void OpenPage();
+  /// Exact page bytes used if the current chunks (plus `extra` chunk cost)
+  /// were serialized now.
+  size_t PageCost(size_t extra_chunk_bytes) const;
+  Status FlushPage();
+
+  Schema schema_;
+  CompressionScheme scheme_;
+  Options options_;
+  std::shared_ptr<ColumnCompressorSet> compressors_;
+  std::vector<std::unique_ptr<ColumnChunkCompressor>> chunks_;
+  std::vector<Page> pages_;
+  CompressedIndexStats stats_;
+  uint64_t rows_added_ = 0;
+  uint64_t next_page_id_ = 0;
+  bool finished_ = false;
+};
+
+/// Convenience: compresses a batch of encoded rows in one call.
+Result<CompressedIndex> CompressRows(const Schema& schema,
+                                     const CompressionScheme& scheme,
+                                     const std::vector<Slice>& rows,
+                                     const CompressedIndexBuilder::Options&
+                                         options = {});
+
+}  // namespace cfest
+
+#endif  // CFEST_COMPRESSION_COMPRESSED_INDEX_H_

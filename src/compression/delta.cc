@@ -1,0 +1,186 @@
+#include "compression/delta.h"
+
+#include <cassert>
+
+#include "compression/encoding_util.h"
+
+namespace cfest {
+namespace {
+
+uint64_t ZigZag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);
+}
+
+int64_t UnZigZag(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+size_t VarintSize(uint64_t v) {
+  size_t bytes = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++bytes;
+  }
+  return bytes;
+}
+
+void PutVarint(uint64_t v, std::string* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>(v | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+bool GetVarint(Slice in, size_t* pos, uint64_t* v) {
+  uint64_t result = 0;
+  int shift = 0;
+  while (*pos < in.size() && shift <= 63) {
+    const unsigned char byte = static_cast<unsigned char>(in[*pos]);
+    ++*pos;
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *v = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+int64_t DecodeCellValue(const Slice& cell, uint32_t width) {
+  uint64_t v = 0;
+  for (uint32_t i = 0; i < width; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(cell[i])) << (8 * i);
+  }
+  if (width < 8) {
+    const uint64_t sign = 1ull << (8 * width - 1);
+    if (v & sign) v |= ~((sign << 1) - 1);
+  }
+  return static_cast<int64_t>(v);
+}
+
+class DeltaChunk final : public ColumnChunkCompressor {
+ public:
+  explicit DeltaChunk(const DataType& type) : type_(type) {}
+
+  size_t CostWith(const Slice& cell) override {
+    const int64_t v = DecodeCellValue(cell, type_.FixedWidth());
+    if (count_ == 0) return Cost() + 8;
+    return Cost() + VarintSize(ZigZag(v - prev_));
+  }
+
+  void Add(const Slice& cell) override {
+    assert(cell.size() == type_.FixedWidth());
+    const int64_t v = DecodeCellValue(cell, type_.FixedWidth());
+    if (count_ == 0) {
+      for (int i = 0; i < 8; ++i) {
+        buf_.push_back(
+            static_cast<char>((static_cast<uint64_t>(v) >> (8 * i)) & 0xFF));
+      }
+    } else {
+      PutVarint(ZigZag(v - prev_), &buf_);
+    }
+    prev_ = v;
+    ++count_;
+  }
+
+  size_t Cost() const override { return 2 + buf_.size(); }
+  uint32_t count() const override { return count_; }
+
+  std::string Finish() override {
+    std::string out;
+    out.reserve(Cost());
+    encoding::PutU16(&out, static_cast<uint16_t>(count_));
+    out += buf_;
+    return out;
+  }
+
+ private:
+  DataType type_;
+  std::string buf_;
+  int64_t prev_ = 0;
+  uint32_t count_ = 0;
+};
+
+class DeltaCompressor final : public ColumnCompressor {
+ public:
+  explicit DeltaCompressor(const DataType& type) : type_(type) {}
+
+  CompressionType type() const override { return CompressionType::kDelta; }
+  const DataType& data_type() const override { return type_; }
+
+  std::unique_ptr<ColumnChunkCompressor> NewChunk() override {
+    return std::make_unique<DeltaChunk>(type_);
+  }
+
+  Status DecodeChunk(Slice chunk,
+                     std::vector<std::string>* cells) const override {
+    size_t pos = 0;
+    uint16_t count = 0;
+    if (!encoding::GetU16(chunk, &pos, &count)) {
+      return Status::Corruption("delta chunk missing count");
+    }
+    if (count == 0) {
+      if (pos != chunk.size()) {
+        return Status::Corruption("delta chunk has trailing bytes");
+      }
+      return Status::OK();
+    }
+    if (pos + 8 > chunk.size()) {
+      return Status::Corruption("delta chunk missing first value");
+    }
+    int64_t value = 0;
+    {
+      uint64_t raw = 0;
+      for (int i = 0; i < 8; ++i) {
+        raw |= static_cast<uint64_t>(
+                   static_cast<unsigned char>(chunk[pos + i]))
+               << (8 * i);
+      }
+      value = static_cast<int64_t>(raw);
+      pos += 8;
+    }
+    AppendCell(value, cells);
+    for (uint16_t i = 1; i < count; ++i) {
+      uint64_t zz = 0;
+      if (!GetVarint(chunk, &pos, &zz)) {
+        return Status::Corruption("delta chunk truncated varint");
+      }
+      value += UnZigZag(zz);
+      AppendCell(value, cells);
+    }
+    if (pos != chunk.size()) {
+      return Status::Corruption("delta chunk has trailing bytes");
+    }
+    return Status::OK();
+  }
+
+ private:
+  void AppendCell(int64_t v, std::vector<std::string>* cells) const {
+    std::string cell;
+    const uint32_t w = type_.FixedWidth();
+    for (uint32_t i = 0; i < w; ++i) {
+      cell.push_back(
+          static_cast<char>((static_cast<uint64_t>(v) >> (8 * i)) & 0xFF));
+    }
+    cells->push_back(std::move(cell));
+  }
+
+  DataType type_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<ColumnCompressor>> MakeDeltaCompressor(
+    const DataType& data_type) {
+  if (!data_type.IsInteger()) {
+    return Status::InvalidArgument(
+        "delta compression requires an integer column, got " +
+        data_type.ToString());
+  }
+  return {std::make_unique<DeltaCompressor>(data_type)};
+}
+
+}  // namespace cfest

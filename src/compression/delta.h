@@ -1,0 +1,27 @@
+// Copyright (c) the samplecf authors. Licensed under the MIT license.
+//
+// Delta compression for integer-typed columns (extension; refs [7][8] of the
+// paper survey it as a classic index-key technique). Index keys arrive
+// sorted, so consecutive deltas are small; each chunk stores the first value
+// verbatim and zigzag-varint deltas for the rest. Falls back to plain NS
+// semantics for string columns (delta over bytes is meaningless), which the
+// factory rejects instead.
+//
+// Chunk wire format:
+//   u16 count, then for count > 0: 8-byte first value (LE),
+//   then count-1 zigzag varint deltas.
+
+#ifndef CFEST_COMPRESSION_DELTA_H_
+#define CFEST_COMPRESSION_DELTA_H_
+
+#include "compression/compressor.h"
+
+namespace cfest {
+
+/// Fails for non-integer columns.
+Result<std::unique_ptr<ColumnCompressor>> MakeDeltaCompressor(
+    const DataType& data_type);
+
+}  // namespace cfest
+
+#endif  // CFEST_COMPRESSION_DELTA_H_

@@ -1,0 +1,142 @@
+#include "compression/dictionary_global.h"
+
+#include <cassert>
+#include <unordered_map>
+#include <vector>
+
+#include "compression/encoding_util.h"
+
+namespace cfest {
+namespace {
+
+class GlobalDictCompressor;
+
+class GlobalDictChunk final : public ColumnChunkCompressor {
+ public:
+  GlobalDictChunk(GlobalDictCompressor* parent, uint32_t pointer_bytes)
+      : parent_(parent), pointer_bytes_(pointer_bytes) {}
+
+  size_t CostWith(const Slice& cell) override;
+  void Add(const Slice& cell) override;
+
+  size_t Cost() const override {
+    return 2 + codes_.size() * pointer_bytes_;
+  }
+
+  uint32_t count() const override {
+    return static_cast<uint32_t>(codes_.size());
+  }
+
+  std::string Finish() override {
+    std::string out;
+    out.reserve(Cost());
+    encoding::PutU16(&out, static_cast<uint16_t>(codes_.size()));
+    for (uint32_t code : codes_) {
+      for (uint32_t b = 0; b < pointer_bytes_; ++b) {
+        out.push_back(static_cast<char>((code >> (8 * b)) & 0xFF));
+      }
+    }
+    return out;
+  }
+
+ private:
+  GlobalDictCompressor* parent_;
+  uint32_t pointer_bytes_;
+  std::vector<uint32_t> codes_;
+};
+
+class GlobalDictCompressor final : public ColumnCompressor {
+ public:
+  GlobalDictCompressor(const DataType& type, const CompressionOptions& options)
+      : type_(type),
+        pointer_bytes_(options.global_pointer_bytes == 0
+                           ? 4
+                           : options.global_pointer_bytes) {}
+
+  CompressionType type() const override {
+    return CompressionType::kDictionaryGlobal;
+  }
+  const DataType& data_type() const override { return type_; }
+
+  std::unique_ptr<ColumnChunkCompressor> NewChunk() override {
+    return std::make_unique<GlobalDictChunk>(this, pointer_bytes_);
+  }
+
+  Status DecodeChunk(Slice chunk,
+                     std::vector<std::string>* cells) const override {
+    size_t pos = 0;
+    uint16_t row_count = 0;
+    if (!encoding::GetU16(chunk, &pos, &row_count)) {
+      return Status::Corruption("global-dict chunk missing row count");
+    }
+    if (pos + static_cast<size_t>(row_count) * pointer_bytes_ != chunk.size()) {
+      return Status::Corruption("global-dict chunk size mismatch");
+    }
+    for (uint16_t i = 0; i < row_count; ++i) {
+      uint64_t code = 0;
+      for (uint32_t b = 0; b < pointer_bytes_; ++b) {
+        code |= static_cast<uint64_t>(
+                    static_cast<unsigned char>(chunk[pos + b]))
+                << (8 * b);
+      }
+      pos += pointer_bytes_;
+      if (code >= entries_.size()) {
+        return Status::Corruption("global-dict pointer out of range");
+      }
+      cells->push_back(entries_[static_cast<size_t>(code)]);
+    }
+    return Status::OK();
+  }
+
+  /// The paper's d * k: every distinct value stored once at full width.
+  uint64_t AuxiliaryBytes() const override {
+    return static_cast<uint64_t>(entries_.size()) * type_.FixedWidth();
+  }
+
+  uint64_t TotalDictionaryEntries() const override { return entries_.size(); }
+
+  Status Validate() const override {
+    const uint64_t capacity =
+        pointer_bytes_ >= 4 ? ~uint64_t{0} : (uint64_t{1} << (8 * pointer_bytes_));
+    if (entries_.size() > capacity) {
+      return Status::CapacityExceeded(
+          "global dictionary has " + std::to_string(entries_.size()) +
+          " entries but " + std::to_string(pointer_bytes_) +
+          "-byte pointers address only " + std::to_string(capacity));
+    }
+    return Status::OK();
+  }
+
+  uint32_t Encode(const Slice& cell) {
+    auto [it, inserted] = index_.emplace(
+        cell.ToString(), static_cast<uint32_t>(entries_.size()));
+    if (inserted) entries_.push_back(it->first);
+    return it->second;
+  }
+
+  uint32_t pointer_bytes() const { return pointer_bytes_; }
+
+ private:
+  DataType type_;
+  uint32_t pointer_bytes_;
+  std::unordered_map<std::string, uint32_t> index_;
+  std::vector<std::string> entries_;
+};
+
+size_t GlobalDictChunk::CostWith(const Slice& cell) {
+  (void)cell;  // cost is independent of the value under the global model
+  return Cost() + pointer_bytes_;
+}
+
+void GlobalDictChunk::Add(const Slice& cell) {
+  codes_.push_back(parent_->Encode(cell));
+}
+
+}  // namespace
+
+std::unique_ptr<ColumnCompressor> MakeGlobalDictionaryCompressor(
+    const DataType& data_type, const CompressionOptions& options) {
+  return std::make_unique<GlobalDictCompressor>(data_type, options);
+}
+
+}  // namespace cfest

@@ -1,0 +1,193 @@
+#include "compression/dictionary_page.h"
+
+#include <cassert>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bit_util.h"
+#include "compression/encoding_util.h"
+
+namespace cfest {
+namespace {
+
+class PageDictCompressor;
+
+class PageDictChunk final : public ColumnChunkCompressor {
+ public:
+  PageDictChunk(const DataType& type, const CompressionOptions& options,
+                uint64_t* total_dict_entries)
+      : type_(type),
+        options_(options),
+        total_dict_entries_(total_dict_entries) {}
+
+  size_t CostWith(const Slice& cell) override {
+    const bool is_new = dict_index_.find(cell.ToString()) == dict_index_.end();
+    const size_t dict_count = entries_.size() + (is_new ? 1 : 0);
+    const size_t dict_bytes =
+        dict_bytes_ +
+        (is_new ? EntryCost(cell) : 0);
+    return ChunkCost(dict_count, dict_bytes, codes_.size() + 1);
+  }
+
+  void Add(const Slice& cell) override {
+    assert(cell.size() == type_.FixedWidth());
+    std::string key = cell.ToString();
+    auto [it, inserted] =
+        dict_index_.emplace(std::move(key), static_cast<uint32_t>(entries_.size()));
+    if (inserted) {
+      entries_.push_back(it->first);
+      dict_bytes_ += EntryCost(cell);
+    }
+    codes_.push_back(it->second);
+  }
+
+  size_t Cost() const override {
+    return ChunkCost(entries_.size(), dict_bytes_, codes_.size());
+  }
+
+  uint32_t count() const override {
+    return static_cast<uint32_t>(codes_.size());
+  }
+
+  std::string Finish() override;
+
+ private:
+  size_t EntryCost(const Slice& cell) const {
+    return options_.dict_entries_full_width
+               ? type_.FixedWidth()
+               : encoding::NullSuppressedCost(cell, type_);
+  }
+
+  int PointerBits(size_t dict_count) const {
+    int bits = BitsFor(dict_count);
+    if (!options_.dict_bit_packed_pointers) {
+      bits = static_cast<int>(BytesForBits(bits)) * 8;
+    }
+    return bits;
+  }
+
+  size_t ChunkCost(size_t dict_count, size_t dict_bytes,
+                   size_t row_count) const {
+    const int bits = PointerBits(dict_count);
+    return 2 + 1 + dict_bytes + 2 +
+           BytesForBits(bits * row_count);
+  }
+
+  DataType type_;
+  CompressionOptions options_;
+  uint64_t* total_dict_entries_;  // owned by the parent compressor
+
+  std::unordered_map<std::string, uint32_t> dict_index_;
+  std::vector<std::string> entries_;  // insertion order (copies of map keys)
+  size_t dict_bytes_ = 0;
+  std::vector<uint32_t> codes_;
+};
+
+std::string PageDictChunk::Finish() {
+  const int bits = PointerBits(entries_.size());
+  std::string out;
+  out.reserve(Cost());
+  encoding::PutU16(&out, static_cast<uint16_t>(entries_.size()));
+  out.push_back(static_cast<char>(bits));
+  for (const std::string& entry : entries_) {
+    if (options_.dict_entries_full_width) {
+      out += entry;
+    } else {
+      encoding::PutNullSuppressed(Slice(entry), type_, &out);
+    }
+  }
+  encoding::PutU16(&out, static_cast<uint16_t>(codes_.size()));
+  BitWriter writer(&out);
+  for (uint32_t code : codes_) {
+    writer.Put(code, bits);
+  }
+  *total_dict_entries_ += entries_.size();
+  return out;
+}
+
+class PageDictCompressor final : public ColumnCompressor {
+ public:
+  PageDictCompressor(const DataType& type, const CompressionOptions& options)
+      : type_(type), options_(options) {}
+
+  CompressionType type() const override {
+    return CompressionType::kDictionaryPage;
+  }
+  const DataType& data_type() const override { return type_; }
+
+  std::unique_ptr<ColumnChunkCompressor> NewChunk() override {
+    return std::make_unique<PageDictChunk>(type_, options_,
+                                           &total_dict_entries_);
+  }
+
+  Status DecodeChunk(Slice chunk,
+                     std::vector<std::string>* cells) const override {
+    size_t pos = 0;
+    uint16_t dict_count = 0;
+    if (!encoding::GetU16(chunk, &pos, &dict_count)) {
+      return Status::Corruption("page-dict chunk missing dict count");
+    }
+    if (pos + 1 > chunk.size()) {
+      return Status::Corruption("page-dict chunk missing pointer width");
+    }
+    const int bits = static_cast<unsigned char>(chunk[pos]);
+    ++pos;
+    if (bits > 32) {
+      return Status::Corruption("page-dict pointer width too large");
+    }
+    std::vector<std::string> entries;
+    entries.reserve(dict_count);
+    const uint32_t w = type_.FixedWidth();
+    for (uint16_t i = 0; i < dict_count; ++i) {
+      if (options_.dict_entries_full_width) {
+        if (pos + w > chunk.size()) {
+          return Status::Corruption("truncated page-dict entry");
+        }
+        entries.emplace_back(chunk.data() + pos, w);
+        pos += w;
+      } else {
+        std::string cell;
+        CFEST_RETURN_NOT_OK(
+            encoding::GetNullSuppressed(chunk, &pos, type_, &cell));
+        entries.push_back(std::move(cell));
+      }
+    }
+    uint16_t row_count = 0;
+    if (!encoding::GetU16(chunk, &pos, &row_count)) {
+      return Status::Corruption("page-dict chunk missing row count");
+    }
+    if (row_count > 0 && dict_count == 0) {
+      return Status::Corruption("page-dict rows with empty dictionary");
+    }
+    BitReader reader(chunk.SubSlice(pos, chunk.size() - pos));
+    for (uint16_t i = 0; i < row_count; ++i) {
+      uint64_t code = 0;
+      if (!reader.Get(bits, &code)) {
+        return Status::Corruption("truncated page-dict pointer stream");
+      }
+      if (code >= dict_count) {
+        return Status::Corruption("page-dict pointer out of range");
+      }
+      cells->push_back(entries[static_cast<size_t>(code)]);
+    }
+    return Status::OK();
+  }
+
+  uint64_t TotalDictionaryEntries() const override {
+    return total_dict_entries_;
+  }
+
+ private:
+  DataType type_;
+  CompressionOptions options_;
+  uint64_t total_dict_entries_ = 0;  // the paper's sum_i Pg(i)
+};
+
+}  // namespace
+
+std::unique_ptr<ColumnCompressor> MakePageDictionaryCompressor(
+    const DataType& data_type, const CompressionOptions& options) {
+  return std::make_unique<PageDictCompressor>(data_type, options);
+}
+
+}  // namespace cfest

@@ -1,0 +1,51 @@
+#include "compression/encoding_util.h"
+
+namespace cfest {
+namespace encoding {
+
+void PutNullSuppressed(const Slice& cell, const DataType& type,
+                       std::string* out) {
+  const uint32_t len = NullSuppressedLength(cell, type);
+  if (LengthHeaderBytes(type) == 1) {
+    out->push_back(static_cast<char>(len & 0xFF));
+  } else {
+    PutU16(out, static_cast<uint16_t>(len));
+  }
+  out->append(cell.data(), len);
+}
+
+Status GetNullSuppressed(Slice in, size_t* pos, const DataType& type,
+                         std::string* cell_out) {
+  uint32_t len = 0;
+  if (LengthHeaderBytes(type) == 1) {
+    if (*pos + 1 > in.size()) {
+      return Status::Corruption("truncated NS length header");
+    }
+    len = static_cast<unsigned char>(in[*pos]);
+    *pos += 1;
+  } else {
+    uint16_t l16 = 0;
+    if (!GetU16(in, pos, &l16)) {
+      return Status::Corruption("truncated NS length header");
+    }
+    len = l16;
+  }
+  if (len > type.FixedWidth()) {
+    return Status::Corruption("NS length exceeds column width");
+  }
+  if (*pos + len > in.size()) {
+    return Status::Corruption("truncated NS payload");
+  }
+  PadCell(Slice(in.data() + *pos, len), type, cell_out);
+  *pos += len;
+  return Status::OK();
+}
+
+void PadCell(Slice payload, const DataType& type, std::string* cell_out) {
+  cell_out->append(payload.data(), payload.size());
+  const char pad = type.IsString() ? ' ' : '\0';
+  cell_out->append(type.FixedWidth() - payload.size(), pad);
+}
+
+}  // namespace encoding
+}  // namespace cfest

@@ -1,0 +1,74 @@
+// Copyright (c) the samplecf authors. Licensed under the MIT license.
+//
+// Shared wire-format helpers for compressed column chunks. All chunk formats
+// are little-endian and self-delimiting.
+
+#ifndef CFEST_COMPRESSION_ENCODING_UTIL_H_
+#define CFEST_COMPRESSION_ENCODING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "storage/row_codec.h"
+#include "storage/types.h"
+
+namespace cfest {
+namespace encoding {
+
+inline void PutU16(std::string* out, uint16_t v) {
+  out->push_back(static_cast<char>(v & 0xFF));
+  out->push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+inline void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+/// Reads a u16/u32 at *pos, advancing it. Returns false on overrun.
+inline bool GetU16(Slice in, size_t* pos, uint16_t* v) {
+  if (*pos + 2 > in.size()) return false;
+  *v = static_cast<uint16_t>(static_cast<unsigned char>(in[*pos])) |
+       static_cast<uint16_t>(static_cast<unsigned char>(in[*pos + 1])) << 8;
+  *pos += 2;
+  return true;
+}
+
+inline bool GetU32(Slice in, size_t* pos, uint32_t* v) {
+  if (*pos + 4 > in.size()) return false;
+  uint32_t r = 0;
+  for (int i = 0; i < 4; ++i) {
+    r |= static_cast<uint32_t>(static_cast<unsigned char>(in[*pos + i]))
+         << (8 * i);
+  }
+  *v = r;
+  *pos += 4;
+  return true;
+}
+
+/// Bytes a null-suppressed cell of this column costs on the wire:
+/// length header + suppressed payload.
+inline size_t NullSuppressedCost(const Slice& cell, const DataType& type) {
+  return LengthHeaderBytes(type) + NullSuppressedLength(cell, type);
+}
+
+/// Appends length header + suppressed payload of `cell`.
+void PutNullSuppressed(const Slice& cell, const DataType& type,
+                       std::string* out);
+
+/// Reads one null-suppressed cell at *pos, appending the re-padded
+/// fixed-width cell bytes to *cell_out.
+Status GetNullSuppressed(Slice in, size_t* pos, const DataType& type,
+                         std::string* cell_out);
+
+/// Re-pads a suppressed payload to the column's fixed width: blanks for
+/// strings, zero bytes for integers.
+void PadCell(Slice payload, const DataType& type, std::string* cell_out);
+
+}  // namespace encoding
+}  // namespace cfest
+
+#endif  // CFEST_COMPRESSION_ENCODING_UTIL_H_

@@ -1,0 +1,26 @@
+// Copyright (c) the samplecf authors. Licensed under the MIT license.
+//
+// Frame-of-reference (FOR) compression for integer columns (extension;
+// standard in column stores). Each page chunk stores a base value (the
+// minimum) and bit-packs every value as an offset of ceil(log2(max-min+1))
+// bits. Unlike delta, FOR does not require sorted input and supports random
+// access within the chunk.
+//
+// Chunk wire format:
+//   u16 count; for count > 0: 8-byte base (LE), u8 offset_bits,
+//   bit-packed offsets (LSB-first, padded to a whole byte).
+
+#ifndef CFEST_COMPRESSION_FRAME_OF_REFERENCE_H_
+#define CFEST_COMPRESSION_FRAME_OF_REFERENCE_H_
+
+#include "compression/compressor.h"
+
+namespace cfest {
+
+/// Fails for non-integer columns.
+Result<std::unique_ptr<ColumnCompressor>> MakeFrameOfReferenceCompressor(
+    const DataType& data_type);
+
+}  // namespace cfest
+
+#endif  // CFEST_COMPRESSION_FRAME_OF_REFERENCE_H_

@@ -1,0 +1,27 @@
+// Copyright (c) the samplecf authors. Licensed under the MIT license.
+//
+// Null suppression (paper §II-A, Fig. 1a): each cell is stored as its actual
+// (pad-stripped) bytes plus a length header — "abc" in a char(20) costs
+// 3 + 1 bytes instead of 20.
+//
+// Chunk wire format:
+//   u16 count, then per cell: length header (u8 or u16) + payload bytes.
+
+#ifndef CFEST_COMPRESSION_NULL_SUPPRESSION_H_
+#define CFEST_COMPRESSION_NULL_SUPPRESSION_H_
+
+#include "compression/compressor.h"
+
+namespace cfest {
+
+/// \brief Factory for the null-suppression column compressor.
+std::unique_ptr<ColumnCompressor> MakeNullSuppressionCompressor(
+    const DataType& data_type);
+
+/// \brief Raw pass-through "compressor" storing cells at fixed width
+/// (baseline with CF = 1; chunk format: u16 count + count*k bytes).
+std::unique_ptr<ColumnCompressor> MakeNoneCompressor(const DataType& data_type);
+
+}  // namespace cfest
+
+#endif  // CFEST_COMPRESSION_NULL_SUPPRESSION_H_

@@ -1,0 +1,178 @@
+#include "compression/prefix.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "compression/encoding_util.h"
+
+namespace cfest {
+namespace {
+
+/// Length of the longest common prefix of two byte strings.
+size_t CommonPrefixLen(const Slice& a, const Slice& b) {
+  const size_t limit = std::min(a.size(), b.size());
+  size_t i = 0;
+  while (i < limit && a[i] == b[i]) ++i;
+  return i;
+}
+
+class PrefixChunk final : public ColumnChunkCompressor {
+ public:
+  explicit PrefixChunk(const DataType& type)
+      : type_(type), len_hdr_(LengthHeaderBytes(type)) {}
+
+  size_t CostWith(const Slice& cell) override {
+    const uint32_t l = NullSuppressedLength(cell, type_);
+    size_t prefix = prefix_len_;
+    if (values_.empty()) {
+      prefix = l;  // the first value's full suppressed bytes form the prefix
+    } else {
+      prefix = std::min(prefix,
+                        CommonPrefixLen(Slice(cell.data(), l), PrefixSlice()));
+    }
+    const size_t n = values_.size() + 1;
+    // sum of suffix lengths = sum of l_i - n * prefix
+    return ChunkCost(n, sum_lengths_ + l, prefix);
+  }
+
+  void Add(const Slice& cell) override {
+    assert(cell.size() == type_.FixedWidth());
+    const uint32_t l = NullSuppressedLength(cell, type_);
+    if (values_.empty()) {
+      prefix_len_ = l;
+    } else {
+      prefix_len_ = std::min(
+          prefix_len_,
+          CommonPrefixLen(Slice(cell.data(), l), PrefixSlice()));
+    }
+    values_.emplace_back(cell.data(), l);
+    sum_lengths_ += l;
+  }
+
+  size_t Cost() const override {
+    return ChunkCost(values_.size(), sum_lengths_, prefix_len_);
+  }
+
+  uint32_t count() const override {
+    return static_cast<uint32_t>(values_.size());
+  }
+
+  std::string Finish() override {
+    std::string out;
+    out.reserve(Cost());
+    encoding::PutU16(&out, static_cast<uint16_t>(values_.size()));
+    PutLen(&out, values_.empty() ? 0 : prefix_len_);
+    if (!values_.empty()) {
+      out.append(values_.front().data(), prefix_len_);
+    }
+    for (const std::string& v : values_) {
+      PutLen(&out, v.size() - prefix_len_);
+      out.append(v.data() + prefix_len_, v.size() - prefix_len_);
+    }
+    return out;
+  }
+
+ private:
+  Slice PrefixSlice() const {
+    return Slice(values_.front().data(), prefix_len_);
+  }
+
+  void PutLen(std::string* out, size_t len) const {
+    if (len_hdr_ == 1) {
+      out->push_back(static_cast<char>(len & 0xFF));
+    } else {
+      encoding::PutU16(out, static_cast<uint16_t>(len));
+    }
+  }
+
+  size_t ChunkCost(size_t n, size_t total_lengths, size_t prefix) const {
+    if (n == 0) return 2 + len_hdr_;
+    return 2 + len_hdr_ + prefix + n * len_hdr_ + (total_lengths - n * prefix);
+  }
+
+  DataType type_;
+  uint32_t len_hdr_;
+  std::vector<std::string> values_;  // null-suppressed payloads
+  size_t sum_lengths_ = 0;
+  size_t prefix_len_ = 0;
+};
+
+class PrefixCompressor final : public ColumnCompressor {
+ public:
+  explicit PrefixCompressor(const DataType& type) : type_(type) {}
+
+  CompressionType type() const override { return CompressionType::kPrefix; }
+  const DataType& data_type() const override { return type_; }
+
+  std::unique_ptr<ColumnChunkCompressor> NewChunk() override {
+    return std::make_unique<PrefixChunk>(type_);
+  }
+
+  Status DecodeChunk(Slice chunk,
+                     std::vector<std::string>* cells) const override {
+    const uint32_t len_hdr = LengthHeaderBytes(type_);
+    size_t pos = 0;
+    uint16_t count = 0;
+    if (!encoding::GetU16(chunk, &pos, &count)) {
+      return Status::Corruption("prefix chunk missing count");
+    }
+    uint32_t prefix_len = 0;
+    CFEST_RETURN_NOT_OK(GetLen(chunk, &pos, len_hdr, &prefix_len));
+    if (pos + prefix_len > chunk.size()) {
+      return Status::Corruption("truncated prefix bytes");
+    }
+    const Slice prefix(chunk.data() + pos, prefix_len);
+    pos += prefix_len;
+    for (uint16_t i = 0; i < count; ++i) {
+      uint32_t suffix_len = 0;
+      CFEST_RETURN_NOT_OK(GetLen(chunk, &pos, len_hdr, &suffix_len));
+      if (pos + suffix_len > chunk.size()) {
+        return Status::Corruption("truncated prefix-chunk suffix");
+      }
+      if (prefix_len + suffix_len > type_.FixedWidth()) {
+        return Status::Corruption("prefix-chunk cell exceeds column width");
+      }
+      std::string payload(prefix.data(), prefix.size());
+      payload.append(chunk.data() + pos, suffix_len);
+      pos += suffix_len;
+      std::string cell;
+      encoding::PadCell(Slice(payload), type_, &cell);
+      cells->push_back(std::move(cell));
+    }
+    if (pos != chunk.size()) {
+      return Status::Corruption("prefix chunk has trailing bytes");
+    }
+    return Status::OK();
+  }
+
+ private:
+  static Status GetLen(Slice chunk, size_t* pos, uint32_t len_hdr,
+                       uint32_t* len) {
+    if (len_hdr == 1) {
+      if (*pos + 1 > chunk.size()) {
+        return Status::Corruption("truncated length header");
+      }
+      *len = static_cast<unsigned char>(chunk[*pos]);
+      *pos += 1;
+      return Status::OK();
+    }
+    uint16_t l16 = 0;
+    if (!encoding::GetU16(chunk, pos, &l16)) {
+      return Status::Corruption("truncated length header");
+    }
+    *len = l16;
+    return Status::OK();
+  }
+
+  DataType type_;
+};
+
+}  // namespace
+
+std::unique_ptr<ColumnCompressor> MakePrefixCompressor(
+    const DataType& data_type) {
+  return std::make_unique<PrefixCompressor>(data_type);
+}
+
+}  // namespace cfest

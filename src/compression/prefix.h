@@ -1,0 +1,24 @@
+// Copyright (c) the samplecf authors. Licensed under the MIT license.
+//
+// Per-page common-prefix compression (extension; SQL Server's row/page
+// compression applies a similar prefix pass before dictionary encoding).
+// The longest prefix shared by *all* null-suppressed cells in the page is
+// stored once; each cell stores only its suffix.
+//
+// Chunk wire format:
+//   u16 count, length header + prefix bytes,
+//   then per cell: length header + suffix bytes.
+
+#ifndef CFEST_COMPRESSION_PREFIX_H_
+#define CFEST_COMPRESSION_PREFIX_H_
+
+#include "compression/compressor.h"
+
+namespace cfest {
+
+std::unique_ptr<ColumnCompressor> MakePrefixCompressor(
+    const DataType& data_type);
+
+}  // namespace cfest
+
+#endif  // CFEST_COMPRESSION_PREFIX_H_

@@ -1,0 +1,113 @@
+#include "compression/rle.h"
+
+#include <cassert>
+#include <vector>
+
+#include "compression/encoding_util.h"
+
+namespace cfest {
+namespace {
+
+struct Run {
+  std::string value;  // fixed-width cell bytes
+  uint32_t length = 0;
+};
+
+class RleChunk final : public ColumnChunkCompressor {
+ public:
+  explicit RleChunk(const DataType& type) : type_(type) {}
+
+  size_t CostWith(const Slice& cell) override {
+    if (!runs_.empty() && Slice(runs_.back().value) == cell) {
+      return Cost();  // extends the open run; u32 length already counted
+    }
+    return Cost() + 4 + encoding::NullSuppressedCost(cell, type_);
+  }
+
+  void Add(const Slice& cell) override {
+    assert(cell.size() == type_.FixedWidth());
+    if (!runs_.empty() && Slice(runs_.back().value) == cell) {
+      ++runs_.back().length;
+    } else {
+      runs_.push_back({cell.ToString(), 1});
+      runs_bytes_ += 4 + encoding::NullSuppressedCost(cell, type_);
+    }
+    ++count_;
+  }
+
+  size_t Cost() const override { return 2 + runs_bytes_; }
+  uint32_t count() const override { return count_; }
+
+  std::string Finish() override {
+    std::string out;
+    out.reserve(Cost());
+    encoding::PutU16(&out, static_cast<uint16_t>(runs_.size()));
+    for (const Run& run : runs_) {
+      encoding::PutU32(&out, run.length);
+      encoding::PutNullSuppressed(Slice(run.value), type_, &out);
+    }
+    return out;
+  }
+
+ private:
+  DataType type_;
+  std::vector<Run> runs_;
+  size_t runs_bytes_ = 0;
+  uint32_t count_ = 0;
+};
+
+class RleCompressor final : public ColumnCompressor {
+ public:
+  explicit RleCompressor(const DataType& type) : type_(type) {}
+
+  CompressionType type() const override { return CompressionType::kRle; }
+  const DataType& data_type() const override { return type_; }
+
+  std::unique_ptr<ColumnChunkCompressor> NewChunk() override {
+    return std::make_unique<RleChunk>(type_);
+  }
+
+  Status DecodeChunk(Slice chunk,
+                     std::vector<std::string>* cells) const override {
+    size_t pos = 0;
+    uint16_t run_count = 0;
+    if (!encoding::GetU16(chunk, &pos, &run_count)) {
+      return Status::Corruption("RLE chunk missing run count");
+    }
+    uint64_t total_rows = 0;
+    for (uint16_t i = 0; i < run_count; ++i) {
+      uint32_t run_length = 0;
+      if (!encoding::GetU32(chunk, &pos, &run_length)) {
+        return Status::Corruption("RLE chunk missing run length");
+      }
+      if (run_length == 0) {
+        return Status::Corruption("RLE zero-length run");
+      }
+      total_rows += run_length;
+      // The page packer caps chunks at 65535 rows; a larger total means a
+      // corrupted run length (and would otherwise trigger a giant alloc).
+      if (total_rows > 0xFFFF) {
+        return Status::Corruption("RLE run lengths exceed chunk row limit");
+      }
+      std::string cell;
+      CFEST_RETURN_NOT_OK(
+          encoding::GetNullSuppressed(chunk, &pos, type_, &cell));
+      for (uint32_t j = 0; j < run_length; ++j) cells->push_back(cell);
+    }
+    if (pos != chunk.size()) {
+      return Status::Corruption("RLE chunk has trailing bytes");
+    }
+    return Status::OK();
+  }
+
+ private:
+  DataType type_;
+};
+
+}  // namespace
+
+std::unique_ptr<ColumnCompressor> MakeRleCompressor(const DataType& data_type) {
+  return std::make_unique<RleCompressor>(data_type);
+}
+
+}  // namespace cfest

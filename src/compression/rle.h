@@ -1,0 +1,22 @@
+// Copyright (c) the samplecf authors. Licensed under the MIT license.
+//
+// Run-length encoding over the sorted index order (extension beyond the
+// paper's two techniques; see its refs [7][8]). Sorted index leaves make
+// equal keys adjacent, so RLE approaches the global-dictionary bound without
+// any dictionary.
+//
+// Chunk wire format:
+//   u16 run_count, then per run: u32 run_length, NS-encoded value.
+
+#ifndef CFEST_COMPRESSION_RLE_H_
+#define CFEST_COMPRESSION_RLE_H_
+
+#include "compression/compressor.h"
+
+namespace cfest {
+
+std::unique_ptr<ColumnCompressor> MakeRleCompressor(const DataType& data_type);
+
+}  // namespace cfest
+
+#endif  // CFEST_COMPRESSION_RLE_H_

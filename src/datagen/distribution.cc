@@ -1,0 +1,127 @@
+#include "datagen/distribution.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.h"
+
+namespace cfest {
+namespace {
+
+Status CheckDomain(uint64_t d) {
+  if (d == 0) {
+    return Status::InvalidArgument("distribution domain must be positive");
+  }
+  return Status::OK();
+}
+
+class UniformDistribution final : public Distribution {
+ public:
+  explicit UniformDistribution(uint64_t d) : d_(d) {}
+  std::string name() const override { return "uniform"; }
+  uint64_t domain() const override { return d_; }
+  uint64_t Next(Random* rng) override { return rng->NextBounded(d_); }
+
+ private:
+  uint64_t d_;
+};
+
+class ZipfDistribution final : public Distribution {
+ public:
+  ZipfDistribution(uint64_t d, double theta) : d_(d), theta_(theta) {
+    cdf_.resize(d);
+    double total = 0.0;
+    for (uint64_t i = 0; i < d; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+      cdf_[i] = total;
+    }
+    for (double& c : cdf_) c /= total;
+  }
+
+  std::string name() const override {
+    return "zipf(" + std::to_string(theta_) + ")";
+  }
+  uint64_t domain() const override { return d_; }
+
+  uint64_t Next(Random* rng) override {
+    const double u = rng->NextDouble();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<uint64_t>(it - cdf_.begin());
+  }
+
+ private:
+  uint64_t d_;
+  double theta_;
+  std::vector<double> cdf_;
+};
+
+class SelfSimilarDistribution final : public Distribution {
+ public:
+  SelfSimilarDistribution(uint64_t d, double h) : d_(d), h_(h) {}
+
+  std::string name() const override {
+    return "selfsimilar(" + std::to_string(h_) + ")";
+  }
+  uint64_t domain() const override { return d_; }
+
+  uint64_t Next(Random* rng) override {
+    // Gray et al.'s recursive 80-20 construction in closed form.
+    const double u = rng->NextDouble();
+    const double exponent = std::log(h_) / std::log(1.0 - h_);
+    const uint64_t v = static_cast<uint64_t>(
+        static_cast<double>(d_) * std::pow(u, exponent));
+    return std::min(v, d_ - 1);
+  }
+
+ private:
+  uint64_t d_;
+  double h_;
+};
+
+class SequentialDistribution final : public Distribution {
+ public:
+  explicit SequentialDistribution(uint64_t d) : d_(d) {}
+  std::string name() const override { return "sequential"; }
+  uint64_t domain() const override { return d_; }
+  uint64_t Next(Random* /*rng*/) override {
+    const uint64_t v = next_;
+    next_ = (next_ + 1) % d_;
+    return v;
+  }
+
+ private:
+  uint64_t d_;
+  uint64_t next_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Distribution>> MakeUniformDistribution(uint64_t d) {
+  CFEST_RETURN_NOT_OK(CheckDomain(d));
+  return {std::make_unique<UniformDistribution>(d)};
+}
+
+Result<std::unique_ptr<Distribution>> MakeZipfDistribution(uint64_t d,
+                                                           double theta) {
+  CFEST_RETURN_NOT_OK(CheckDomain(d));
+  if (!(theta > 0.0)) {
+    return Status::InvalidArgument("zipf exponent must be positive");
+  }
+  return {std::make_unique<ZipfDistribution>(d, theta)};
+}
+
+Result<std::unique_ptr<Distribution>> MakeSelfSimilarDistribution(uint64_t d,
+                                                                  double h) {
+  CFEST_RETURN_NOT_OK(CheckDomain(d));
+  if (!(h > 0.0) || h > 0.5) {
+    return Status::InvalidArgument("self-similar skew must be in (0, 0.5]");
+  }
+  return {std::make_unique<SelfSimilarDistribution>(d, h)};
+}
+
+Result<std::unique_ptr<Distribution>> MakeSequentialDistribution(uint64_t d) {
+  CFEST_RETURN_NOT_OK(CheckDomain(d));
+  return {std::make_unique<SequentialDistribution>(d)};
+}
+
+}  // namespace cfest

@@ -1,0 +1,49 @@
+// Copyright (c) the samplecf authors. Licensed under the MIT license.
+//
+// Value-frequency distributions over a domain of d distinct values. The
+// paper's dictionary-compression results hinge on the relationship between
+// d and n and on how skewed the frequencies are, so experiments sweep these
+// generators.
+
+#ifndef CFEST_DATAGEN_DISTRIBUTION_H_
+#define CFEST_DATAGEN_DISTRIBUTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+
+namespace cfest {
+
+/// \brief Draws value indexes in [0, domain).
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+  virtual std::string name() const = 0;
+  virtual uint64_t domain() const = 0;
+  virtual uint64_t Next(Random* rng) = 0;
+};
+
+/// Uniform over [0, d).
+Result<std::unique_ptr<Distribution>> MakeUniformDistribution(uint64_t d);
+
+/// Zipf with exponent theta (> 0) over [0, d): P(i) proportional to
+/// 1/(i+1)^theta. Uses an inverse-CDF table (O(d) memory, O(log d) draws).
+Result<std::unique_ptr<Distribution>> MakeZipfDistribution(uint64_t d,
+                                                           double theta);
+
+/// Self-similar (the classic "80-20 rule" generator from Gray et al.):
+/// skew h in (0, 0.5]; h = 0.2 sends 80% of draws to the first 20% of values.
+Result<std::unique_ptr<Distribution>> MakeSelfSimilarDistribution(uint64_t d,
+                                                                  double h);
+
+/// Deterministic round-robin 0, 1, ..., d-1, 0, 1, ... (exactly equal
+/// frequencies, no sampling noise).
+Result<std::unique_ptr<Distribution>> MakeSequentialDistribution(uint64_t d);
+
+}  // namespace cfest
+
+#endif  // CFEST_DATAGEN_DISTRIBUTION_H_

@@ -1,0 +1,86 @@
+#include "datagen/string_gen.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace cfest {
+namespace {
+
+constexpr char kDigits[] = "0123456789abcdefghijklmnopqrstuvwxyz";
+
+/// Base-36 digits of v, fixed width.
+std::string IndexDigits(uint64_t v, uint32_t width) {
+  std::string out(width, '0');
+  for (uint32_t i = 0; i < width; ++i) {
+    out[width - 1 - i] = kDigits[v % 36];
+    v /= 36;
+  }
+  return out;
+}
+
+uint32_t DigitsNeeded(uint64_t d) {
+  uint32_t digits = 1;
+  uint64_t capacity = 36;
+  while (capacity < d) {
+    // 36^digits values representable; grow until >= d.
+    capacity *= 36;
+    ++digits;
+  }
+  return digits;
+}
+
+}  // namespace
+
+uint32_t DrawLength(const LengthSpec& spec, uint32_t declared_width,
+                    Random* rng) {
+  const uint32_t max =
+      spec.max == 0 ? declared_width : std::min(spec.max, declared_width);
+  const uint32_t min = std::min(spec.min, max);
+  switch (spec.kind) {
+    case LengthSpec::Kind::kConstant:
+      return min;
+    case LengthSpec::Kind::kUniform:
+      return static_cast<uint32_t>(rng->NextInRange(min, max));
+    case LengthSpec::Kind::kBimodal:
+      return rng->NextBernoulli(0.5) ? min : max;
+    case LengthSpec::Kind::kFull:
+      return declared_width;
+  }
+  return max;
+}
+
+Result<StringPool> StringPool::Make(uint64_t d, uint32_t declared_width,
+                                    const LengthSpec& spec, Random* rng) {
+  if (d == 0) {
+    return Status::InvalidArgument("string pool needs at least one value");
+  }
+  const uint32_t digits = DigitsNeeded(d);
+  if (digits > declared_width) {
+    return Status::InvalidArgument(
+        "char(" + std::to_string(declared_width) + ") cannot hold " +
+        std::to_string(d) + " distinct values (needs " +
+        std::to_string(digits) + " index digits)");
+  }
+  StringPool pool;
+  pool.strings_.reserve(d);
+  for (uint64_t i = 0; i < d; ++i) {
+    uint32_t len = DrawLength(spec, declared_width, rng);
+    len = std::max(len, digits);  // the index digits must fit
+    std::string s = IndexDigits(i, digits);
+    while (s.size() < len) {
+      s.push_back(kDigits[10 + rng->NextBounded(26)]);
+    }
+    pool.strings_.push_back(std::move(s));
+  }
+  return pool;
+}
+
+double StringPool::MeanLength() const {
+  if (strings_.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& s : strings_) total += static_cast<double>(s.size());
+  return total / static_cast<double>(strings_.size());
+}
+
+}  // namespace cfest

@@ -1,0 +1,71 @@
+// Copyright (c) the samplecf authors. Licensed under the MIT license.
+//
+// Generation of char(k) string pools with controlled null-suppressed lengths
+// and guaranteed distinctness. Null suppression's CF depends only on the
+// distribution of actual lengths l_i, so experiments specify it directly.
+
+#ifndef CFEST_DATAGEN_STRING_GEN_H_
+#define CFEST_DATAGEN_STRING_GEN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+
+namespace cfest {
+
+/// \brief How the actual (pre-padding) lengths of generated strings are drawn.
+struct LengthSpec {
+  enum class Kind {
+    kConstant,  // every string has length `min`
+    kUniform,   // uniform in [min, max]
+    kBimodal,   // half `min`, half `max` (maximizes NS estimator variance)
+    kFull,      // every string uses the full declared width k
+  };
+  Kind kind = Kind::kUniform;
+  uint32_t min = 1;
+  uint32_t max = 0;  // 0 = declared width
+
+  static LengthSpec Constant(uint32_t len) {
+    return {Kind::kConstant, len, len};
+  }
+  static LengthSpec Uniform(uint32_t min, uint32_t max) {
+    return {Kind::kUniform, min, max};
+  }
+  static LengthSpec Bimodal(uint32_t lo, uint32_t hi) {
+    return {Kind::kBimodal, lo, hi};
+  }
+  static LengthSpec Full() { return {Kind::kFull, 0, 0}; }
+};
+
+/// \brief A pool of d distinct strings for a char(k) column.
+///
+/// String i embeds the index i in base-36 so distinctness is structural; the
+/// remaining characters are random lowercase fill. Lengths follow the spec
+/// (clamped so the index digits always fit).
+class StringPool {
+ public:
+  /// Builds the pool. Fails if k cannot hold the index digits for d values.
+  static Result<StringPool> Make(uint64_t d, uint32_t declared_width,
+                                 const LengthSpec& spec, Random* rng);
+
+  uint64_t size() const { return strings_.size(); }
+  const std::string& Get(uint64_t i) const { return strings_[i]; }
+
+  /// Average actual length over the pool.
+  double MeanLength() const;
+
+ private:
+  std::vector<std::string> strings_;
+};
+
+/// Draws a length from the spec for a column of declared width k.
+uint32_t DrawLength(const LengthSpec& spec, uint32_t declared_width,
+                    Random* rng);
+
+}  // namespace cfest
+
+#endif  // CFEST_DATAGEN_STRING_GEN_H_

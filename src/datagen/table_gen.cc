@@ -1,0 +1,102 @@
+#include "datagen/table_gen.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+#include "storage/row_codec.h"
+
+namespace cfest {
+namespace {
+
+Result<std::unique_ptr<Distribution>> MakeDistribution(
+    const FrequencySpec& freq, uint64_t d) {
+  switch (freq.kind) {
+    case FrequencySpec::Kind::kUniform:
+      return MakeUniformDistribution(d);
+    case FrequencySpec::Kind::kZipf:
+      return MakeZipfDistribution(d, freq.skew);
+    case FrequencySpec::Kind::kSelfSimilar:
+      return MakeSelfSimilarDistribution(d, freq.skew);
+    case FrequencySpec::Kind::kSequential:
+      return MakeSequentialDistribution(d);
+  }
+  return Status::NotSupported("unhandled frequency kind");
+}
+
+/// Per-column generator state.
+struct ColumnState {
+  ColumnSpec spec;
+  std::unique_ptr<Distribution> dist;  // null when spec.distinct == 0
+  std::unique_ptr<StringPool> pool;    // strings with finite d
+  Random rng;
+
+  Result<Value> Next(uint64_t row_index) {
+    uint64_t v;
+    if (spec.distinct == 0) {
+      v = row_index;
+    } else {
+      v = dist->Next(&rng);
+    }
+    if (spec.type.IsString()) {
+      if (pool != nullptr) return Value::Str(pool->Get(v));
+      // Unique string from the row index.
+      std::string s = "v" + std::to_string(v);
+      if (s.size() > spec.type.length) {
+        return Status::InvalidArgument(
+            "column " + spec.name + ": row index " + std::to_string(v) +
+            " does not fit " + spec.type.ToString());
+      }
+      return Value::Str(std::move(s));
+    }
+    return Value::Int(static_cast<int64_t>(v));
+  }
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Table>> GenerateTable(
+    const std::vector<ColumnSpec>& specs, uint64_t n, uint64_t seed) {
+  if (specs.empty()) {
+    return Status::InvalidArgument("need at least one column spec");
+  }
+  std::vector<Column> columns;
+  columns.reserve(specs.size());
+  for (const auto& spec : specs) {
+    columns.push_back(Column{spec.name, spec.type});
+  }
+  CFEST_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(columns)));
+
+  Random master(seed);
+  std::vector<ColumnState> states;
+  states.reserve(specs.size());
+  for (const auto& spec : specs) {
+    ColumnState state;
+    state.spec = spec;
+    state.rng = master.Fork();
+    if (spec.distinct > 0) {
+      CFEST_ASSIGN_OR_RETURN(state.dist,
+                             MakeDistribution(spec.frequency, spec.distinct));
+      if (spec.type.IsString()) {
+        CFEST_ASSIGN_OR_RETURN(
+            StringPool pool,
+            StringPool::Make(spec.distinct, spec.type.length, spec.length,
+                             &state.rng));
+        state.pool = std::make_unique<StringPool>(std::move(pool));
+      }
+    }
+    states.push_back(std::move(state));
+  }
+
+  TableBuilder builder(schema);
+  builder.Reserve(n);
+  Row row(specs.size());
+  for (uint64_t i = 0; i < n; ++i) {
+    for (size_t c = 0; c < states.size(); ++c) {
+      CFEST_ASSIGN_OR_RETURN(row[c], states[c].Next(i));
+    }
+    CFEST_RETURN_NOT_OK(builder.Append(row));
+  }
+  return builder.Finish();
+}
+
+}  // namespace cfest

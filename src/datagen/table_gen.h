@@ -1,0 +1,79 @@
+// Copyright (c) the samplecf authors. Licensed under the MIT license.
+//
+// Declarative synthetic table generation: each column specifies its type,
+// distinct-value count d, value-frequency distribution, and (for strings)
+// the actual-length distribution. Experiments describe their workload as a
+// vector of ColumnSpec.
+
+#ifndef CFEST_DATAGEN_TABLE_GEN_H_
+#define CFEST_DATAGEN_TABLE_GEN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "datagen/distribution.h"
+#include "datagen/string_gen.h"
+#include "storage/table.h"
+
+namespace cfest {
+
+/// \brief Frequency-distribution choice for a generated column.
+struct FrequencySpec {
+  enum class Kind { kUniform, kZipf, kSelfSimilar, kSequential };
+  Kind kind = Kind::kUniform;
+  double skew = 1.0;  // zipf theta or self-similar h
+
+  static FrequencySpec Uniform() { return {Kind::kUniform, 0.0}; }
+  static FrequencySpec Zipf(double theta) { return {Kind::kZipf, theta}; }
+  static FrequencySpec SelfSimilar(double h) {
+    return {Kind::kSelfSimilar, h};
+  }
+  static FrequencySpec Sequential() { return {Kind::kSequential, 0.0}; }
+};
+
+/// \brief Generator description for one column.
+struct ColumnSpec {
+  std::string name;
+  DataType type;
+  /// Number of distinct values d. 0 means "all values unique" (d = n),
+  /// generated directly from the row index.
+  uint64_t distinct = 0;
+  FrequencySpec frequency;
+  /// Strings only: distribution of actual (pre-padding) lengths.
+  LengthSpec length;
+
+  static ColumnSpec String(std::string name, uint32_t k, uint64_t d,
+                           FrequencySpec freq = FrequencySpec::Uniform(),
+                           LengthSpec len = LengthSpec::Uniform(1, 0)) {
+    ColumnSpec spec;
+    spec.name = std::move(name);
+    spec.type = CharType(k);
+    spec.distinct = d;
+    spec.frequency = freq;
+    spec.length = len;
+    return spec;
+  }
+
+  static ColumnSpec Integer(std::string name, uint64_t d,
+                            FrequencySpec freq = FrequencySpec::Uniform()) {
+    ColumnSpec spec;
+    spec.name = std::move(name);
+    spec.type = Int64Type();
+    spec.distinct = d;
+    spec.frequency = freq;
+    return spec;
+  }
+};
+
+/// Generates an n-row table from the column specs, deterministically in
+/// `seed`.
+Result<std::unique_ptr<Table>> GenerateTable(
+    const std::vector<ColumnSpec>& specs, uint64_t n, uint64_t seed);
+
+}  // namespace cfest
+
+#endif  // CFEST_DATAGEN_TABLE_GEN_H_

@@ -1,0 +1,311 @@
+#include "datagen/tpch/tables.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+#include "datagen/tpch/text.h"
+
+namespace cfest {
+namespace tpch {
+namespace {
+
+uint64_t Scaled(double sf, uint64_t base) {
+  return std::max<uint64_t>(1, static_cast<uint64_t>(std::llround(
+                                   sf * static_cast<double>(base))));
+}
+
+Schema MakeSchema(std::vector<Column> cols) {
+  Result<Schema> schema = Schema::Make(std::move(cols));
+  // The schemas below are static and valid by construction.
+  return std::move(schema).ValueOrDie();
+}
+
+const std::string& Pick(const std::vector<std::string>& pool, Random* rng) {
+  return pool[rng->NextBounded(pool.size())];
+}
+
+}  // namespace
+
+uint64_t LineitemRows(double sf) { return Scaled(sf, 6000000); }
+uint64_t OrdersRows(double sf) { return Scaled(sf, 1500000); }
+uint64_t PartRows(double sf) { return Scaled(sf, 200000); }
+uint64_t CustomerRows(double sf) { return Scaled(sf, 150000); }
+uint64_t SupplierRows(double sf) { return Scaled(sf, 10000); }
+
+Schema LineitemSchema() {
+  return MakeSchema({
+      {"l_orderkey", Int64Type()},
+      {"l_partkey", Int64Type()},
+      {"l_suppkey", Int64Type()},
+      {"l_linenumber", Int32Type()},
+      {"l_quantity", DecimalType()},
+      {"l_extendedprice", DecimalType()},
+      {"l_discount", DecimalType()},
+      {"l_tax", DecimalType()},
+      {"l_returnflag", CharType(1)},
+      {"l_linestatus", CharType(1)},
+      {"l_shipdate", DateType()},
+      {"l_commitdate", DateType()},
+      {"l_receiptdate", DateType()},
+      {"l_shipinstruct", CharType(25)},
+      {"l_shipmode", CharType(10)},
+      {"l_comment", VarcharType(44)},
+  });
+}
+
+Schema OrdersSchema() {
+  return MakeSchema({
+      {"o_orderkey", Int64Type()},
+      {"o_custkey", Int64Type()},
+      {"o_orderstatus", CharType(1)},
+      {"o_totalprice", DecimalType()},
+      {"o_orderdate", DateType()},
+      {"o_orderpriority", CharType(15)},
+      {"o_clerk", CharType(15)},
+      {"o_shippriority", Int32Type()},
+      {"o_comment", VarcharType(79)},
+  });
+}
+
+Schema PartSchema() {
+  return MakeSchema({
+      {"p_partkey", Int64Type()},
+      {"p_name", VarcharType(55)},
+      {"p_mfgr", CharType(25)},
+      {"p_brand", CharType(10)},
+      {"p_type", VarcharType(25)},
+      {"p_size", Int32Type()},
+      {"p_container", CharType(10)},
+      {"p_retailprice", DecimalType()},
+      {"p_comment", VarcharType(23)},
+  });
+}
+
+Schema CustomerSchema() {
+  return MakeSchema({
+      {"c_custkey", Int64Type()},
+      {"c_name", VarcharType(25)},
+      {"c_address", VarcharType(40)},
+      {"c_nationkey", Int32Type()},
+      {"c_phone", CharType(15)},
+      {"c_acctbal", DecimalType()},
+      {"c_mktsegment", CharType(10)},
+      {"c_comment", VarcharType(117)},
+  });
+}
+
+Schema SupplierSchema() {
+  return MakeSchema({
+      {"s_suppkey", Int64Type()},
+      {"s_name", CharType(25)},
+      {"s_address", VarcharType(40)},
+      {"s_nationkey", Int32Type()},
+      {"s_phone", CharType(15)},
+      {"s_acctbal", DecimalType()},
+      {"s_comment", VarcharType(101)},
+  });
+}
+
+Result<std::unique_ptr<Table>> GenerateLineitem(const TpchOptions& options) {
+  const uint64_t n = LineitemRows(options.scale_factor);
+  const uint64_t num_orders = OrdersRows(options.scale_factor);
+  const uint64_t num_parts = PartRows(options.scale_factor);
+  const uint64_t num_suppliers = SupplierRows(options.scale_factor);
+  Random rng(options.seed ^ 0x11111111u);
+  TableBuilder builder(LineitemSchema());
+  builder.Reserve(n);
+
+  uint64_t orderkey = 1;
+  int32_t linenumber = 1;
+  uint64_t lines_in_order = 1 + rng.NextBounded(7);
+  for (uint64_t i = 0; i < n; ++i) {
+    if (static_cast<uint64_t>(linenumber) > lines_in_order) {
+      orderkey = std::min(orderkey + 1, num_orders);
+      linenumber = 1;
+      lines_in_order = 1 + rng.NextBounded(7);
+    }
+    const int64_t shipdate = RandomDate(&rng);
+    Row row = {
+        Value::Int(static_cast<int64_t>(orderkey)),
+        Value::Int(static_cast<int64_t>(1 + rng.NextBounded(num_parts))),
+        Value::Int(static_cast<int64_t>(1 + rng.NextBounded(num_suppliers))),
+        Value::Int(linenumber),
+        Value::Int(static_cast<int64_t>(1 + rng.NextBounded(50)) * 100),
+        Value::Int(RandomCents(90000, 10500000, &rng)),
+        Value::Int(static_cast<int64_t>(rng.NextBounded(11))),   // 0.00-0.10
+        Value::Int(static_cast<int64_t>(rng.NextBounded(9))),    // 0.00-0.08
+        Value::Str(Pick(ReturnFlags(), &rng)),
+        Value::Str(Pick(LineStatuses(), &rng)),
+        Value::Int(shipdate),
+        Value::Int(shipdate + static_cast<int64_t>(rng.NextBounded(60))),
+        Value::Int(shipdate + 1 + static_cast<int64_t>(rng.NextBounded(30))),
+        Value::Str(Pick(ShipInstructs(), &rng)),
+        Value::Str(Pick(ShipModes(), &rng)),
+        Value::Str(Comment(44, &rng)),
+    };
+    CFEST_RETURN_NOT_OK(builder.Append(row));
+    ++linenumber;
+  }
+  return builder.Finish();
+}
+
+Result<std::unique_ptr<Table>> GenerateOrders(const TpchOptions& options) {
+  const uint64_t n = OrdersRows(options.scale_factor);
+  const uint64_t num_customers = CustomerRows(options.scale_factor);
+  const uint64_t clerk_count =
+      std::max<uint64_t>(1, Scaled(options.scale_factor, 1000));
+  Random rng(options.seed ^ 0x22222222u);
+  TableBuilder builder(OrdersSchema());
+  builder.Reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    Row row = {
+        Value::Int(static_cast<int64_t>(i + 1)),
+        Value::Int(static_cast<int64_t>(1 + rng.NextBounded(num_customers))),
+        Value::Str(Pick(OrderStatuses(), &rng)),
+        Value::Int(RandomCents(100000, 50000000, &rng)),
+        Value::Int(RandomDate(&rng)),
+        Value::Str(Pick(OrderPriorities(), &rng)),
+        Value::Str(Clerk(clerk_count, &rng)),
+        Value::Int(0),
+        Value::Str(Comment(79, &rng)),
+    };
+    CFEST_RETURN_NOT_OK(builder.Append(row));
+  }
+  return builder.Finish();
+}
+
+Result<std::unique_ptr<Table>> GeneratePart(const TpchOptions& options) {
+  const uint64_t n = PartRows(options.scale_factor);
+  Random rng(options.seed ^ 0x33333333u);
+  TableBuilder builder(PartSchema());
+  builder.Reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    Row row = {
+        Value::Int(static_cast<int64_t>(i + 1)),
+        Value::Str(PartName(&rng)),
+        Value::Str(Name("Manufacturer", 1 + rng.NextBounded(5), 1)),
+        Value::Str(Brand(&rng)),
+        Value::Str(Pick(PartTypes(), &rng)),
+        Value::Int(static_cast<int64_t>(1 + rng.NextBounded(50))),
+        Value::Str(Pick(PartContainers(), &rng)),
+        Value::Int(RandomCents(90000, 200000, &rng)),
+        Value::Str(Comment(23, &rng)),
+    };
+    CFEST_RETURN_NOT_OK(builder.Append(row));
+  }
+  return builder.Finish();
+}
+
+Result<std::unique_ptr<Table>> GenerateCustomer(const TpchOptions& options) {
+  const uint64_t n = CustomerRows(options.scale_factor);
+  Random rng(options.seed ^ 0x44444444u);
+  TableBuilder builder(CustomerSchema());
+  builder.Reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint32_t nation = static_cast<uint32_t>(rng.NextBounded(25));
+    Row row = {
+        Value::Int(static_cast<int64_t>(i + 1)),
+        Value::Str(Name("Customer", i + 1, 9)),
+        Value::Str(Address(40, &rng)),
+        Value::Int(nation),
+        Value::Str(Phone(nation, &rng)),
+        Value::Int(RandomCents(-99999, 999999, &rng)),
+        Value::Str(Pick(MarketSegments(), &rng)),
+        Value::Str(Comment(117, &rng)),
+    };
+    CFEST_RETURN_NOT_OK(builder.Append(row));
+  }
+  return builder.Finish();
+}
+
+Result<std::unique_ptr<Table>> GenerateSupplier(const TpchOptions& options) {
+  const uint64_t n = SupplierRows(options.scale_factor);
+  Random rng(options.seed ^ 0x55555555u);
+  TableBuilder builder(SupplierSchema());
+  builder.Reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint32_t nation = static_cast<uint32_t>(rng.NextBounded(25));
+    Row row = {
+        Value::Int(static_cast<int64_t>(i + 1)),
+        Value::Str(Name("Supplier", i + 1, 9)),
+        Value::Str(Address(40, &rng)),
+        Value::Int(nation),
+        Value::Str(Phone(nation, &rng)),
+        Value::Int(RandomCents(-99999, 999999, &rng)),
+        Value::Str(Comment(101, &rng)),
+    };
+    CFEST_RETURN_NOT_OK(builder.Append(row));
+  }
+  return builder.Finish();
+}
+
+Schema NationSchema() {
+  return MakeSchema({
+      {"n_nationkey", Int32Type()},
+      {"n_name", CharType(25)},
+      {"n_regionkey", Int32Type()},
+      {"n_comment", VarcharType(152)},
+  });
+}
+
+Schema RegionSchema() {
+  return MakeSchema({
+      {"r_regionkey", Int32Type()},
+      {"r_name", CharType(25)},
+      {"r_comment", VarcharType(152)},
+  });
+}
+
+Result<std::unique_ptr<Table>> GenerateNation(const TpchOptions& options) {
+  Random rng(options.seed ^ 0x66666666u);
+  TableBuilder builder(NationSchema());
+  const auto& nations = Nations();
+  for (size_t i = 0; i < nations.size(); ++i) {
+    Row row = {
+        Value::Int(static_cast<int64_t>(i)),
+        Value::Str(nations[i]),
+        Value::Int(static_cast<int64_t>(i % Regions().size())),
+        Value::Str(Comment(152, &rng)),
+    };
+    CFEST_RETURN_NOT_OK(builder.Append(row));
+  }
+  return builder.Finish();
+}
+
+Result<std::unique_ptr<Table>> GenerateRegion(const TpchOptions& options) {
+  Random rng(options.seed ^ 0x77777777u);
+  TableBuilder builder(RegionSchema());
+  const auto& regions = Regions();
+  for (size_t i = 0; i < regions.size(); ++i) {
+    Row row = {
+        Value::Int(static_cast<int64_t>(i)),
+        Value::Str(regions[i]),
+        Value::Str(Comment(152, &rng)),
+    };
+    CFEST_RETURN_NOT_OK(builder.Append(row));
+  }
+  return builder.Finish();
+}
+
+Result<std::unique_ptr<Catalog>> GenerateCatalog(const TpchOptions& options) {
+  auto catalog = std::make_unique<Catalog>();
+  CFEST_ASSIGN_OR_RETURN(auto lineitem, GenerateLineitem(options));
+  CFEST_RETURN_NOT_OK(catalog->AddTable("lineitem", std::move(lineitem)));
+  CFEST_ASSIGN_OR_RETURN(auto orders, GenerateOrders(options));
+  CFEST_RETURN_NOT_OK(catalog->AddTable("orders", std::move(orders)));
+  CFEST_ASSIGN_OR_RETURN(auto part, GeneratePart(options));
+  CFEST_RETURN_NOT_OK(catalog->AddTable("part", std::move(part)));
+  CFEST_ASSIGN_OR_RETURN(auto customer, GenerateCustomer(options));
+  CFEST_RETURN_NOT_OK(catalog->AddTable("customer", std::move(customer)));
+  CFEST_ASSIGN_OR_RETURN(auto supplier, GenerateSupplier(options));
+  CFEST_RETURN_NOT_OK(catalog->AddTable("supplier", std::move(supplier)));
+  CFEST_ASSIGN_OR_RETURN(auto nation, GenerateNation(options));
+  CFEST_RETURN_NOT_OK(catalog->AddTable("nation", std::move(nation)));
+  CFEST_ASSIGN_OR_RETURN(auto region, GenerateRegion(options));
+  CFEST_RETURN_NOT_OK(catalog->AddTable("region", std::move(region)));
+  return catalog;
+}
+
+}  // namespace tpch
+}  // namespace cfest

@@ -1,0 +1,60 @@
+// Copyright (c) the samplecf authors. Licensed under the MIT license.
+//
+// Synthetic TPC-H table generators (lineitem, orders, part, customer,
+// supplier) with the standard schemas and cardinality ratios. Scale factor
+// 1.0 corresponds to 6M lineitem rows; experiments typically run sf = 0.01.
+
+#ifndef CFEST_DATAGEN_TPCH_TABLES_H_
+#define CFEST_DATAGEN_TPCH_TABLES_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/catalog.h"
+#include "storage/table.h"
+
+namespace cfest {
+namespace tpch {
+
+/// \brief Generation parameters.
+struct TpchOptions {
+  double scale_factor = 0.01;
+  uint64_t seed = 20100301;  // ICDE 2010 :-)
+};
+
+/// Row counts at a scale factor (per the TPC-H specification ratios).
+uint64_t LineitemRows(double sf);
+uint64_t OrdersRows(double sf);
+uint64_t PartRows(double sf);
+uint64_t CustomerRows(double sf);
+uint64_t SupplierRows(double sf);
+
+/// The standard schemas.
+Schema LineitemSchema();
+Schema OrdersSchema();
+Schema PartSchema();
+Schema CustomerSchema();
+Schema SupplierSchema();
+Schema NationSchema();
+Schema RegionSchema();
+
+/// Individual generators.
+Result<std::unique_ptr<Table>> GenerateLineitem(const TpchOptions& options);
+Result<std::unique_ptr<Table>> GenerateOrders(const TpchOptions& options);
+Result<std::unique_ptr<Table>> GeneratePart(const TpchOptions& options);
+Result<std::unique_ptr<Table>> GenerateCustomer(const TpchOptions& options);
+Result<std::unique_ptr<Table>> GenerateSupplier(const TpchOptions& options);
+/// Fixed-size reference tables (25 nations / 5 regions at every sf).
+Result<std::unique_ptr<Table>> GenerateNation(const TpchOptions& options);
+Result<std::unique_ptr<Table>> GenerateRegion(const TpchOptions& options);
+
+/// Generates all seven tables into a catalog under their standard names.
+Result<std::unique_ptr<Catalog>> GenerateCatalog(const TpchOptions& options);
+
+}  // namespace tpch
+}  // namespace cfest
+
+#endif  // CFEST_DATAGEN_TPCH_TABLES_H_

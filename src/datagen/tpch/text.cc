@@ -1,0 +1,224 @@
+#include "datagen/tpch/text.h"
+
+#include <cstdio>
+
+namespace cfest {
+namespace tpch {
+namespace {
+
+// Word pool approximating the TPC-H comment grammar vocabulary.
+const char* kWords[] = {
+    "furiously",  "quickly",   "slowly",     "carefully", "blithely",
+    "daringly",   "boldly",    "silently",   "evenly",    "finally",
+    "express",    "special",   "regular",    "pending",   "ironic",
+    "unusual",    "final",     "bold",       "silent",    "even",
+    "packages",   "deposits",  "requests",   "accounts",  "instructions",
+    "foxes",      "pinto",     "beans",      "theodolites", "platelets",
+    "dependencies", "excuses", "ideas",      "courts",    "dolphins",
+    "sheaves",    "sauternes", "warhorses",  "asymptotes", "somas",
+    "sleep",      "wake",      "haggle",     "nag",       "cajole",
+    "integrate",  "detect",    "solve",      "engage",    "maintain",
+    "among",      "above",     "beneath",    "against",   "along",
+    "the",        "of",        "carefully",  "quick",     "fluffy",
+};
+constexpr size_t kNumWords = sizeof(kWords) / sizeof(kWords[0]);
+
+const std::vector<std::string>* MakeList(std::initializer_list<const char*> v) {
+  auto* out = new std::vector<std::string>;
+  for (const char* s : v) out->push_back(s);
+  return out;
+}
+
+}  // namespace
+
+const std::vector<std::string>& ReturnFlags() {
+  static const auto* kList = MakeList({"R", "A", "N"});
+  return *kList;
+}
+
+const std::vector<std::string>& LineStatuses() {
+  static const auto* kList = MakeList({"O", "F"});
+  return *kList;
+}
+
+const std::vector<std::string>& ShipModes() {
+  static const auto* kList =
+      MakeList({"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"});
+  return *kList;
+}
+
+const std::vector<std::string>& ShipInstructs() {
+  static const auto* kList = MakeList(
+      {"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"});
+  return *kList;
+}
+
+const std::vector<std::string>& OrderPriorities() {
+  static const auto* kList = MakeList(
+      {"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"});
+  return *kList;
+}
+
+const std::vector<std::string>& OrderStatuses() {
+  static const auto* kList = MakeList({"O", "F", "P"});
+  return *kList;
+}
+
+const std::vector<std::string>& MarketSegments() {
+  static const auto* kList = MakeList(
+      {"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"});
+  return *kList;
+}
+
+const std::vector<std::string>& Nations() {
+  static const auto* kList = MakeList(
+      {"ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA",
+       "FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN",
+       "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA",
+       "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES"});
+  return *kList;
+}
+
+const std::vector<std::string>& Regions() {
+  static const auto* kList =
+      MakeList({"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"});
+  return *kList;
+}
+
+const std::vector<std::string>& PartContainers() {
+  static const auto* kList = [] {
+    static const char* kSizes[] = {"SM", "MED", "LG", "JUMBO", "WRAP"};
+    static const char* kKinds[] = {"CASE", "BOX", "BAG",  "JAR",
+                                   "PKG",  "PACK", "CAN", "DRUM"};
+    auto* out = new std::vector<std::string>;
+    for (const char* s : kSizes) {
+      for (const char* k : kKinds) {
+        out->push_back(std::string(s) + " " + k);
+      }
+    }
+    return out;
+  }();
+  return *kList;
+}
+
+const std::vector<std::string>& PartTypes() {
+  static const auto* kList = [] {
+    static const char* kA[] = {"STANDARD", "SMALL", "MEDIUM", "LARGE",
+                               "ECONOMY", "PROMO"};
+    static const char* kB[] = {"ANODIZED", "BURNISHED", "PLATED", "POLISHED",
+                               "BRUSHED"};
+    static const char* kC[] = {"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"};
+    auto* out = new std::vector<std::string>;
+    for (const char* a : kA) {
+      for (const char* b : kB) {
+        for (const char* c : kC) {
+          out->push_back(std::string(a) + " " + b + " " + c);
+        }
+      }
+    }
+    return out;
+  }();
+  return *kList;
+}
+
+const std::vector<std::string>& PartNameWords() {
+  static const auto* kList = MakeList(
+      {"almond",    "antique",   "aquamarine", "azure",     "beige",
+       "bisque",    "black",     "blanched",   "blue",      "blush",
+       "brown",     "burlywood", "burnished",  "chartreuse", "chiffon",
+       "chocolate", "coral",     "cornflower", "cornsilk",  "cream",
+       "cyan",      "dark",      "deep",       "dim",       "dodger",
+       "drab",      "firebrick", "floral",     "forest",    "frosted",
+       "gainsboro", "ghost",     "goldenrod",  "green",     "grey",
+       "honeydew",  "hot",       "hotpink",    "indian",    "ivory",
+       "khaki",     "lace",      "lavender",   "lawn",      "lemon",
+       "light",     "lime",      "linen",      "magenta",   "maroon",
+       "medium",    "metallic",  "midnight",   "mint",      "misty",
+       "moccasin",  "navajo",    "navy",       "olive",     "orange",
+       "orchid",    "pale",      "papaya",     "peach",     "peru",
+       "pink",      "plum",      "powder",     "puff",      "purple",
+       "red",       "rose",      "rosy",       "royal",     "saddle",
+       "salmon",    "sandy",     "seashell",   "sienna",    "sky",
+       "slate",     "smoke",     "snow",       "spring",    "steel",
+       "tan",       "thistle",   "tomato",     "turquoise", "violet",
+       "wheat",     "white"});
+  return *kList;
+}
+
+std::string Brand(Random* rng) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "Brand#%llu%llu",
+                static_cast<unsigned long long>(1 + rng->NextBounded(5)),
+                static_cast<unsigned long long>(1 + rng->NextBounded(5)));
+  return buf;
+}
+
+std::string PartName(Random* rng) {
+  const auto& words = PartNameWords();
+  std::string out;
+  for (int i = 0; i < 5; ++i) {
+    if (i > 0) out += " ";
+    out += words[rng->NextBounded(words.size())];
+  }
+  return out;
+}
+
+std::string Comment(uint32_t max_len, Random* rng) {
+  const uint32_t target = static_cast<uint32_t>(
+      rng->NextInRange(max_len / 3 > 0 ? max_len / 3 : 1, max_len));
+  std::string out;
+  while (out.size() < target) {
+    if (!out.empty()) out += " ";
+    out += kWords[rng->NextBounded(kNumWords)];
+  }
+  if (out.size() > max_len) out.resize(max_len);
+  // Avoid a dangling partial word's trailing space.
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+std::string Phone(uint32_t nation_key, Random* rng) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%02u-%03u-%03u-%04u", 10 + nation_key,
+                static_cast<unsigned>(100 + rng->NextBounded(900)),
+                static_cast<unsigned>(100 + rng->NextBounded(900)),
+                static_cast<unsigned>(1000 + rng->NextBounded(9000)));
+  return buf;
+}
+
+std::string Clerk(uint64_t clerk_count, Random* rng) {
+  return Name("Clerk", 1 + rng->NextBounded(clerk_count), 9);
+}
+
+std::string Name(const std::string& prefix, uint64_t key, uint32_t digits) {
+  std::string num = std::to_string(key);
+  if (num.size() < digits) num.insert(0, digits - num.size(), '0');
+  return prefix + "#" + num;
+}
+
+std::string Address(uint32_t max_len, Random* rng) {
+  static const char kChars[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ,";
+  const uint32_t len =
+      static_cast<uint32_t>(rng->NextInRange(10, max_len));
+  std::string out;
+  out.reserve(len);
+  for (uint32_t i = 0; i < len; ++i) {
+    out.push_back(kChars[rng->NextBounded(sizeof(kChars) - 1)]);
+  }
+  // Addresses must not end in a blank (it would be lost to null suppression).
+  if (out.back() == ' ') out.back() = 'x';
+  return out;
+}
+
+int64_t RandomDate(Random* rng) {
+  // 1992-01-01 is day 8035 since epoch; the range spans 2557 days.
+  return 8035 + static_cast<int64_t>(rng->NextBounded(2557));
+}
+
+int64_t RandomCents(int64_t min_cents, int64_t max_cents, Random* rng) {
+  return rng->NextInRange(min_cents, max_cents);
+}
+
+}  // namespace tpch
+}  // namespace cfest

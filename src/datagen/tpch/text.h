@@ -1,0 +1,62 @@
+// Copyright (c) the samplecf authors. Licensed under the MIT license.
+//
+// TPC-H text building blocks: the categorical value lists from the TPC-H
+// specification (ship modes, priorities, brands, ...) and a comment
+// generator over a grammar-like word pool. The official dbgen tool is not
+// available offline; these pools reproduce the *distinct-value and length
+// profiles* that the compression estimators are sensitive to (see DESIGN.md
+// §2 for the substitution rationale).
+
+#ifndef CFEST_DATAGEN_TPCH_TEXT_H_
+#define CFEST_DATAGEN_TPCH_TEXT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace cfest {
+namespace tpch {
+
+/// TPC-H categorical domains (sizes per the specification).
+const std::vector<std::string>& ReturnFlags();     // 3: R, A, N
+const std::vector<std::string>& LineStatuses();    // 2: O, F
+const std::vector<std::string>& ShipModes();       // 7
+const std::vector<std::string>& ShipInstructs();   // 4
+const std::vector<std::string>& OrderPriorities(); // 5
+const std::vector<std::string>& OrderStatuses();   // 3
+const std::vector<std::string>& MarketSegments();  // 5
+const std::vector<std::string>& Nations();         // 25
+const std::vector<std::string>& Regions();         // 5
+const std::vector<std::string>& PartContainers();  // 40
+const std::vector<std::string>& PartTypes();       // 150
+const std::vector<std::string>& PartNameWords();   // 92 color words
+
+/// "Brand#MN" with M,N in 1..5 (25 distinct).
+std::string Brand(Random* rng);
+/// A part name: five space-separated color words (as in dbgen).
+std::string PartName(Random* rng);
+/// A pseudo-English comment whose length is uniform in
+/// [max_len/3, max_len] characters, built from the TPC-H word pool.
+std::string Comment(uint32_t max_len, Random* rng);
+/// "NN-NNN-NNN-NNNN" phone with the nation-derived country code.
+std::string Phone(uint32_t nation_key, Random* rng);
+/// "Clerk#000000NNN" with clerk_count distinct clerks.
+std::string Clerk(uint64_t clerk_count, Random* rng);
+/// Fixed-pattern entity names, e.g. Name("Customer", 42, 9) ==
+/// "Customer#000000042".
+std::string Name(const std::string& prefix, uint64_t key, uint32_t digits);
+/// A v2 address: random-length alphanumeric string in [10, max_len].
+std::string Address(uint32_t max_len, Random* rng);
+
+/// Days since 1970-01-01 for the TPC-H date range [1992-01-01, 1998-12-31].
+int64_t RandomDate(Random* rng);
+
+/// A decimal amount in cents, uniform in [min_cents, max_cents].
+int64_t RandomCents(int64_t min_cents, int64_t max_cents, Random* rng);
+
+}  // namespace tpch
+}  // namespace cfest
+
+#endif  // CFEST_DATAGEN_TPCH_TEXT_H_

@@ -1,0 +1,107 @@
+#include "estimator/analytic_model.h"
+
+#include <cmath>
+#include <string>
+#include <unordered_set>
+
+#include "common/stats.h"
+#include "storage/row_codec.h"
+
+namespace cfest {
+
+Result<ColumnPopulationStats> AnalyzeColumn(const Table& table, size_t col) {
+  if (col >= table.schema().num_columns()) {
+    return Status::OutOfRange("column " + std::to_string(col) +
+                              " out of range");
+  }
+  ColumnPopulationStats stats;
+  const DataType& type = table.schema().column(col).type;
+  stats.n = table.num_rows();
+  stats.k = type.FixedWidth();
+  stats.length_header = LengthHeaderBytes(type);
+  std::unordered_set<std::string> distinct;
+  for (RowId id = 0; id < table.num_rows(); ++id) {
+    Slice cell = table.cell(id, col);
+    stats.sum_lengths += NullSuppressedLength(cell, type);
+    distinct.insert(cell.ToString());
+  }
+  stats.d = distinct.size();
+  return stats;
+}
+
+double AnalyticNsCF(const ColumnPopulationStats& stats) {
+  if (stats.n == 0 || stats.k == 0) return 1.0;
+  return (static_cast<double>(stats.sum_lengths) +
+          static_cast<double>(stats.n) * stats.length_header) /
+         (static_cast<double>(stats.n) * static_cast<double>(stats.k));
+}
+
+double AnalyticGlobalDictCF(const ColumnPopulationStats& stats,
+                            uint32_t pointer_bytes) {
+  if (stats.n == 0 || stats.k == 0) return 1.0;
+  return static_cast<double>(pointer_bytes) / static_cast<double>(stats.k) +
+         static_cast<double>(stats.d) / static_cast<double>(stats.n);
+}
+
+double AnalyticPagedDictCF(const ColumnPopulationStats& stats,
+                           double pointer_bits, uint64_t sum_pg) {
+  if (stats.n == 0 || stats.k == 0) return 1.0;
+  const double n = static_cast<double>(stats.n);
+  const double k = static_cast<double>(stats.k);
+  return (n * pointer_bits / 8.0 + k * static_cast<double>(sum_pg)) / (n * k);
+}
+
+double Theorem1StdDevBound(uint64_t sample_rows) {
+  if (sample_rows == 0) return 1.0;
+  return 1.0 / (2.0 * std::sqrt(static_cast<double>(sample_rows)));
+}
+
+ConfidenceInterval Theorem1ConfidenceInterval(double estimate,
+                                              uint64_t sample_rows,
+                                              double num_sigmas) {
+  const double half = num_sigmas * Theorem1StdDevBound(sample_rows);
+  ConfidenceInterval ci;
+  ci.num_sigmas = num_sigmas;
+  ci.lower = estimate - half < 0.0 ? 0.0 : estimate - half;
+  ci.upper = estimate + half;
+  return ci;
+}
+
+uint64_t SampleSizeForHalfWidth(double half_width, double num_sigmas) {
+  if (!(half_width > 0.0)) return 0;
+  const double r = num_sigmas / (2.0 * half_width);
+  return static_cast<uint64_t>(std::ceil(r * r));
+}
+
+Result<ConfidenceInterval> EmpiricalNsConfidenceInterval(const Table& sample,
+                                                         size_t col,
+                                                         double estimate,
+                                                         double num_sigmas) {
+  if (col >= sample.schema().num_columns()) {
+    return Status::OutOfRange("column " + std::to_string(col) +
+                              " out of range");
+  }
+  if (sample.num_rows() < 2) {
+    return Status::InvalidArgument(
+        "need at least two sampled rows for an empirical interval");
+  }
+  const DataType& type = sample.schema().column(col).type;
+  const double k = static_cast<double>(type.FixedWidth());
+  const double h = static_cast<double>(LengthHeaderBytes(type));
+  RunningStats stats;
+  for (RowId id = 0; id < sample.num_rows(); ++id) {
+    const double l =
+        static_cast<double>(NullSuppressedLength(sample.cell(id, col), type));
+    stats.Add((l + h) / k);
+  }
+  const double sigma_mean =
+      stats.stddev() / std::sqrt(static_cast<double>(sample.num_rows()));
+  ConfidenceInterval ci;
+  ci.num_sigmas = num_sigmas;
+  const double half = num_sigmas * sigma_mean;
+  ci.lower = estimate - half < 0.0 ? 0.0 : estimate - half;
+  ci.upper = estimate + half;
+  return ci;
+}
+
+}  // namespace cfest

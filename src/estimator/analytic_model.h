@@ -1,0 +1,86 @@
+// Copyright (c) the samplecf authors. Licensed under the MIT license.
+//
+// Closed-form compression-fraction models mirroring the paper's Section III
+// analysis, phrased over exactly the Table I symbols:
+//
+//   n   rows in the table               d   distinct values
+//   k   declared tuple width            l_i null-suppressed length of tuple i
+//   r   rows in the sample              d'  distinct values in the sample
+//
+//   CF_NS = sum_i (l_i + h) / (n k)          (h = length-header bytes)
+//   CF_DC = p/k + d/n                        (simplified global model)
+//   CF_DC_paged = (n p + k sum_i Pg(i)) / (n k)
+//
+// These are used both for ground truth in tests (analytic-vs-constructive
+// consistency) and for the formula-level estimators evaluated in benches.
+
+#ifndef CFEST_ESTIMATOR_ANALYTIC_MODEL_H_
+#define CFEST_ESTIMATOR_ANALYTIC_MODEL_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace cfest {
+
+/// \brief Population statistics of one column (Table I of the paper).
+struct ColumnPopulationStats {
+  uint64_t n = 0;           ///< rows
+  uint64_t d = 0;           ///< distinct values
+  uint64_t sum_lengths = 0; ///< sum of null-suppressed lengths l_i
+  uint32_t k = 0;           ///< declared (fixed) width
+  uint32_t length_header = 1;  ///< h: bytes used to record a length
+};
+
+/// Scans a column and computes its population statistics exactly.
+Result<ColumnPopulationStats> AnalyzeColumn(const Table& table, size_t col);
+
+/// CF_NS = sum_i (l_i + h) / (n k). Requires n > 0.
+double AnalyticNsCF(const ColumnPopulationStats& stats);
+
+/// The paper's simplified global-dictionary model: CF = p/k + d/n with a
+/// p-byte pointer per row and each distinct value stored once at width k.
+double AnalyticGlobalDictCF(const ColumnPopulationStats& stats,
+                            uint32_t pointer_bytes);
+
+/// The paged dictionary model: pointers of `pointer_bits` bits per row plus
+/// one k-byte dictionary entry per (value, page) incidence:
+/// (n*pointer_bits/8 + k*sum_pg) / (n k).
+double AnalyticPagedDictCF(const ColumnPopulationStats& stats,
+                           double pointer_bits, uint64_t sum_pg);
+
+/// Theorem 1's bound on the standard deviation of CF'_NS: 1 / (2 sqrt(r)),
+/// with r = f*n the sample size.
+double Theorem1StdDevBound(uint64_t sample_rows);
+
+/// \brief A symmetric confidence interval around a CF estimate.
+struct ConfidenceInterval {
+  double lower = 0.0;
+  double upper = 1.0;
+  double num_sigmas = 2.0;
+};
+
+/// Distribution-free interval for a null-suppression estimate via Theorem 1:
+/// estimate +- num_sigmas / (2 sqrt(r)), clamped to [0, inf). Two sigmas
+/// give a >= 75% guarantee by Chebyshev and ~95% in practice.
+ConfidenceInterval Theorem1ConfidenceInterval(double estimate,
+                                              uint64_t sample_rows,
+                                              double num_sigmas = 2.0);
+
+/// Sample size r needed for the Theorem-1 bound to guarantee
+/// num_sigmas * sigma <= half_width: r = ceil((num_sigmas / (2 w))^2).
+uint64_t SampleSizeForHalfWidth(double half_width, double num_sigmas = 2.0);
+
+/// Data-dependent interval for an NS estimate: uses the *sample's* variance
+/// of the per-tuple normalized sizes (l_i + h)/k instead of Theorem 1's
+/// worst-case 1/4, so it is much tighter on low-variance columns while
+/// keeping the same estimate +- num_sigmas * sigma-hat/sqrt(r) shape.
+/// `sample` is the drawn sample and `col` the (single) indexed column.
+Result<ConfidenceInterval> EmpiricalNsConfidenceInterval(
+    const Table& sample, size_t col, double estimate,
+    double num_sigmas = 2.0);
+
+}  // namespace cfest
+
+#endif  // CFEST_ESTIMATOR_ANALYTIC_MODEL_H_

@@ -1,0 +1,92 @@
+#include "estimator/column_profile.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "storage/row_codec.h"
+
+namespace cfest {
+
+Result<ColumnProfile> ProfileColumn(const Table& table, size_t col,
+                                    size_t top_k, size_t histogram_buckets) {
+  if (col >= table.schema().num_columns()) {
+    return Status::OutOfRange("column " + std::to_string(col) +
+                              " out of range");
+  }
+  if (histogram_buckets == 0) {
+    return Status::InvalidArgument("need at least one histogram bucket");
+  }
+  ColumnProfile profile;
+  profile.name = table.schema().column(col).name;
+  profile.type = table.schema().column(col).type;
+  const DataType& type = profile.type;
+  const uint32_t k = type.FixedWidth();
+
+  profile.stats.n = table.num_rows();
+  profile.stats.k = k;
+  profile.stats.length_header = LengthHeaderBytes(type);
+
+  profile.lengths.bucket_width = std::max<uint32_t>(
+      1, (k + static_cast<uint32_t>(histogram_buckets)) /
+             static_cast<uint32_t>(histogram_buckets));
+  profile.lengths.buckets.assign(histogram_buckets, 0);
+  profile.lengths.min_length = k;
+  profile.lengths.max_length = 0;
+
+  std::unordered_map<std::string, uint64_t> counts;
+  for (RowId id = 0; id < table.num_rows(); ++id) {
+    Slice cell = table.cell(id, col);
+    const uint32_t len = NullSuppressedLength(cell, type);
+    profile.stats.sum_lengths += len;
+    profile.lengths.min_length = std::min(profile.lengths.min_length, len);
+    profile.lengths.max_length = std::max(profile.lengths.max_length, len);
+    const size_t bucket = std::min(
+        profile.lengths.buckets.size() - 1,
+        static_cast<size_t>(len / profile.lengths.bucket_width));
+    profile.lengths.buckets[bucket]++;
+    counts[cell.ToString()]++;
+  }
+  profile.stats.d = counts.size();
+  if (table.num_rows() > 0) {
+    profile.lengths.mean_length =
+        static_cast<double>(profile.stats.sum_lengths) /
+        static_cast<double>(table.num_rows());
+  } else {
+    profile.lengths.min_length = 0;
+  }
+
+  // Heavy hitters (top_k by count, ties broken by value for determinism).
+  std::vector<std::pair<std::string, uint64_t>> sorted(counts.begin(),
+                                                       counts.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  // Display form: decoded integers, pad-stripped strings.
+  Result<Schema> display_schema = Schema::Make({{"v", type}});
+  RowCodec display_codec(std::move(display_schema).ValueOrDie());
+  for (size_t i = 0; i < sorted.size() && i < top_k; ++i) {
+    const std::string& raw = sorted[i].first;
+    Result<Value> value = display_codec.DecodeCell(Slice(raw), 0);
+    profile.top_values.push_back(HeavyHitter{
+        value.ok() ? value->ToString() : std::string("?"), sorted[i].second});
+  }
+
+  profile.predicted_ns_cf = AnalyticNsCF(profile.stats);
+  profile.predicted_dict_cf = AnalyticGlobalDictCF(profile.stats, 4);
+  return profile;
+}
+
+Result<std::vector<ColumnProfile>> ProfileTable(const Table& table,
+                                                size_t top_k) {
+  std::vector<ColumnProfile> profiles;
+  profiles.reserve(table.schema().num_columns());
+  for (size_t c = 0; c < table.schema().num_columns(); ++c) {
+    CFEST_ASSIGN_OR_RETURN(ColumnProfile profile,
+                           ProfileColumn(table, c, top_k));
+    profiles.push_back(std::move(profile));
+  }
+  return profiles;
+}
+
+}  // namespace cfest

@@ -1,0 +1,62 @@
+// Copyright (c) the samplecf authors. Licensed under the MIT license.
+//
+// Column profiling: the per-column statistics (Table-I symbols plus length
+// histograms and heavy hitters) that let the closed-form models predict
+// compressibility without running any compressor — the "analyze" companion
+// to the constructive estimators, and the CLI's `analyze` subcommand.
+
+#ifndef CFEST_ESTIMATOR_COLUMN_PROFILE_H_
+#define CFEST_ESTIMATOR_COLUMN_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "estimator/analytic_model.h"
+#include "storage/table.h"
+
+namespace cfest {
+
+/// \brief Equi-width histogram over null-suppressed lengths [0, k].
+struct LengthHistogram {
+  /// bucket i covers lengths [i*bucket_width, (i+1)*bucket_width).
+  std::vector<uint64_t> buckets;
+  uint32_t bucket_width = 1;
+  uint32_t min_length = 0;
+  uint32_t max_length = 0;
+  double mean_length = 0.0;
+};
+
+/// \brief A frequent value and its count.
+struct HeavyHitter {
+  std::string value;  // pad-stripped display form
+  uint64_t count = 0;
+};
+
+/// \brief Everything the closed forms need to know about one column.
+struct ColumnProfile {
+  std::string name;
+  DataType type;
+  ColumnPopulationStats stats;
+  LengthHistogram lengths;
+  /// Most frequent values, descending by count (ties by value).
+  std::vector<HeavyHitter> top_values;
+  /// Closed-form predictions (paper §III): NS and the simplified global
+  /// dictionary model with 4-byte pointers.
+  double predicted_ns_cf = 1.0;
+  double predicted_dict_cf = 1.0;
+};
+
+/// Profiles one column exactly (full scan).
+Result<ColumnProfile> ProfileColumn(const Table& table, size_t col,
+                                    size_t top_k = 5,
+                                    size_t histogram_buckets = 8);
+
+/// Profiles every column of a table.
+Result<std::vector<ColumnProfile>> ProfileTable(const Table& table,
+                                                size_t top_k = 5);
+
+}  // namespace cfest
+
+#endif  // CFEST_ESTIMATOR_COLUMN_PROFILE_H_

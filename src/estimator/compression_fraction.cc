@@ -1,0 +1,55 @@
+#include "estimator/compression_fraction.h"
+
+namespace cfest {
+
+const char* SizeMetricName(SizeMetric metric) {
+  switch (metric) {
+    case SizeMetric::kDataBytes:
+      return "data_bytes";
+    case SizeMetric::kUsedBytes:
+      return "used_bytes";
+    case SizeMetric::kPageBytes:
+      return "page_bytes";
+  }
+  return "unknown";
+}
+
+CompressionFraction MeasureCF(const IndexStats& uncompressed,
+                              const CompressedIndexStats& compressed,
+                              SizeMetric metric) {
+  CompressionFraction cf;
+  cf.metric = metric;
+  switch (metric) {
+    case SizeMetric::kDataBytes:
+      cf.compressed_bytes = compressed.chunk_bytes + compressed.aux_bytes;
+      cf.uncompressed_bytes = uncompressed.row_data_bytes;
+      break;
+    case SizeMetric::kUsedBytes:
+      cf.compressed_bytes = compressed.used_bytes + compressed.aux_bytes;
+      cf.uncompressed_bytes = uncompressed.leaf_used_bytes;
+      break;
+    case SizeMetric::kPageBytes: {
+      cf.compressed_bytes = compressed.page_bytes();
+      cf.uncompressed_bytes = uncompressed.page_bytes();
+      break;
+    }
+  }
+  if (cf.uncompressed_bytes > 0) {
+    cf.value = static_cast<double>(cf.compressed_bytes) /
+               static_cast<double>(cf.uncompressed_bytes);
+  }
+  return cf;
+}
+
+Result<CompressionFraction> ComputeTrueCF(const Table& table,
+                                          const IndexDescriptor& descriptor,
+                                          const CompressionScheme& scheme,
+                                          SizeMetric metric,
+                                          const IndexBuildOptions& options) {
+  CFEST_ASSIGN_OR_RETURN(Index index, Index::Build(table, descriptor, options));
+  CFEST_ASSIGN_OR_RETURN(CompressedIndex compressed,
+                         index.Compress(scheme, options));
+  return MeasureCF(index.stats(), compressed.stats(), metric);
+}
+
+}  // namespace cfest

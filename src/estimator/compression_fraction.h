@@ -1,0 +1,60 @@
+// Copyright (c) the samplecf authors. Licensed under the MIT license.
+//
+// The compression fraction CF = size(compressed index) / size(uncompressed
+// index), paper §II-B, and the conventions for measuring "size".
+
+#ifndef CFEST_ESTIMATOR_COMPRESSION_FRACTION_H_
+#define CFEST_ESTIMATOR_COMPRESSION_FRACTION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "compression/compressed_index.h"
+#include "compression/scheme.h"
+#include "index/index.h"
+#include "storage/table.h"
+
+namespace cfest {
+
+/// \brief Which byte counts enter the CF ratio.
+enum class SizeMetric {
+  /// Pure data bytes: compressed = column-chunk bytes + auxiliary
+  /// (dictionary) bytes; uncompressed = n * row_width. Closest to the
+  /// paper's closed-form analysis (no page framing on either side).
+  kDataBytes,
+  /// Bytes actually used inside pages (headers, records, slots) on both
+  /// sides, plus auxiliary bytes.
+  kUsedBytes,
+  /// Whole pages (leaf + internal + dictionary) times page size — what a
+  /// capacity planner sees on disk.
+  kPageBytes,
+};
+
+const char* SizeMetricName(SizeMetric metric);
+
+/// \brief A measured compression fraction.
+struct CompressionFraction {
+  double value = 1.0;
+  uint64_t compressed_bytes = 0;
+  uint64_t uncompressed_bytes = 0;
+  SizeMetric metric = SizeMetric::kDataBytes;
+};
+
+/// Computes the CF of an already-built index/compressed pair.
+CompressionFraction MeasureCF(const IndexStats& uncompressed,
+                              const CompressedIndexStats& compressed,
+                              SizeMetric metric);
+
+/// \brief Ground truth: builds the full index on `table`, compresses it, and
+/// returns the exact CF ("the naive method ... while highly accurate is
+/// prohibitively inefficient" — this is the expensive path SampleCF avoids).
+Result<CompressionFraction> ComputeTrueCF(
+    const Table& table, const IndexDescriptor& descriptor,
+    const CompressionScheme& scheme, SizeMetric metric = SizeMetric::kDataBytes,
+    const IndexBuildOptions& options = {kDefaultPageSize,
+                                        /*keep_pages=*/false});
+
+}  // namespace cfest
+
+#endif  // CFEST_ESTIMATOR_COMPRESSION_FRACTION_H_

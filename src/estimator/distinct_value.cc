@@ -1,0 +1,108 @@
+#include "estimator/distinct_value.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace cfest {
+
+Result<SampleFrequencyProfile> BuildFrequencyProfile(const Table& sample,
+                                                     size_t col) {
+  if (col >= sample.schema().num_columns()) {
+    return Status::OutOfRange("column " + std::to_string(col) +
+                              " out of range");
+  }
+  std::unordered_map<std::string, uint64_t> counts;
+  for (RowId id = 0; id < sample.num_rows(); ++id) {
+    counts[sample.cell(id, col).ToString()]++;
+  }
+  SampleFrequencyProfile profile;
+  profile.sample_rows = sample.num_rows();
+  profile.distinct_in_sample = counts.size();
+  for (const auto& [value, count] : counts) {
+    profile.freq_counts[count]++;
+  }
+  return profile;
+}
+
+const char* DvEstimatorName(DvEstimator estimator) {
+  switch (estimator) {
+    case DvEstimator::kNaive:
+      return "naive_d'";
+    case DvEstimator::kScaleUp:
+      return "scale_up";
+    case DvEstimator::kChao84:
+      return "chao84";
+    case DvEstimator::kShlosser:
+      return "shlosser";
+    case DvEstimator::kGee:
+      return "GEE";
+  }
+  return "unknown";
+}
+
+std::vector<DvEstimator> AllDvEstimators() {
+  return {DvEstimator::kNaive, DvEstimator::kScaleUp, DvEstimator::kChao84,
+          DvEstimator::kShlosser, DvEstimator::kGee};
+}
+
+double EstimateDistinct(DvEstimator estimator,
+                        const SampleFrequencyProfile& profile, uint64_t n) {
+  const double r = static_cast<double>(profile.sample_rows);
+  const double dprime = static_cast<double>(profile.distinct_in_sample);
+  const double f1 = static_cast<double>(profile.f(1));
+  double estimate = dprime;
+  if (r <= 0.0 || n == 0) return 0.0;
+
+  switch (estimator) {
+    case DvEstimator::kNaive:
+      estimate = dprime;
+      break;
+    case DvEstimator::kScaleUp:
+      estimate = dprime * static_cast<double>(n) / r;
+      break;
+    case DvEstimator::kChao84: {
+      const double f2 = static_cast<double>(profile.f(2));
+      estimate = f2 > 0.0 ? dprime + (f1 * f1) / (2.0 * f2)
+                          : dprime + f1 * (f1 - 1.0) / 2.0;
+      break;
+    }
+    case DvEstimator::kShlosser: {
+      // Shlosser (1981), as presented by Haas et al. (VLDB 1995):
+      //   D = d' + f1 * sum_i (1-q)^i f_i / sum_i i q (1-q)^{i-1} f_i
+      const double q = r / static_cast<double>(n);
+      double num = 0.0;
+      double den = 0.0;
+      for (const auto& [i, fi] : profile.freq_counts) {
+        const double di = static_cast<double>(i);
+        const double dfi = static_cast<double>(fi);
+        num += std::pow(1.0 - q, di) * dfi;
+        den += di * q * std::pow(1.0 - q, di - 1.0) * dfi;
+      }
+      estimate = den > 0.0 ? dprime + f1 * num / den : dprime;
+      break;
+    }
+    case DvEstimator::kGee: {
+      // Charikar-Chaudhuri-Motwani-Narasayya Guaranteed-Error Estimator:
+      //   D = sqrt(n/r) * f1 + sum_{j >= 2} f_j
+      double rest = 0.0;
+      for (const auto& [j, fj] : profile.freq_counts) {
+        if (j >= 2) rest += static_cast<double>(fj);
+      }
+      estimate = std::sqrt(static_cast<double>(n) / r) * f1 + rest;
+      break;
+    }
+  }
+  // A distinct count is at least d' and at most n.
+  return std::clamp(estimate, dprime, static_cast<double>(n));
+}
+
+double DictCFFromDvEstimate(double dv_estimate, uint64_t n,
+                            uint32_t pointer_bytes, uint32_t column_width) {
+  if (n == 0 || column_width == 0) return 1.0;
+  return static_cast<double>(pointer_bytes) /
+             static_cast<double>(column_width) +
+         dv_estimate / static_cast<double>(n);
+}
+
+}  // namespace cfest

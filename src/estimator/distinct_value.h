@@ -1,0 +1,64 @@
+// Copyright (c) the samplecf authors. Licensed under the MIT license.
+//
+// Distinct-value estimators from a uniform random sample. The paper (§III-B)
+// observes that estimating CF under dictionary compression "is closely
+// related to the problem of estimating the number of distinct values using
+// sampling which is known to be hard" (its ref [1], Charikar et al., PODS
+// 2000). These classical estimators are the natural baselines against
+// SampleCF for dictionary compression: plug an estimate D-hat into the
+// closed form CF = p/k + D-hat/n.
+
+#ifndef CFEST_ESTIMATOR_DISTINCT_VALUE_H_
+#define CFEST_ESTIMATOR_DISTINCT_VALUE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace cfest {
+
+/// \brief The frequency profile of a sampled column: d' and the
+/// frequency-of-frequencies f_j ("how many values occur exactly j times").
+struct SampleFrequencyProfile {
+  uint64_t sample_rows = 0;                  ///< r
+  uint64_t distinct_in_sample = 0;           ///< d'
+  std::map<uint64_t, uint64_t> freq_counts;  ///< j -> f_j
+
+  uint64_t f(uint64_t j) const {
+    auto it = freq_counts.find(j);
+    return it == freq_counts.end() ? 0 : it->second;
+  }
+};
+
+/// Builds the profile of column `col` of a (sample) table.
+Result<SampleFrequencyProfile> BuildFrequencyProfile(const Table& sample,
+                                                     size_t col);
+
+/// \brief The distinct-value estimators implemented.
+enum class DvEstimator {
+  kNaive,      // D-hat = d' (no scale-up; what SampleCF's d'-term sees)
+  kScaleUp,    // D-hat = d' * n/r (naive linear scale-up)
+  kChao84,     // D-hat = d' + f1^2 / (2 f2)
+  kShlosser,   // Shlosser's estimator (q = r/n)
+  kGee,        // Guaranteed-Error Estimator, Charikar et al. PODS 2000
+};
+
+const char* DvEstimatorName(DvEstimator estimator);
+std::vector<DvEstimator> AllDvEstimators();
+
+/// Applies the estimator to a profile drawn from a table of n rows. The
+/// result is clamped to [d', n].
+double EstimateDistinct(DvEstimator estimator,
+                        const SampleFrequencyProfile& profile, uint64_t n);
+
+/// Baseline dictionary-compression CF estimate: p/k + D-hat/n.
+double DictCFFromDvEstimate(double dv_estimate, uint64_t n,
+                            uint32_t pointer_bytes, uint32_t column_width);
+
+}  // namespace cfest
+
+#endif  // CFEST_ESTIMATOR_DISTINCT_VALUE_H_

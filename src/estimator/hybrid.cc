@@ -1,0 +1,84 @@
+#include "estimator/hybrid.h"
+
+#include <unordered_map>
+
+#include "index/index.h"
+
+namespace cfest {
+namespace {
+
+/// Frequency profile of one index column, computed over the sample index's
+/// rows (the index schema may contain synthetic columns like __rid that do
+/// not exist in the base table).
+SampleFrequencyProfile ProfileIndexColumn(const Index& index, size_t col) {
+  RowCodec codec(index.schema());
+  std::unordered_map<std::string, uint64_t> counts;
+  for (uint64_t i = 0; i < index.num_rows(); ++i) {
+    counts[codec.Cell(index.row(i), col).ToString()]++;
+  }
+  SampleFrequencyProfile profile;
+  profile.sample_rows = index.num_rows();
+  profile.distinct_in_sample = counts.size();
+  for (const auto& [value, count] : counts) profile.freq_counts[count]++;
+  return profile;
+}
+
+}  // namespace
+
+Result<HybridCFResult> HybridDictionaryCF(const Table& table,
+                                          const IndexDescriptor& descriptor,
+                                          const CompressionScheme& scheme,
+                                          const HybridCFOptions& options,
+                                          Random* rng) {
+  if (!scheme.per_column.empty() ||
+      scheme.default_type != CompressionType::kDictionaryGlobal) {
+    return Status::NotSupported(
+        "the hybrid correction is defined for the uniform global-dictionary "
+        "scheme (the paper's simplified model)");
+  }
+
+  // Draw one sample and run the constructive pipeline on it (this is plain
+  // SampleCF, but sharing the sample with the correction step).
+  std::unique_ptr<RowSampler> default_sampler;
+  const RowSampler* sampler = options.base.sampler;
+  if (sampler == nullptr) {
+    default_sampler = MakeUniformWithReplacementSampler();
+    sampler = default_sampler.get();
+  }
+  CFEST_ASSIGN_OR_RETURN(std::unique_ptr<Table> sample,
+                         sampler->Sample(table, options.base.fraction, rng));
+  CFEST_ASSIGN_OR_RETURN(Index index,
+                         Index::Build(*sample, descriptor, options.base.build));
+  CFEST_ASSIGN_OR_RETURN(CompressedIndex compressed,
+                         index.Compress(scheme, options.base.build));
+
+  HybridCFResult result;
+  result.plain.cf =
+      MeasureCF(index.stats(), compressed.stats(), options.base.metric);
+  result.plain.sample_rows = sample->num_rows();
+  result.plain.sample_dictionary_entries =
+      compressed.stats().dictionary_entries;
+  result.plain.sample_uncompressed = index.stats();
+  result.plain.sample_compressed = compressed.stats();
+
+  // Correction: CF = sum_c (p + (Dhat_c / n) * k_c) / K under the global
+  // model, with Dhat_c a classical DV estimate projected to the population.
+  const uint64_t n = table.num_rows();
+  const Schema& schema = index.schema();
+  const uint32_t p = scheme.options.global_pointer_bytes == 0
+                         ? 4
+                         : scheme.options.global_pointer_bytes;
+  double numerator = 0.0;
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    SampleFrequencyProfile profile = ProfileIndexColumn(index, c);
+    const double dhat =
+        EstimateDistinct(options.dv_estimator, profile, n);
+    result.column_dv_estimates.push_back(dhat);
+    numerator += static_cast<double>(p) +
+                 dhat / static_cast<double>(n) * schema.width(c);
+  }
+  result.estimate = numerator / static_cast<double>(schema.row_width());
+  return result;
+}
+
+}  // namespace cfest

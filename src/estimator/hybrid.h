@@ -1,0 +1,51 @@
+// Copyright (c) the samplecf authors. Licensed under the MIT license.
+//
+// Hybrid CF estimator for dictionary compression.
+//
+// The paper shows CF'_DC inherits the hardness of distinct-value estimation:
+// SampleCF's implicit DV estimate is the naive scale-up d' * n/r, which
+// overestimates d/n badly in the mid-cardinality regime (E9). The hybrid
+// estimator keeps SampleCF's constructive pipeline for everything *except*
+// the dictionary term: it measures the sample's pointer bytes exactly, then
+// replaces the sample's dictionary-entry count with a classical DV estimate
+// (GEE by default — the estimator from the paper's ref [1]) scaled to the
+// population. For non-dictionary schemes it degrades to plain SampleCF.
+
+#ifndef CFEST_ESTIMATOR_HYBRID_H_
+#define CFEST_ESTIMATOR_HYBRID_H_
+
+#include "common/random.h"
+#include "common/result.h"
+#include "estimator/distinct_value.h"
+#include "estimator/sample_cf.h"
+
+namespace cfest {
+
+/// \brief SampleCF with a DV-corrected dictionary term.
+struct HybridCFOptions {
+  SampleCFOptions base;
+  /// DV estimator used to project the population distinct count.
+  DvEstimator dv_estimator = DvEstimator::kGee;
+};
+
+/// \brief Outcome: the corrected estimate plus the plain SampleCF estimate
+/// it was derived from (for diagnostics).
+struct HybridCFResult {
+  double estimate = 1.0;
+  SampleCFResult plain;
+  /// Per-key-column DV estimates that replaced the sample's d'.
+  std::vector<double> column_dv_estimates;
+};
+
+/// Runs the hybrid estimator for a *global dictionary* scheme. The scheme
+/// must be uniform kDictionaryGlobal (the closed-form correction is defined
+/// by the paper's simplified model); other schemes return NotSupported.
+Result<HybridCFResult> HybridDictionaryCF(const Table& table,
+                                          const IndexDescriptor& descriptor,
+                                          const CompressionScheme& scheme,
+                                          const HybridCFOptions& options,
+                                          Random* rng);
+
+}  // namespace cfest
+
+#endif  // CFEST_ESTIMATOR_HYBRID_H_

@@ -1,0 +1,78 @@
+// Copyright (c) the samplecf authors. Licensed under the MIT license.
+//
+// SampleCF — the estimator under analysis (paper Fig. 2):
+//
+//   Algorithm SampleCF(T, f, S, C)
+//     1. T' = uniform random sample of f*n rows from T
+//     2. Build index I'(S) on T'
+//     3. Compress index I' using C
+//     4. Return CF for index I'
+//
+// The implementation is deliberately agnostic to the compression algorithm's
+// internals: it runs the real index build + compression pipeline on the
+// sample and reports the observed fraction, exactly as the estimators
+// shipped in commercial systems do.
+
+#ifndef CFEST_ESTIMATOR_SAMPLE_CF_H_
+#define CFEST_ESTIMATOR_SAMPLE_CF_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "compression/scheme.h"
+#include "estimator/compression_fraction.h"
+#include "index/index.h"
+#include "sampling/sampler.h"
+#include "storage/table.h"
+
+namespace cfest {
+
+/// \brief Parameters of one SampleCF invocation.
+struct SampleCFOptions {
+  /// The sampling fraction f of Fig. 2.
+  double fraction = 0.01;
+  /// Sampler; null means the paper's uniform-with-replacement sampler.
+  const RowSampler* sampler = nullptr;
+  /// Size convention used for the returned fraction.
+  SizeMetric metric = SizeMetric::kDataBytes;
+  /// Page size etc. for the sample index build.
+  IndexBuildOptions build = {kDefaultPageSize, /*keep_pages=*/false};
+};
+
+/// \brief Outcome of one SampleCF invocation.
+struct SampleCFResult {
+  /// The estimate CF'.
+  CompressionFraction cf;
+  /// r: rows actually drawn.
+  uint64_t sample_rows = 0;
+  /// d' summed over key columns' dictionaries (0 for non-dictionary schemes).
+  uint64_t sample_dictionary_entries = 0;
+  /// Size accounting of the sample index, for diagnostics.
+  IndexStats sample_uncompressed;
+  CompressedIndexStats sample_compressed;
+};
+
+/// Runs SampleCF(T, f, S, C). `rng` drives the sample draw; all other steps
+/// are deterministic.
+Result<SampleCFResult> SampleCF(const Table& table,
+                                const IndexDescriptor& descriptor,
+                                const CompressionScheme& scheme,
+                                const SampleCFOptions& options, Random* rng);
+
+/// Paper §II-C: "if the (uncompressed) index already exists, we can obtain
+/// the random sample more efficiently from the index instead of the base
+/// table." Samples the index's rows directly — they are already projected
+/// and key-ordered, so the sample index build (sort + projection) is skipped
+/// entirely; the sampled rows are streamed straight into the compressor in
+/// key order. Ignores options.sampler (the draw is uniform with
+/// replacement, the paper's model).
+Result<SampleCFResult> SampleCFFromIndex(const Index& index,
+                                         const CompressionScheme& scheme,
+                                         const SampleCFOptions& options,
+                                         Random* rng);
+
+}  // namespace cfest
+
+#endif  // CFEST_ESTIMATOR_SAMPLE_CF_H_

@@ -1,0 +1,101 @@
+#include "estimator/scheme_advisor.h"
+
+#include <cmath>
+#include <limits>
+
+#include "index/index.h"
+
+namespace cfest {
+namespace {
+
+/// Can `type` compress a column of `data_type` at all?
+bool Applies(CompressionType type, const DataType& data_type) {
+  return MakeColumnCompressor(type, data_type).ok();
+}
+
+}  // namespace
+
+Result<SchemeRecommendation> RecommendScheme(
+    const Table& table, const IndexDescriptor& descriptor,
+    const std::vector<CompressionType>& candidates,
+    const SampleCFOptions& options, Random* rng) {
+  std::vector<CompressionType> pool =
+      candidates.empty() ? AllCompressionTypes() : candidates;
+  // kNone is the do-nothing fallback: a recommendation never inflates a
+  // column past its uncompressed size.
+  bool has_none = false;
+  for (CompressionType t : pool) has_none |= (t == CompressionType::kNone);
+  if (!has_none) pool.push_back(CompressionType::kNone);
+
+  std::unique_ptr<RowSampler> default_sampler;
+  const RowSampler* sampler = options.sampler;
+  if (sampler == nullptr) {
+    default_sampler = MakeUniformWithReplacementSampler();
+    sampler = default_sampler.get();
+  }
+  CFEST_ASSIGN_OR_RETURN(std::unique_ptr<Table> sample,
+                         sampler->Sample(table, options.fraction, rng));
+  CFEST_ASSIGN_OR_RETURN(Index index,
+                         Index::Build(*sample, descriptor, options.build));
+  const Schema& schema = index.schema();
+  const uint64_t r = index.num_rows();
+  if (r == 0) {
+    return Status::InvalidArgument("sample is empty; increase the fraction");
+  }
+
+  SchemeRecommendation rec;
+  rec.sample_rows = r;
+  rec.columns.resize(schema.num_columns());
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> best_cf(schema.num_columns(),
+                              std::numeric_limits<double>::infinity());
+  std::vector<CompressionType> best_type(schema.num_columns(),
+                                         CompressionType::kNone);
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    rec.columns[c].column_name = schema.column(c).name;
+    rec.columns[c].candidate_cf.assign(pool.size(), nan);
+  }
+
+  for (size_t cand = 0; cand < pool.size(); ++cand) {
+    const CompressionType type = pool[cand];
+    // Compress the sample index once with `type` on every column it applies
+    // to (kNone elsewhere), then read per-column footprints.
+    CompressionScheme scheme;
+    scheme.per_column.resize(schema.num_columns(), CompressionType::kNone);
+    bool any = false;
+    for (size_t c = 0; c < schema.num_columns(); ++c) {
+      if (Applies(type, schema.column(c).type)) {
+        scheme.per_column[c] = type;
+        any = true;
+      }
+    }
+    if (!any) continue;
+    CFEST_ASSIGN_OR_RETURN(CompressedIndex compressed,
+                           index.Compress(scheme, options.build));
+    for (size_t c = 0; c < schema.num_columns(); ++c) {
+      if (scheme.per_column[c] != type) continue;
+      const ColumnCompressionStats& col = compressed.stats().columns[c];
+      const double cf =
+          static_cast<double>(col.chunk_bytes + col.aux_bytes) /
+          (static_cast<double>(r) * schema.width(c));
+      rec.columns[c].candidate_cf[cand] = cf;
+      if (cf < best_cf[c]) {
+        best_cf[c] = cf;
+        best_type[c] = type;
+      }
+    }
+  }
+
+  rec.scheme.per_column = best_type;
+  double total_bytes = 0.0;
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    rec.columns[c].best = best_type[c];
+    rec.columns[c].estimated_cf = best_cf[c];
+    total_bytes += best_cf[c] * static_cast<double>(r) * schema.width(c);
+  }
+  rec.estimated_cf =
+      total_bytes / (static_cast<double>(r) * schema.row_width());
+  return rec;
+}
+
+}  // namespace cfest

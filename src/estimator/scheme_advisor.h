@@ -1,0 +1,59 @@
+// Copyright (c) the samplecf authors. Licensed under the MIT license.
+//
+// Per-column compression-scheme recommendation from a single sample.
+//
+// SampleCF answers "how small would this index be under scheme C?"; the
+// natural next question a physical-design tool asks is "which C should each
+// column use?". This module draws one sample, builds the sample index once,
+// compresses it under every candidate algorithm, and picks the smallest
+// estimate per column — the sampling-based analogue of how SQL Server's
+// page-compression estimator is used in practice.
+
+#ifndef CFEST_ESTIMATOR_SCHEME_ADVISOR_H_
+#define CFEST_ESTIMATOR_SCHEME_ADVISOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "estimator/sample_cf.h"
+
+namespace cfest {
+
+/// \brief One column's recommendation.
+struct ColumnRecommendation {
+  std::string column_name;
+  CompressionType best = CompressionType::kNone;
+  /// Estimated per-column CF under the winner (column bytes / r*width).
+  double estimated_cf = 1.0;
+  /// Estimated CF for every candidate that applies to this column, in
+  /// candidate order (quiet NaN for inapplicable candidates).
+  std::vector<double> candidate_cf;
+};
+
+/// \brief The full recommendation for an index.
+struct SchemeRecommendation {
+  /// Per-column winners assembled into a scheme usable with Index::Compress.
+  CompressionScheme scheme;
+  std::vector<ColumnRecommendation> columns;
+  /// Estimated whole-index CF under the recommended scheme.
+  double estimated_cf = 1.0;
+  /// Rows in the sample the recommendation was computed from.
+  uint64_t sample_rows = 0;
+};
+
+/// Recommends a per-column scheme for the given index using one sample drawn
+/// per `options`. `candidates` defaults (when empty) to every implemented
+/// algorithm; candidates that do not apply to a column (e.g. delta on a
+/// string) are skipped for that column. kNone is always considered, so a
+/// recommendation never inflates a column.
+Result<SchemeRecommendation> RecommendScheme(
+    const Table& table, const IndexDescriptor& descriptor,
+    const std::vector<CompressionType>& candidates,
+    const SampleCFOptions& options, Random* rng);
+
+}  // namespace cfest
+
+#endif  // CFEST_ESTIMATOR_SCHEME_ADVISOR_H_

@@ -1,0 +1,67 @@
+#include "estimator/streaming.h"
+
+#include "index/index.h"
+
+namespace cfest {
+
+Result<StreamingSampleCF> StreamingSampleCF::Make(
+    const Schema& schema, const IndexDescriptor& descriptor,
+    const CompressionScheme& scheme, const Options& options) {
+  if (options.sample_capacity == 0) {
+    return Status::InvalidArgument("sample capacity must be positive");
+  }
+  // Validate scheme/descriptor eagerly so Add() can stay cheap.
+  CFEST_RETURN_NOT_OK(ColumnCompressorSet::Make(schema, scheme).status());
+  if (descriptor.key_columns.empty()) {
+    return Status::InvalidArgument("index has no key columns");
+  }
+  for (const std::string& name : descriptor.key_columns) {
+    CFEST_RETURN_NOT_OK(schema.ColumnIndex(name).status());
+  }
+  return StreamingSampleCF(schema, descriptor, scheme, options);
+}
+
+Status StreamingSampleCF::Add(Slice encoded_row) {
+  if (encoded_row.size() != schema_.row_width()) {
+    return Status::InvalidArgument(
+        "encoded row has " + std::to_string(encoded_row.size()) +
+        " bytes, expected " + std::to_string(schema_.row_width()));
+  }
+  // Vitter's Algorithm R.
+  if (reservoir_.size() < options_.sample_capacity) {
+    reservoir_.emplace_back(encoded_row.data(), encoded_row.size());
+  } else {
+    const uint64_t j = rng_.NextBounded(rows_seen_ + 1);
+    if (j < options_.sample_capacity) {
+      reservoir_[static_cast<size_t>(j)].assign(encoded_row.data(),
+                                                encoded_row.size());
+    }
+  }
+  ++rows_seen_;
+  return Status::OK();
+}
+
+Result<SampleCFResult> StreamingSampleCF::Estimate() const {
+  if (reservoir_.empty()) {
+    return Status::InvalidArgument("no rows offered yet");
+  }
+  TableBuilder builder(schema_);
+  builder.Reserve(reservoir_.size());
+  for (const std::string& row : reservoir_) {
+    CFEST_RETURN_NOT_OK(builder.AppendEncoded(Slice(row)));
+  }
+  std::unique_ptr<Table> sample = builder.Finish();
+  CFEST_ASSIGN_OR_RETURN(Index index,
+                         Index::Build(*sample, descriptor_, options_.build));
+  CFEST_ASSIGN_OR_RETURN(CompressedIndex compressed,
+                         index.Compress(scheme_, options_.build));
+  SampleCFResult result;
+  result.cf = MeasureCF(index.stats(), compressed.stats(), options_.metric);
+  result.sample_rows = sample->num_rows();
+  result.sample_dictionary_entries = compressed.stats().dictionary_entries;
+  result.sample_uncompressed = index.stats();
+  result.sample_compressed = compressed.stats();
+  return result;
+}
+
+}  // namespace cfest

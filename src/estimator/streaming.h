@@ -1,0 +1,70 @@
+// Copyright (c) the samplecf authors. Licensed under the MIT license.
+//
+// Single-pass streaming SampleCF: maintain a fixed-capacity reservoir
+// (Vitter's Algorithm R, the paper's ref [5]) while rows stream by — e.g.
+// during a bulk load or table scan — and answer the compression-fraction
+// estimate at any point without ever materializing the full table. This is
+// how an engine can keep a compression estimate fresh as data arrives.
+
+#ifndef CFEST_ESTIMATOR_STREAMING_H_
+#define CFEST_ESTIMATOR_STREAMING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "estimator/sample_cf.h"
+
+namespace cfest {
+
+/// \brief Incrementally samples a row stream and estimates CF on demand.
+class StreamingSampleCF {
+ public:
+  struct Options {
+    /// Reservoir capacity r: the sample the estimate is computed from.
+    uint64_t sample_capacity = 10000;
+    SizeMetric metric = SizeMetric::kDataBytes;
+    IndexBuildOptions build = {kDefaultPageSize, /*keep_pages=*/false};
+    uint64_t seed = 42;
+  };
+
+  /// `schema` describes the incoming encoded rows.
+  static Result<StreamingSampleCF> Make(const Schema& schema,
+                                        const IndexDescriptor& descriptor,
+                                        const CompressionScheme& scheme,
+                                        const Options& options);
+
+  /// Offers one encoded row (exactly schema.row_width() bytes) to the
+  /// reservoir.
+  Status Add(Slice encoded_row);
+
+  uint64_t rows_seen() const { return rows_seen_; }
+  uint64_t reservoir_size() const { return reservoir_.size(); }
+
+  /// Computes the SampleCF estimate from the current reservoir (builds and
+  /// compresses the sample index; callable repeatedly as the stream grows).
+  Result<SampleCFResult> Estimate() const;
+
+ private:
+  StreamingSampleCF(Schema schema, IndexDescriptor descriptor,
+                    CompressionScheme scheme, const Options& options)
+      : schema_(std::move(schema)),
+        descriptor_(std::move(descriptor)),
+        scheme_(std::move(scheme)),
+        options_(options),
+        rng_(options.seed) {}
+
+  Schema schema_;
+  IndexDescriptor descriptor_;
+  CompressionScheme scheme_;
+  Options options_;
+  Random rng_;
+  std::vector<std::string> reservoir_;
+  uint64_t rows_seen_ = 0;
+};
+
+}  // namespace cfest
+
+#endif  // CFEST_ESTIMATOR_STREAMING_H_

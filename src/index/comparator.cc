@@ -1,0 +1,43 @@
+#include "index/comparator.h"
+
+#include <cstring>
+
+namespace cfest {
+
+int RowComparator::CompareCell(Slice a, Slice b, const DataType& type) {
+  if (type.IsString()) {
+    return std::memcmp(a.data(), b.data(), a.size());
+  }
+  // Little-endian two's-complement: decode and compare numerically.
+  const uint32_t w = type.FixedWidth();
+  uint64_t ua = 0, ub = 0;
+  for (uint32_t i = 0; i < w; ++i) {
+    ua |= static_cast<uint64_t>(static_cast<unsigned char>(a[i])) << (8 * i);
+    ub |= static_cast<uint64_t>(static_cast<unsigned char>(b[i])) << (8 * i);
+  }
+  if (w < 8) {
+    const uint64_t sign = 1ull << (8 * w - 1);
+    // Bias so unsigned comparison orders signed values correctly.
+    ua ^= sign;
+    ub ^= sign;
+  } else {
+    ua ^= 1ull << 63;
+    ub ^= 1ull << 63;
+  }
+  if (ua < ub) return -1;
+  if (ua > ub) return 1;
+  return 0;
+}
+
+int RowComparator::Compare(Slice a, Slice b) const {
+  for (size_t c = 0; c < num_key_columns_; ++c) {
+    const DataType& type = schema_->column(c).type;
+    const uint32_t off = schema_->offset(c);
+    const uint32_t w = schema_->width(c);
+    const int r = CompareCell(a.SubSlice(off, w), b.SubSlice(off, w), type);
+    if (r != 0) return r;
+  }
+  return 0;
+}
+
+}  // namespace cfest

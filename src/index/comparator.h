@@ -1,0 +1,40 @@
+// Copyright (c) the samplecf authors. Licensed under the MIT license.
+//
+// Typed comparison of encoded rows: integers compare numerically (their
+// little-endian cells do not sort bytewise), strings compare as blank-padded
+// byte strings.
+
+#ifndef CFEST_INDEX_COMPARATOR_H_
+#define CFEST_INDEX_COMPARATOR_H_
+
+#include <cstdint>
+
+#include "common/slice.h"
+#include "storage/schema.h"
+
+namespace cfest {
+
+/// \brief Compares encoded rows on the first `num_key_columns` columns of a
+/// schema, column by column.
+class RowComparator {
+ public:
+  RowComparator(const Schema* schema, size_t num_key_columns)
+      : schema_(schema), num_key_columns_(num_key_columns) {}
+
+  /// <0, 0, >0 like memcmp. Both rows must be encoded with the schema.
+  int Compare(Slice a, Slice b) const;
+
+  bool operator()(Slice a, Slice b) const { return Compare(a, b) < 0; }
+
+  size_t num_key_columns() const { return num_key_columns_; }
+
+ private:
+  static int CompareCell(Slice a, Slice b, const DataType& type);
+
+  const Schema* schema_;  // not owned
+  size_t num_key_columns_;
+};
+
+}  // namespace cfest
+
+#endif  // CFEST_INDEX_COMPARATOR_H_

@@ -1,0 +1,156 @@
+#include "index/index.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+namespace cfest {
+namespace {
+
+constexpr const char* kRidColumnName = "__rid";
+
+/// Builds the index-row schema and the mapping from index column to source
+/// table column (SIZE_MAX marks the synthetic __rid column).
+Status PlanIndexSchema(const Table& table, const IndexDescriptor& descriptor,
+                       Schema* schema, std::vector<size_t>* source_columns) {
+  if (descriptor.key_columns.empty()) {
+    return Status::InvalidArgument("index " + descriptor.name +
+                                   " has no key columns");
+  }
+  std::vector<Column> columns;
+  std::vector<size_t> sources;
+  std::vector<bool> used(table.schema().num_columns(), false);
+  for (const std::string& name : descriptor.key_columns) {
+    CFEST_ASSIGN_OR_RETURN(size_t idx, table.schema().ColumnIndex(name));
+    if (used[idx]) {
+      return Status::InvalidArgument("duplicate key column " + name);
+    }
+    used[idx] = true;
+    columns.push_back(table.schema().column(idx));
+    sources.push_back(idx);
+  }
+  if (descriptor.clustered) {
+    for (size_t i = 0; i < table.schema().num_columns(); ++i) {
+      if (!used[i]) {
+        columns.push_back(table.schema().column(i));
+        sources.push_back(i);
+      }
+    }
+  } else {
+    columns.push_back(Column{kRidColumnName, Int64Type()});
+    sources.push_back(SIZE_MAX);
+  }
+  CFEST_ASSIGN_OR_RETURN(*schema, Schema::Make(std::move(columns)));
+  *source_columns = std::move(sources);
+  return Status::OK();
+}
+
+}  // namespace
+
+uint64_t InternalPageCount(uint64_t leaf_pages, uint64_t fanout) {
+  if (leaf_pages <= 1 || fanout < 2) return 0;
+  uint64_t total = 0;
+  uint64_t level = leaf_pages;
+  while (level > 1) {
+    level = (level + fanout - 1) / fanout;
+    total += level;
+  }
+  return total;
+}
+
+uint64_t Index::fanout() const {
+  // Internal entry: separator key (key column widths) + 8-byte child pointer.
+  uint64_t key_width = 0;
+  for (size_t c = 0; c < num_key_columns(); ++c) key_width += schema_.width(c);
+  const uint64_t entry = key_width + 8 + kSlotSize;
+  const uint64_t capacity = stats_.page_size - kPageHeaderSize;
+  return std::max<uint64_t>(2, capacity / entry);
+}
+
+Result<Index> Index::Build(const Table& table,
+                           const IndexDescriptor& descriptor,
+                           const IndexBuildOptions& options) {
+  Index index;
+  index.descriptor_ = descriptor;
+  std::vector<size_t> source_columns;
+  CFEST_RETURN_NOT_OK(
+      PlanIndexSchema(table, descriptor, &index.schema_, &source_columns));
+  index.row_width_ = index.schema_.row_width();
+  index.num_rows_ = table.num_rows();
+  index.stats_.page_size = options.page_size;
+  index.stats_.row_count = table.num_rows();
+  index.stats_.row_data_bytes = table.num_rows() * index.row_width_;
+
+  // Materialize projected rows.
+  index.sorted_rows_.reserve(static_cast<size_t>(table.num_rows()) *
+                             index.row_width_);
+  for (RowId id = 0; id < table.num_rows(); ++id) {
+    for (size_t c = 0; c < source_columns.size(); ++c) {
+      if (source_columns[c] == SIZE_MAX) {
+        for (int b = 0; b < 8; ++b) {
+          index.sorted_rows_.push_back(
+              static_cast<char>((id >> (8 * b)) & 0xFF));
+        }
+      } else {
+        Slice cell = table.cell(id, source_columns[c]);
+        index.sorted_rows_.append(cell.data(), cell.size());
+      }
+    }
+  }
+
+  // Sort by key via an offset permutation, then apply it.
+  const uint32_t w = index.row_width_;
+  std::vector<uint64_t> perm(table.num_rows());
+  std::iota(perm.begin(), perm.end(), 0);
+  RowComparator cmp(&index.schema_, descriptor.key_columns.size());
+  const char* base = index.sorted_rows_.data();
+  std::stable_sort(perm.begin(), perm.end(), [&](uint64_t a, uint64_t b) {
+    return cmp.Compare(Slice(base + a * w, w), Slice(base + b * w, w)) < 0;
+  });
+  std::string sorted;
+  sorted.reserve(index.sorted_rows_.size());
+  for (uint64_t p : perm) {
+    sorted.append(base + p * w, w);
+  }
+  index.sorted_rows_ = std::move(sorted);
+
+  // Pack leaf pages.
+  if (w > PageBuilder::MaxRecordSize(options.page_size)) {
+    return Status::InvalidArgument(
+        "index row of " + std::to_string(w) +
+        " bytes exceeds page capacity (the paper assumes tuple size <= page "
+        "size)");
+  }
+  uint64_t page_id = 0;
+  PageBuilder builder(page_id, PageType::kDataLeaf, options.page_size);
+  auto flush = [&](PageBuilder* b) {
+    Page page = b->Finish();
+    index.stats_.leaf_used_bytes += page.used_bytes();
+    ++index.stats_.leaf_pages;
+    if (options.keep_pages) index.leaf_pages_.push_back(std::move(page));
+  };
+  for (uint64_t i = 0; i < index.num_rows_; ++i) {
+    if (!builder.Fits(w)) {
+      flush(&builder);
+      builder = PageBuilder(++page_id, PageType::kDataLeaf, options.page_size);
+    }
+    CFEST_RETURN_NOT_OK(builder.Add(index.row(i)));
+  }
+  if (!builder.empty() || index.num_rows_ == 0) flush(&builder);
+
+  index.stats_.internal_pages =
+      InternalPageCount(index.stats_.leaf_pages, index.fanout());
+  return index;
+}
+
+Result<CompressedIndex> Index::Compress(const CompressionScheme& scheme,
+                                        const IndexBuildOptions& options) const {
+  CFEST_ASSIGN_OR_RETURN(auto builder,
+                         CompressedIndexBuilder::Make(schema_, scheme, options));
+  for (uint64_t i = 0; i < num_rows_; ++i) {
+    CFEST_RETURN_NOT_OK(builder->Add(row(i)));
+  }
+  return builder->Finish();
+}
+
+}  // namespace cfest

@@ -1,0 +1,120 @@
+#include "index/index_scan.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cfest {
+
+IndexScanner::IndexScanner(const Index* index)
+    : index_(index), codec_(index->schema()) {}
+
+Result<std::string> IndexScanner::EncodeProbe(const Row& key,
+                                              size_t* prefix_cols) const {
+  const Schema& schema = index_->schema();
+  if (key.empty() || key.size() > index_->num_key_columns()) {
+    return Status::InvalidArgument(
+        "probe must supply 1.." +
+        std::to_string(index_->num_key_columns()) + " key values, got " +
+        std::to_string(key.size()));
+  }
+  *prefix_cols = key.size();
+  std::string probe;
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    if (c < key.size()) {
+      CFEST_RETURN_NOT_OK(codec_.EncodeCell(key[c], c, &probe));
+    } else {
+      probe.append(schema.width(c), '\0');
+    }
+  }
+  return probe;
+}
+
+uint64_t IndexScanner::LowerBound(Slice probe, size_t prefix_cols) const {
+  RowComparator cmp(&index_->schema(), prefix_cols);
+  uint64_t lo = 0, hi = index_->num_rows();
+  while (lo < hi) {
+    const uint64_t mid = lo + (hi - lo) / 2;
+    if (cmp.Compare(index_->row(mid), probe) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+uint64_t IndexScanner::UpperBound(Slice probe, size_t prefix_cols) const {
+  RowComparator cmp(&index_->schema(), prefix_cols);
+  uint64_t lo = 0, hi = index_->num_rows();
+  while (lo < hi) {
+    const uint64_t mid = lo + (hi - lo) / 2;
+    if (cmp.Compare(index_->row(mid), probe) <= 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+ScanResult IndexScanner::MakeResult(uint64_t begin, uint64_t end) const {
+  ScanResult result;
+  result.first_position = begin;
+  result.row_count = end > begin ? end - begin : 0;
+  // Page-touch accounting over the uncompressed leaf layout.
+  const uint64_t per_page = std::max<uint64_t>(
+      1, (index_->stats().page_size - kPageHeaderSize) /
+             (index_->schema().row_width() + kSlotSize));
+  if (result.row_count > 0) {
+    const uint64_t first_page = begin / per_page;
+    const uint64_t last_page = (end - 1) / per_page;
+    result.leaf_pages_touched = last_page - first_page + 1;
+  }
+  // Levels: 1 (leaf) + internal height.
+  uint64_t levels = 1;
+  uint64_t level_pages = index_->stats().leaf_pages;
+  const uint64_t fanout = index_->fanout();
+  while (level_pages > 1) {
+    level_pages = (level_pages + fanout - 1) / fanout;
+    ++levels;
+  }
+  result.levels_descended = levels;
+  return result;
+}
+
+Result<ScanResult> IndexScanner::Lookup(const Row& key) const {
+  size_t prefix_cols = 0;
+  CFEST_ASSIGN_OR_RETURN(std::string probe, EncodeProbe(key, &prefix_cols));
+  const uint64_t begin = LowerBound(Slice(probe), prefix_cols);
+  const uint64_t end = UpperBound(Slice(probe), prefix_cols);
+  return MakeResult(begin, end);
+}
+
+Result<ScanResult> IndexScanner::Scan(const ScanRange& range) const {
+  uint64_t begin = 0;
+  uint64_t end = index_->num_rows();
+  if (range.lower.has_value()) {
+    size_t prefix_cols = 0;
+    CFEST_ASSIGN_OR_RETURN(std::string probe,
+                           EncodeProbe(*range.lower, &prefix_cols));
+    begin = LowerBound(Slice(probe), prefix_cols);
+  }
+  if (range.upper.has_value()) {
+    size_t prefix_cols = 0;
+    CFEST_ASSIGN_OR_RETURN(std::string probe,
+                           EncodeProbe(*range.upper, &prefix_cols));
+    end = UpperBound(Slice(probe), prefix_cols);
+  }
+  if (end < begin) end = begin;
+  return MakeResult(begin, end);
+}
+
+Result<Row> IndexScanner::DecodeRow(uint64_t position) const {
+  if (position >= index_->num_rows()) {
+    return Status::OutOfRange("row position " + std::to_string(position) +
+                              " >= " + std::to_string(index_->num_rows()));
+  }
+  return codec_.Decode(index_->row(position));
+}
+
+}  // namespace cfest

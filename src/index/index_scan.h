@@ -1,0 +1,67 @@
+// Copyright (c) the samplecf authors. Licensed under the MIT license.
+//
+// Read access to bulk-built indexes: point lookup and range scans over the
+// sorted row array, with page-touch accounting so the advisor's cost model
+// can price queries against compressed vs uncompressed physical designs.
+
+#ifndef CFEST_INDEX_INDEX_SCAN_H_
+#define CFEST_INDEX_INDEX_SCAN_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "common/result.h"
+#include "index/index.h"
+#include "storage/row_codec.h"
+
+namespace cfest {
+
+/// \brief Bounds for a range scan over an index's first key column(s).
+/// Empty optionals mean unbounded on that side; bounds are inclusive and are
+/// encoded *index rows* compared on the key prefix.
+struct ScanRange {
+  std::optional<Row> lower;
+  std::optional<Row> upper;
+};
+
+/// \brief Result of a scan: matching row positions plus touch accounting.
+struct ScanResult {
+  /// First matching position and count (rows are contiguous in key order).
+  uint64_t first_position = 0;
+  uint64_t row_count = 0;
+  /// Leaf pages the scan touches in the uncompressed index layout.
+  uint64_t leaf_pages_touched = 0;
+  /// B+-tree levels descended to locate the start (root to leaf).
+  uint64_t levels_descended = 0;
+};
+
+/// \brief Searches and scans a bulk-built Index.
+class IndexScanner {
+ public:
+  explicit IndexScanner(const Index* index);
+
+  /// Rows whose key prefix equals `key` (key gives a value per key column,
+  /// possibly fewer for a prefix match).
+  Result<ScanResult> Lookup(const Row& key) const;
+
+  /// Rows within [range.lower, range.upper] on the key prefix.
+  Result<ScanResult> Scan(const ScanRange& range) const;
+
+  /// The i-th row of the index (in key order) decoded to Values.
+  Result<Row> DecodeRow(uint64_t position) const;
+
+ private:
+  /// Encodes a key prefix into a probe row (non-key columns zero-padded).
+  Result<std::string> EncodeProbe(const Row& key, size_t* prefix_cols) const;
+  /// First position whose key prefix is >= / > the probe.
+  uint64_t LowerBound(Slice probe, size_t prefix_cols) const;
+  uint64_t UpperBound(Slice probe, size_t prefix_cols) const;
+  ScanResult MakeResult(uint64_t begin, uint64_t end) const;
+
+  const Index* index_;  // not owned
+  RowCodec codec_;
+};
+
+}  // namespace cfest
+
+#endif  // CFEST_INDEX_INDEX_SCAN_H_

@@ -1,0 +1,36 @@
+#include "storage/catalog.h"
+
+namespace cfest {
+
+Status Catalog::AddTable(const std::string& name,
+                         std::unique_ptr<Table> table) {
+  if (name.empty()) {
+    return Status::InvalidArgument("table name must be non-empty");
+  }
+  if (table == nullptr) {
+    return Status::InvalidArgument("table must not be null");
+  }
+  auto [it, inserted] = tables_.emplace(name, std::move(table));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("table " + name + " already registered");
+  }
+  return Status::OK();
+}
+
+Result<const Table*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table " + name + " not in catalog");
+  }
+  return const_cast<const Table*>(it->second.get());
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace cfest

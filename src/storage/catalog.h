@@ -1,0 +1,42 @@
+// Copyright (c) the samplecf authors. Licensed under the MIT license.
+//
+// A minimal catalog: named tables, so examples and the advisor can refer to
+// "lineitem" etc.
+
+#ifndef CFEST_STORAGE_CATALOG_H_
+#define CFEST_STORAGE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace cfest {
+
+/// \brief Owns a set of named tables.
+class Catalog {
+ public:
+  /// Registers a table under `name`. Fails if the name is taken.
+  Status AddTable(const std::string& name, std::unique_ptr<Table> table);
+
+  /// Looks up a table; NotFound if absent.
+  Result<const Table*> GetTable(const std::string& name) const;
+
+  bool HasTable(const std::string& name) const {
+    return tables_.count(name) > 0;
+  }
+
+  /// Names in lexicographic order.
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace cfest
+
+#endif  // CFEST_STORAGE_CATALOG_H_

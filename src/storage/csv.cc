@@ -1,0 +1,241 @@
+#include "storage/csv.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <vector>
+
+namespace cfest {
+namespace {
+
+Result<DataType> ParseTypeName(const std::string& name) {
+  if (name == "int32") return Int32Type();
+  if (name == "int64") return Int64Type();
+  if (name == "date") return DateType();
+  if (name == "decimal") return DecimalType();
+  for (const char* prefix : {"char(", "varchar("}) {
+    const std::string p(prefix);
+    if (name.size() > p.size() + 1 && name.compare(0, p.size(), p) == 0 &&
+        name.back() == ')') {
+      const std::string digits = name.substr(p.size(),
+                                             name.size() - p.size() - 1);
+      char* end = nullptr;
+      const unsigned long k = std::strtoul(digits.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || k == 0 || k > 0xFFFF) {
+        return Status::InvalidArgument("bad string length in type: " + name);
+      }
+      return p == "char(" ? CharType(static_cast<uint32_t>(k))
+                          : VarcharType(static_cast<uint32_t>(k));
+    }
+  }
+  return Status::InvalidArgument("unknown type: " + name);
+}
+
+/// Splits one CSV record starting at *pos; advances *pos past the record's
+/// trailing newline. Returns false at end of input. *any_content reports
+/// whether the record contained any characters or quoting (so a genuinely
+/// blank line is distinguishable from a single quoted-empty field "").
+bool NextRecord(const std::string& text, size_t* pos,
+                std::vector<std::string>* fields, bool* any_content,
+                Status* error) {
+  fields->clear();
+  *any_content = false;
+  if (*pos >= text.size()) return false;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+  while (*pos < text.size()) {
+    const char c = text[*pos];
+    if (in_quotes) {
+      if (c == '"') {
+        if (*pos + 1 < text.size() && text[*pos + 1] == '"') {
+          field.push_back('"');
+          *pos += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++*pos;
+        continue;
+      }
+      field.push_back(c);
+      ++*pos;
+      continue;
+    }
+    if (c == '"') {
+      if (!field.empty()) {
+        *error = Status::InvalidArgument(
+            "quote inside unquoted CSV field near offset " +
+            std::to_string(*pos));
+        return false;
+      }
+      in_quotes = true;
+      field_started = true;
+      *any_content = true;
+      ++*pos;
+      continue;
+    }
+    if (c == ',') {
+      fields->push_back(std::move(field));
+      field.clear();
+      field_started = false;
+      *any_content = true;
+      ++*pos;
+      continue;
+    }
+    if (c == '\n' || c == '\r') {
+      // Consume the newline sequence and finish the record.
+      if (c == '\r' && *pos + 1 < text.size() && text[*pos + 1] == '\n') {
+        ++*pos;
+      }
+      ++*pos;
+      fields->push_back(std::move(field));
+      return true;
+    }
+    field.push_back(c);
+    field_started = true;
+    *any_content = true;
+    ++*pos;
+  }
+  if (in_quotes) {
+    *error = Status::InvalidArgument("unterminated quoted CSV field");
+    return false;
+  }
+  (void)field_started;
+  fields->push_back(std::move(field));
+  return true;
+}
+
+Result<Value> ParseCell(const std::string& field, const DataType& type,
+                        size_t line) {
+  if (type.IsString()) {
+    if (field.size() > type.FixedWidth()) {
+      return Status::OutOfRange("line " + std::to_string(line) + ": value '" +
+                                field + "' exceeds " + type.ToString());
+    }
+    return Value::Str(field);
+  }
+  if (field.empty()) {
+    return Status::InvalidArgument("line " + std::to_string(line) +
+                                   ": empty integer cell");
+  }
+  char* end = nullptr;
+  const long long v = std::strtoll(field.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    return Status::InvalidArgument("line " + std::to_string(line) +
+                                   ": not an integer: '" + field + "'");
+  }
+  return Value::Int(v);
+}
+
+bool NeedsQuoting(const std::string& s) {
+  for (char c : s) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+void AppendCsvField(const std::string& s, std::string* out) {
+  if (!NeedsQuoting(s)) {
+    *out += s;
+    return;
+  }
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"') out->push_back('"');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+Result<Schema> ParseSchemaSpec(const std::string& spec) {
+  std::vector<Column> columns;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    // Commas inside "char(...)" never occur, so a plain find is safe.
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    const size_t colon = item.find(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= item.size()) {
+      return Status::InvalidArgument("bad schema item: '" + item +
+                                     "' (want name:type)");
+    }
+    CFEST_ASSIGN_OR_RETURN(DataType type,
+                           ParseTypeName(item.substr(colon + 1)));
+    columns.push_back(Column{item.substr(0, colon), type});
+    pos = comma + 1;
+  }
+  return Schema::Make(std::move(columns));
+}
+
+std::string SchemaToSpec(const Schema& schema) {
+  std::string out;
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    if (c > 0) out += ",";
+    out += schema.column(c).name + ":" + schema.column(c).type.ToString();
+  }
+  return out;
+}
+
+Result<std::unique_ptr<Table>> LoadCsv(const std::string& content,
+                                       const Schema& schema,
+                                       bool has_header) {
+  TableBuilder builder(schema);
+  size_t pos = 0;
+  size_t line = 0;
+  std::vector<std::string> fields;
+  bool any_content = false;
+  Status error;
+  Row row(schema.num_columns());
+  while (NextRecord(content, &pos, &fields, &any_content, &error)) {
+    ++line;
+    if (line == 1 && has_header) continue;
+    if (!any_content) continue;  // genuinely blank line
+    if (fields.size() != schema.num_columns()) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line) + ": " +
+          std::to_string(fields.size()) + " fields, schema has " +
+          std::to_string(schema.num_columns()));
+    }
+    for (size_t c = 0; c < fields.size(); ++c) {
+      CFEST_ASSIGN_OR_RETURN(row[c],
+                             ParseCell(fields[c], schema.column(c).type,
+                                       line));
+    }
+    CFEST_RETURN_NOT_OK(builder.Append(row));
+  }
+  CFEST_RETURN_NOT_OK(error);
+  return builder.Finish();
+}
+
+std::string WriteCsv(const Table& table, bool header) {
+  std::string out;
+  const Schema& schema = table.schema();
+  if (header) {
+    for (size_t c = 0; c < schema.num_columns(); ++c) {
+      if (c > 0) out += ",";
+      AppendCsvField(schema.column(c).name, &out);
+    }
+    out += "\n";
+  }
+  for (RowId id = 0; id < table.num_rows(); ++id) {
+    Result<Row> row = table.DecodeRow(id);
+    // Rows in a built table always decode.
+    const Row& r = *row;
+    for (size_t c = 0; c < r.size(); ++c) {
+      if (c > 0) out += ",";
+      const std::string cell = r[c].ToString();
+      if (r.size() == 1 && cell.empty()) {
+        out += "\"\"";  // disambiguate a single empty field from a blank line
+      } else {
+        AppendCsvField(cell, &out);
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace cfest

@@ -1,0 +1,41 @@
+// Copyright (c) the samplecf authors. Licensed under the MIT license.
+//
+// CSV import/export and a compact textual schema notation, so the CLI tool
+// (tools/samplecf_cli) can estimate compression fractions for user data
+// without writing any C++.
+//
+// Schema spec grammar:  "name:type[,name:type...]" with type one of
+//   int32 | int64 | date | decimal | char(k) | varchar(k)
+// e.g. "l_orderkey:int64,l_shipmode:char(10),l_comment:varchar(44)".
+
+#ifndef CFEST_STORAGE_CSV_H_
+#define CFEST_STORAGE_CSV_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace cfest {
+
+/// Parses the schema notation above.
+Result<Schema> ParseSchemaSpec(const std::string& spec);
+
+/// Renders a schema back into the spec notation (inverse of
+/// ParseSchemaSpec).
+std::string SchemaToSpec(const Schema& schema);
+
+/// Parses RFC-4180-style CSV text (quoted fields, escaped quotes, embedded
+/// commas/newlines) into a table. Integer columns accept optional sign;
+/// string cells must fit the declared width.
+Result<std::unique_ptr<Table>> LoadCsv(const std::string& content,
+                                       const Schema& schema,
+                                       bool has_header = true);
+
+/// Serializes a table to CSV (with a header row when header == true).
+std::string WriteCsv(const Table& table, bool header = true);
+
+}  // namespace cfest
+
+#endif  // CFEST_STORAGE_CSV_H_

@@ -1,0 +1,127 @@
+#include "storage/page.h"
+
+#include <cstring>
+
+namespace cfest {
+namespace {
+
+void PutU16(std::string* buf, size_t pos, uint16_t v) {
+  (*buf)[pos] = static_cast<char>(v & 0xFF);
+  (*buf)[pos + 1] = static_cast<char>((v >> 8) & 0xFF);
+}
+
+uint16_t GetU16(const std::string& buf, size_t pos) {
+  return static_cast<uint16_t>(static_cast<unsigned char>(buf[pos])) |
+         static_cast<uint16_t>(static_cast<unsigned char>(buf[pos + 1])) << 8;
+}
+
+void PutU64(std::string* buf, size_t pos, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    (*buf)[pos + i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+uint64_t GetU64(const std::string& buf, size_t pos) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(buf[pos + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+Result<Page> Page::FromBuffer(std::string buffer) {
+  if (buffer.size() < kPageHeaderSize) {
+    return Status::Corruption("page buffer smaller than header");
+  }
+  Page page(std::move(buffer));
+  // Validate the slot directory.
+  const size_t n = page.slot_count();
+  if (kPageHeaderSize + kSlotSize * n > page.buffer_.size()) {
+    return Status::Corruption("slot directory overruns page");
+  }
+  for (uint16_t i = 0; i < n; ++i) {
+    Result<Slice> r = page.record(i);
+    if (!r.ok()) return r.status();
+  }
+  return page;
+}
+
+uint64_t Page::page_id() const { return GetU64(buffer_, 0); }
+
+PageType Page::type() const {
+  return static_cast<PageType>(static_cast<unsigned char>(buffer_[8]));
+}
+
+uint16_t Page::slot_count() const { return GetU16(buffer_, 10); }
+
+size_t Page::used_bytes() const {
+  const uint16_t free_off = GetU16(buffer_, 12);
+  return free_off + kSlotSize * slot_count();
+}
+
+size_t Page::free_bytes() const { return buffer_.size() - used_bytes(); }
+
+Result<Slice> Page::record(uint16_t i) const {
+  if (i >= slot_count()) {
+    return Status::OutOfRange("slot " + std::to_string(i) + " >= slot count " +
+                              std::to_string(slot_count()));
+  }
+  const size_t slot_pos = buffer_.size() - kSlotSize * (i + 1);
+  const uint16_t off = GetU16(buffer_, slot_pos);
+  const uint16_t len = GetU16(buffer_, slot_pos + 2);
+  if (off < kPageHeaderSize || off + len > buffer_.size()) {
+    return Status::Corruption("slot " + std::to_string(i) +
+                              " points outside the page");
+  }
+  return Slice(buffer_.data() + off, len);
+}
+
+PageBuilder::PageBuilder(uint64_t page_id, PageType type, size_t page_size)
+    : page_id_(page_id), type_(type), page_size_(page_size) {
+  data_.reserve(page_size - kPageHeaderSize);
+}
+
+bool PageBuilder::Fits(size_t size) const {
+  return used_bytes() + size + kSlotSize <= page_size_;
+}
+
+Status PageBuilder::Add(Slice record) {
+  if (record.size() > MaxRecordSize(page_size_)) {
+    return Status::InvalidArgument(
+        "record of " + std::to_string(record.size()) +
+        " bytes can never fit a page of " + std::to_string(page_size_));
+  }
+  if (slots_.size() >= 0xFFFF) {
+    return Status::CapacityExceeded("slot directory full");
+  }
+  if (!Fits(record.size())) {
+    return Status::CapacityExceeded("page full");
+  }
+  const uint16_t offset =
+      static_cast<uint16_t>(kPageHeaderSize + data_.size());
+  data_.append(record.data(), record.size());
+  slots_.push_back({offset, static_cast<uint16_t>(record.size())});
+  return Status::OK();
+}
+
+Page PageBuilder::Finish() {
+  std::string buf(page_size_, '\0');
+  PutU64(&buf, 0, page_id_);
+  buf[8] = static_cast<char>(type_);
+  PutU16(&buf, 10, static_cast<uint16_t>(slots_.size()));
+  PutU16(&buf, 12, static_cast<uint16_t>(kPageHeaderSize + data_.size()));
+  std::memcpy(buf.data() + kPageHeaderSize, data_.data(), data_.size());
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    const size_t slot_pos = buf.size() - kSlotSize * (i + 1);
+    PutU16(&buf, slot_pos, slots_[i].offset);
+    PutU16(&buf, slot_pos + 2, slots_[i].length);
+  }
+  Result<Page> page = Page::FromBuffer(std::move(buf));
+  // A builder-produced image is structurally valid by construction.
+  return std::move(page).ValueOrDie();
+}
+
+}  // namespace cfest

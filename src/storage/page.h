@@ -1,0 +1,116 @@
+// Copyright (c) the samplecf authors. Licensed under the MIT license.
+//
+// Slotted pages: the storage unit indexes are measured in. A page holds a
+// header, record data growing upward, and a slot directory growing downward
+// from the end, as in classical database storage engines.
+//
+// Layout (little-endian):
+//   [0..8)   page_id
+//   [8]      page_type
+//   [9]      unused
+//   [10..12) slot_count
+//   [12..14) free_offset   (first free byte after record data)
+//   [14..32) reserved
+//   [32..free_offset) record data
+//   ...free space...
+//   [end - 4*slot_count .. end) slot directory, slot i at end-4*(i+1):
+//        {u16 record_offset, u16 record_length}
+
+#ifndef CFEST_STORAGE_PAGE_H_
+#define CFEST_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace cfest {
+
+/// Default page size, matching common DBMS configurations (SQL Server: 8 KB).
+inline constexpr size_t kDefaultPageSize = 8192;
+/// Bytes of fixed page header.
+inline constexpr size_t kPageHeaderSize = 32;
+/// Bytes per slot directory entry.
+inline constexpr size_t kSlotSize = 4;
+
+/// \brief Role of a page inside an index.
+enum class PageType : uint8_t {
+  kDataLeaf = 0,       // uncompressed leaf holding records
+  kInternal = 1,       // B+-tree internal node
+  kCompressedLeaf = 2, // leaf holding a compressed page image
+  kDictionary = 3,     // global dictionary storage page
+};
+
+/// \brief An immutable slotted page image.
+class Page {
+ public:
+  /// Wraps a fully built page buffer (must be exactly page_size bytes).
+  static Result<Page> FromBuffer(std::string buffer);
+
+  uint64_t page_id() const;
+  PageType type() const;
+  uint16_t slot_count() const;
+  size_t page_size() const { return buffer_.size(); }
+
+  /// Bytes used by header + record data + slot directory.
+  size_t used_bytes() const;
+  /// Bytes still available for records (including their slots).
+  size_t free_bytes() const;
+
+  /// Zero-copy view of record i. Fails with OutOfRange for bad slots.
+  Result<Slice> record(uint16_t i) const;
+
+  const std::string& buffer() const { return buffer_; }
+
+ private:
+  explicit Page(std::string buffer) : buffer_(std::move(buffer)) {}
+  std::string buffer_;
+};
+
+/// \brief Builds slotted pages record by record.
+class PageBuilder {
+ public:
+  explicit PageBuilder(uint64_t page_id, PageType type,
+                       size_t page_size = kDefaultPageSize);
+
+  /// True if a record of `size` bytes (plus its slot) still fits.
+  bool Fits(size_t size) const;
+
+  /// Adds a record. Returns CapacityExceeded if it does not fit, or
+  /// InvalidArgument for records too large for any page of this size.
+  Status Add(Slice record);
+
+  uint16_t record_count() const { return static_cast<uint16_t>(slots_.size()); }
+  bool empty() const { return slots_.empty(); }
+  size_t used_bytes() const {
+    return kPageHeaderSize + data_.size() + kSlotSize * slots_.size();
+  }
+  size_t page_size() const { return page_size_; }
+
+  /// Maximum record payload a single empty page of this size can hold.
+  static size_t MaxRecordSize(size_t page_size) {
+    return page_size - kPageHeaderSize - kSlotSize;
+  }
+
+  /// Serializes the page image (page_size bytes) and resets nothing; the
+  /// builder should be discarded after Finish().
+  Page Finish();
+
+ private:
+  uint64_t page_id_;
+  PageType type_;
+  size_t page_size_;
+  std::string data_;  // record payloads, in insertion order
+  struct SlotEntry {
+    uint16_t offset;
+    uint16_t length;
+  };
+  std::vector<SlotEntry> slots_;
+};
+
+}  // namespace cfest
+
+#endif  // CFEST_STORAGE_PAGE_H_

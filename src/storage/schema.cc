@@ -1,0 +1,70 @@
+#include "storage/schema.h"
+
+#include <unordered_set>
+
+namespace cfest {
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {
+  offsets_.reserve(columns_.size());
+  uint32_t off = 0;
+  for (const auto& col : columns_) {
+    offsets_.push_back(off);
+    off += col.type.FixedWidth();
+  }
+  row_width_ = off;
+}
+
+Result<Schema> Schema::Make(std::vector<Column> columns) {
+  if (columns.empty()) {
+    return Status::InvalidArgument("schema must have at least one column");
+  }
+  std::unordered_set<std::string> names;
+  for (const auto& col : columns) {
+    if (col.name.empty()) {
+      return Status::InvalidArgument("column name must be non-empty");
+    }
+    if (!names.insert(col.name).second) {
+      return Status::InvalidArgument("duplicate column name: " + col.name);
+    }
+    if (col.type.IsString() && col.type.length == 0) {
+      return Status::InvalidArgument("string column " + col.name +
+                                     " must have positive declared length");
+    }
+  }
+  return Schema(std::move(columns));
+}
+
+Result<size_t> Schema::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return Status::NotFound("no column named " + name);
+}
+
+Result<Schema> Schema::Project(const std::vector<size_t>& indices) const {
+  if (indices.empty()) {
+    return Status::InvalidArgument("projection must keep at least one column");
+  }
+  std::vector<Column> cols;
+  cols.reserve(indices.size());
+  for (size_t idx : indices) {
+    if (idx >= columns_.size()) {
+      return Status::OutOfRange("projection index " + std::to_string(idx) +
+                                " out of range");
+    }
+    cols.push_back(columns_[idx]);
+  }
+  return Schema::Make(std::move(cols));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name + " " + columns_[i].type.ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace cfest

@@ -1,0 +1,73 @@
+// Copyright (c) the samplecf authors. Licensed under the MIT license.
+//
+// Column and Schema: ordered column definitions with precomputed fixed-width
+// offsets for the uncompressed row layout.
+
+#ifndef CFEST_STORAGE_SCHEMA_H_
+#define CFEST_STORAGE_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/types.h"
+
+namespace cfest {
+
+/// \brief A named, typed column.
+struct Column {
+  std::string name;
+  DataType type;
+};
+
+/// \brief An ordered list of columns plus the derived fixed-width layout.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns);
+
+  /// Validates names are unique & non-empty and string lengths are positive.
+  static Result<Schema> Make(std::vector<Column> columns);
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Byte offset of column i within an encoded row.
+  uint32_t offset(size_t i) const { return offsets_[i]; }
+  /// Fixed byte width of column i.
+  uint32_t width(size_t i) const { return columns_[i].type.FixedWidth(); }
+  /// Total encoded row width (sum of column widths).
+  uint32_t row_width() const { return row_width_; }
+
+  /// Index of the column with the given name, or NotFound.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  /// A schema containing only the given columns, in the given order.
+  Result<Schema> Project(const std::vector<size_t>& indices) const;
+
+  /// "(l_orderkey int64, l_shipmode char(10))"
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const {
+    if (columns_.size() != other.columns_.size()) return false;
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      if (columns_[i].name != other.columns_[i].name ||
+          !(columns_[i].type == other.columns_[i].type)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  std::vector<Column> columns_;
+  std::vector<uint32_t> offsets_;
+  uint32_t row_width_ = 0;
+};
+
+}  // namespace cfest
+
+#endif  // CFEST_STORAGE_SCHEMA_H_

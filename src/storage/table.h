@@ -1,0 +1,106 @@
+// Copyright (c) the samplecf authors. Licensed under the MIT license.
+//
+// An in-memory heap table holding rows in the fixed-width encoded layout,
+// stored contiguously. This is the population SampleCF samples from; keeping
+// rows encoded and contiguous makes million-row experiments cheap.
+
+#ifndef CFEST_STORAGE_TABLE_H_
+#define CFEST_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "storage/row_codec.h"
+#include "storage/schema.h"
+
+namespace cfest {
+
+/// \brief Identifies a row within a table (heap row id).
+using RowId = uint64_t;
+
+/// \brief An immutable in-memory table of fixed-width encoded rows.
+///
+/// Construct through TableBuilder. Row access is zero-copy (Slice into the
+/// contiguous buffer).
+class Table {
+ public:
+  const Schema& schema() const { return codec_.schema(); }
+  const RowCodec& codec() const { return codec_; }
+
+  uint64_t num_rows() const { return num_rows_; }
+  uint32_t row_width() const { return codec_.schema().row_width(); }
+  /// Total bytes of the uncompressed fixed-width representation (n * k).
+  uint64_t data_bytes() const { return num_rows_ * row_width(); }
+
+  /// Zero-copy view of an encoded row. id must be < num_rows().
+  Slice row(RowId id) const {
+    return Slice(buffer_.data() + static_cast<size_t>(id) * row_width(),
+                 row_width());
+  }
+
+  /// Zero-copy view of one cell of a row.
+  Slice cell(RowId id, size_t col) const {
+    return codec_.Cell(row(id), col);
+  }
+
+  /// Decodes a row into Values (for display / tests).
+  Result<Row> DecodeRow(RowId id) const { return codec_.Decode(row(id)); }
+
+ private:
+  friend class TableBuilder;
+  explicit Table(RowCodec codec) : codec_(std::move(codec)) {}
+
+  RowCodec codec_;
+  std::string buffer_;
+  uint64_t num_rows_ = 0;
+};
+
+/// \brief Accumulates rows and produces an immutable Table.
+class TableBuilder {
+ public:
+  explicit TableBuilder(Schema schema)
+      : table_(std::unique_ptr<Table>(new Table(RowCodec(std::move(schema))))) {}
+
+  const Schema& schema() const { return table_->schema(); }
+
+  /// Appends a row of Values (validated against the schema).
+  Status Append(const Row& row) {
+    CFEST_RETURN_NOT_OK(table_->codec_.Encode(row, &table_->buffer_));
+    ++table_->num_rows_;
+    return Status::OK();
+  }
+
+  /// Appends an already encoded row (must be exactly row_width bytes).
+  Status AppendEncoded(Slice encoded) {
+    if (encoded.size() != table_->row_width()) {
+      return Status::InvalidArgument(
+          "encoded row has " + std::to_string(encoded.size()) +
+          " bytes, expected " + std::to_string(table_->row_width()));
+    }
+    table_->buffer_.append(encoded.data(), encoded.size());
+    ++table_->num_rows_;
+    return Status::OK();
+  }
+
+  /// Reserves space for n rows.
+  void Reserve(uint64_t n) {
+    table_->buffer_.reserve(static_cast<size_t>(n) * table_->row_width());
+  }
+
+  uint64_t num_rows() const { return table_->num_rows_; }
+
+  /// Finalizes the table. The builder must not be reused afterwards.
+  std::unique_ptr<Table> Finish() { return std::move(table_); }
+
+ private:
+  std::unique_ptr<Table> table_;
+};
+
+}  // namespace cfest
+
+#endif  // CFEST_STORAGE_TABLE_H_

@@ -1,0 +1,23 @@
+#include "storage/types.h"
+
+namespace cfest {
+
+std::string DataType::ToString() const {
+  switch (id) {
+    case TypeId::kInt32:
+      return "int32";
+    case TypeId::kInt64:
+      return "int64";
+    case TypeId::kDate:
+      return "date";
+    case TypeId::kDecimal:
+      return "decimal";
+    case TypeId::kChar:
+      return "char(" + std::to_string(length) + ")";
+    case TypeId::kVarchar:
+      return "varchar(" + std::to_string(length) + ")";
+  }
+  return "unknown";
+}
+
+}  // namespace cfest

@@ -1,0 +1,70 @@
+// Copyright (c) the samplecf authors. Licensed under the MIT license.
+//
+// SQL-ish data types. The paper's analysis is phrased over char(k) columns
+// stored at their full declared width; the row codec therefore uses a
+// fixed-width uncompressed layout for every type (VARCHAR is padded to its
+// declared maximum, which is exactly the layout null suppression removes).
+
+#ifndef CFEST_STORAGE_TYPES_H_
+#define CFEST_STORAGE_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace cfest {
+
+/// \brief Type tags for column values.
+enum class TypeId : uint8_t {
+  kInt32 = 0,    // 4-byte signed integer
+  kInt64 = 1,    // 8-byte signed integer
+  kDate = 2,     // days since 1970-01-01, 4 bytes
+  kDecimal = 3,  // fixed-point, stored as scaled int64, 8 bytes
+  kChar = 4,     // char(k): fixed width, space padded
+  kVarchar = 5,  // varchar(k): stored padded in the uncompressed layout
+};
+
+/// \brief A concrete column type: tag plus declared length for strings.
+struct DataType {
+  TypeId id = TypeId::kInt32;
+  /// Declared length k for kChar / kVarchar; ignored otherwise.
+  uint32_t length = 0;
+
+  bool operator==(const DataType&) const = default;
+
+  bool IsString() const { return id == TypeId::kChar || id == TypeId::kVarchar; }
+  bool IsInteger() const {
+    return id == TypeId::kInt32 || id == TypeId::kInt64 ||
+           id == TypeId::kDate || id == TypeId::kDecimal;
+  }
+
+  /// Bytes this type occupies in the uncompressed fixed-width row layout.
+  uint32_t FixedWidth() const {
+    switch (id) {
+      case TypeId::kInt32:
+      case TypeId::kDate:
+        return 4;
+      case TypeId::kInt64:
+      case TypeId::kDecimal:
+        return 8;
+      case TypeId::kChar:
+      case TypeId::kVarchar:
+        return length;
+    }
+    return 0;
+  }
+
+  /// "int32", "char(20)", ...
+  std::string ToString() const;
+};
+
+/// Convenience factories.
+inline DataType Int32Type() { return {TypeId::kInt32, 0}; }
+inline DataType Int64Type() { return {TypeId::kInt64, 0}; }
+inline DataType DateType() { return {TypeId::kDate, 0}; }
+inline DataType DecimalType() { return {TypeId::kDecimal, 0}; }
+inline DataType CharType(uint32_t k) { return {TypeId::kChar, k}; }
+inline DataType VarcharType(uint32_t k) { return {TypeId::kVarchar, k}; }
+
+}  // namespace cfest
+
+#endif  // CFEST_STORAGE_TYPES_H_

@@ -1,0 +1,52 @@
+// Copyright (c) the samplecf authors. Licensed under the MIT license.
+//
+// Value: a typed scalar used at API boundaries (row construction, decoding,
+// examples). The hot paths operate on encoded fixed-width cells, not Values.
+
+#ifndef CFEST_STORAGE_VALUE_H_
+#define CFEST_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "storage/types.h"
+
+namespace cfest {
+
+/// \brief A scalar of one of the supported SQL-ish types.
+///
+/// Integers, dates and decimals are carried as int64; strings as std::string
+/// (unpadded logical content).
+class Value {
+ public:
+  Value() : rep_(int64_t{0}) {}
+  static Value Int(int64_t v) { return Value(v); }
+  static Value Str(std::string v) { return Value(std::move(v)); }
+
+  bool is_string() const { return std::holds_alternative<std::string>(rep_); }
+  int64_t AsInt() const { return std::get<int64_t>(rep_); }
+  const std::string& AsString() const { return std::get<std::string>(rep_); }
+
+  bool operator==(const Value&) const = default;
+  /// Total order: integers before strings, then by value.
+  bool operator<(const Value& other) const {
+    if (rep_.index() != other.rep_.index()) {
+      return rep_.index() < other.rep_.index();
+    }
+    return rep_ < other.rep_;
+  }
+
+  std::string ToString() const {
+    return is_string() ? AsString() : std::to_string(AsInt());
+  }
+
+ private:
+  explicit Value(int64_t v) : rep_(v) {}
+  explicit Value(std::string v) : rep_(std::move(v)) {}
+  std::variant<int64_t, std::string> rep_;
+};
+
+}  // namespace cfest
+
+#endif  // CFEST_STORAGE_VALUE_H_

@@ -1,0 +1,224 @@
+// Tests for index read access (lookup/range scans with page-touch
+// accounting) and the workload cost model built on top of it.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "advisor/cost_model.h"
+#include "datagen/table_gen.h"
+#include "index/index_scan.h"
+
+namespace cfest {
+namespace {
+
+std::unique_ptr<Table> OrdersLike(uint64_t n) {
+  auto table = GenerateTable(
+      {ColumnSpec::Integer("k", 0),
+       ColumnSpec::String("status", 8, 4, FrequencySpec::Uniform(),
+                          LengthSpec::Constant(4))},
+      n, 11);
+  EXPECT_TRUE(table.ok());
+  return std::move(table).ValueOrDie();
+}
+
+// ---------------------------------------------------------------------------
+// IndexScanner
+// ---------------------------------------------------------------------------
+
+class IndexScanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = OrdersLike(10000);
+    auto index = Index::Build(*table_, {"ix", {"k"}, /*clustered=*/true});
+    ASSERT_TRUE(index.ok());
+    index_ = std::make_unique<Index>(std::move(*index));
+    scanner_ = std::make_unique<IndexScanner>(index_.get());
+  }
+
+  std::unique_ptr<Table> table_;
+  std::unique_ptr<Index> index_;
+  std::unique_ptr<IndexScanner> scanner_;
+};
+
+TEST_F(IndexScanTest, PointLookupFindsExactlyOneRow) {
+  auto result = scanner_->Lookup({Value::Int(4242)});
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->row_count, 1u);
+  auto row = scanner_->DecodeRow(result->first_position);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((*row)[0].AsInt(), 4242);
+  EXPECT_EQ(result->leaf_pages_touched, 1u);
+  EXPECT_GE(result->levels_descended, 2u);  // root + leaf at n = 10000
+}
+
+TEST_F(IndexScanTest, MissingKeyFindsNothing) {
+  auto result = scanner_->Lookup({Value::Int(123456789)});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->row_count, 0u);
+  EXPECT_EQ(result->leaf_pages_touched, 0u);
+}
+
+TEST_F(IndexScanTest, RangeScanCountsMatchPredicate) {
+  ScanRange range;
+  range.lower = Row{Value::Int(1000)};
+  range.upper = Row{Value::Int(1999)};
+  auto result = scanner_->Scan(range);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->row_count, 1000u);  // keys 1000..1999 inclusive
+  EXPECT_GT(result->leaf_pages_touched, 1u);
+  // Rows in a range are contiguous and ordered.
+  auto first = scanner_->DecodeRow(result->first_position);
+  auto last =
+      scanner_->DecodeRow(result->first_position + result->row_count - 1);
+  EXPECT_EQ((*first)[0].AsInt(), 1000);
+  EXPECT_EQ((*last)[0].AsInt(), 1999);
+}
+
+TEST_F(IndexScanTest, HalfOpenRanges) {
+  ScanRange below;
+  below.upper = Row{Value::Int(99)};
+  auto r1 = scanner_->Scan(below);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1->row_count, 100u);  // 0..99
+
+  ScanRange above;
+  above.lower = Row{Value::Int(9900)};
+  auto r2 = scanner_->Scan(above);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->row_count, 100u);  // 9900..9999
+
+  auto all = scanner_->Scan(ScanRange{});
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->row_count, 10000u);
+  EXPECT_EQ(all->leaf_pages_touched, index_->stats().leaf_pages);
+}
+
+TEST_F(IndexScanTest, EmptyAndInvertedRanges) {
+  ScanRange inverted;
+  inverted.lower = Row{Value::Int(5000)};
+  inverted.upper = Row{Value::Int(4000)};
+  auto result = scanner_->Scan(inverted);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->row_count, 0u);
+}
+
+TEST_F(IndexScanTest, RejectsBadProbes) {
+  EXPECT_FALSE(scanner_->Lookup({}).ok());
+  EXPECT_FALSE(
+      scanner_->Lookup({Value::Int(1), Value::Int(2)}).ok());  // 1 key col
+  EXPECT_FALSE(scanner_->DecodeRow(10000).ok());
+}
+
+TEST(IndexScanDuplicatesTest, PrefixLookupSpansDuplicates) {
+  auto table = GenerateTable(
+      {ColumnSpec::String("flag", 4, 2, FrequencySpec::Sequential(),
+                          LengthSpec::Constant(1)),
+       ColumnSpec::Integer("v", 0)},
+      1000, 3);
+  ASSERT_TRUE(table.ok());
+  auto index = Index::Build(**table, {"ix", {"flag", "v"}, false});
+  ASSERT_TRUE(index.ok());
+  IndexScanner scanner(&*index);
+  // Prefix probe on the first key column only.
+  auto result = scanner.Lookup({Value::Str("0")});
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->row_count, 500u);
+  // Full-key probe narrows to one row.
+  auto narrow = scanner.Lookup({Value::Str("0"), Value::Int(42)});
+  ASSERT_TRUE(narrow.ok());
+  EXPECT_EQ(narrow->row_count, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Cost model
+// ---------------------------------------------------------------------------
+
+PhysicalOption Heap(uint64_t rows, uint64_t bytes) {
+  return {"t", "", bytes, rows, false};
+}
+
+TEST(CostModelTest, IndexBeatsHeapForSelectiveQueries) {
+  CostModelParams params;
+  const PhysicalOption heap = Heap(100000, 100 * 8192);
+  PhysicalOption index{"t", "k", 100 * 8192, 100000, false};
+  Query selective{"t", "k", 0.01, 1.0};
+  EXPECT_LT(QueryCost(selective, index, params),
+            QueryCost(selective, heap, params));
+  // A full scan gains nothing from the matching order.
+  Query full{"t", "k", 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(QueryCost(full, index, params),
+                   QueryCost(full, heap, params));
+}
+
+TEST(CostModelTest, CompressionTradesIoForCpu) {
+  CostModelParams params;
+  params.page_read_cost = 1.0;
+  params.row_cpu_cost = 0.001;
+  params.decompress_factor = 3.0;
+  PhysicalOption uncompressed{"t", "k", 1000 * 8192, 1000000, false};
+  PhysicalOption compressed = uncompressed;
+  compressed.total_bytes = 400 * 8192;  // CF = 0.4
+  compressed.compressed = true;
+  // I/O-bound full scan: compression wins (600 fewer page reads vs
+  // 2ms/row * 2 extra CPU = 2000 -> actually compute both ways).
+  Query full{"t", "k", 1.0, 1.0};
+  const double cost_u = QueryCost(full, uncompressed, params);
+  const double cost_c = QueryCost(full, compressed, params);
+  // cost_u = 1000 + 1000; cost_c = 400 + 3000.
+  EXPECT_DOUBLE_EQ(cost_u, 2000.0);
+  EXPECT_DOUBLE_EQ(cost_c, 3400.0);
+  // With cheaper CPU the compressed plan flips to a win.
+  params.row_cpu_cost = 0.0001;
+  EXPECT_LT(QueryCost(full, compressed, params),
+            QueryCost(full, uncompressed, params));
+}
+
+TEST(CostModelTest, WorkloadRoutesEachQueryToCheapestOption) {
+  CostModelParams params;
+  std::vector<PhysicalOption> options = {
+      Heap(10000, 100 * 8192),
+      {"t", "a", 20 * 8192, 10000, false},
+      {"t", "b", 20 * 8192, 10000, false},
+  };
+  std::vector<Query> workload = {
+      {"t", "a", 0.01, 2.0},
+      {"t", "b", 0.05, 1.0},
+      {"t", "c", 0.01, 1.0},  // no matching index: heap or full index scan
+  };
+  auto cost = WorkloadCost(workload, options, params);
+  ASSERT_TRUE(cost.ok());
+  // Removing an option can only raise the cost.
+  auto cost_less = WorkloadCost(
+      workload, {options[0], options[1]}, params);
+  ASSERT_TRUE(cost_less.ok());
+  EXPECT_LE(*cost, *cost_less);
+}
+
+TEST(CostModelTest, ValidationErrors) {
+  CostModelParams params;
+  EXPECT_FALSE(WorkloadCost({{"t", "a", 0.0, 1.0}},
+                            {Heap(10, 8192)}, params)
+                   .ok());
+  EXPECT_FALSE(WorkloadCost({{"missing", "a", 0.5, 1.0}},
+                            {Heap(10, 8192)}, params)
+                   .ok());
+}
+
+TEST(CostModelTest, CandidateBenefitNonNegativeAndMonotone) {
+  CostModelParams params;
+  std::vector<PhysicalOption> baseline = {Heap(100000, 200 * 8192)};
+  std::vector<Query> workload = {{"t", "k", 0.01, 1.0}};
+  PhysicalOption useful{"t", "k", 200 * 8192, 100000, false};
+  PhysicalOption useless{"t", "other", 200 * 8192, 100000, false};
+  auto b_useful = CandidateBenefit(workload, baseline, useful, params);
+  auto b_useless = CandidateBenefit(workload, baseline, useless, params);
+  ASSERT_TRUE(b_useful.ok());
+  ASSERT_TRUE(b_useless.ok());
+  EXPECT_GT(*b_useful, 0.0);
+  EXPECT_DOUBLE_EQ(*b_useless, 0.0);
+}
+
+}  // namespace
+}  // namespace cfest

@@ -1,0 +1,456 @@
+// Tests for the common substrate: Status/Result, Slice, Random, stats,
+// bit utilities, and table formatting.
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/bit_util.h"
+#include "common/format.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/stats.h"
+#include "common/status.h"
+
+namespace cfest {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Status
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+  EXPECT_TRUE(st.message().empty());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad fraction");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_EQ(st.message(), "bad fraction");
+  EXPECT_EQ(st.ToString(), "Invalid argument: bad fraction");
+}
+
+TEST(StatusTest, AllFactoriesSetMatchingCode) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+  EXPECT_TRUE(Status::CapacityExceeded("x").IsCapacityExceeded());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, CopyPreservesError) {
+  Status st = Status::Corruption("page 7");
+  Status copy = st;
+  EXPECT_TRUE(copy.IsCorruption());
+  EXPECT_EQ(copy.message(), "page 7");
+  // Original unchanged.
+  EXPECT_TRUE(st.IsCorruption());
+}
+
+TEST(StatusTest, MoveLeavesSourceReusable) {
+  Status st = Status::NotFound("t");
+  Status moved = std::move(st);
+  EXPECT_TRUE(moved.IsNotFound());
+}
+
+Status FailsAtStep(int step) {
+  CFEST_RETURN_NOT_OK(step >= 1 ? Status::OK() : Status::Internal("step1"));
+  CFEST_RETURN_NOT_OK(step >= 2 ? Status::OK() : Status::Internal("step2"));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  EXPECT_TRUE(FailsAtStep(2).ok());
+  EXPECT_EQ(FailsAtStep(1).message(), "step2");
+  EXPECT_EQ(FailsAtStep(0).message(), "step1");
+}
+
+// ---------------------------------------------------------------------------
+// Result
+// ---------------------------------------------------------------------------
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v;
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = ParsePositive(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = ParsePositive(-1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+Result<int> DoubledViaMacro(int v) {
+  CFEST_ASSIGN_OR_RETURN(int parsed, ParsePositive(v));
+  return parsed * 2;
+}
+
+TEST(ResultTest, AssignOrReturnUnwrapsAndPropagates) {
+  Result<int> ok = DoubledViaMacro(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  EXPECT_FALSE(DoubledViaMacro(0).ok());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 5);
+}
+
+// ---------------------------------------------------------------------------
+// Slice
+// ---------------------------------------------------------------------------
+
+TEST(SliceTest, BasicViews) {
+  std::string s = "hello world";
+  Slice slice(s);
+  EXPECT_EQ(slice.size(), 11u);
+  EXPECT_EQ(slice[4], 'o');
+  EXPECT_EQ(slice.ToString(), s);
+  EXPECT_FALSE(slice.empty());
+  EXPECT_TRUE(Slice().empty());
+}
+
+TEST(SliceTest, SubSliceAndRemovePrefix) {
+  Slice s("abcdef");
+  EXPECT_EQ(s.SubSlice(2, 3).ToString(), "cde");
+  EXPECT_EQ(s.SubSlice(4, 100).ToString(), "ef");  // clamped
+  s.RemovePrefix(2);
+  EXPECT_EQ(s.ToString(), "cdef");
+}
+
+TEST(SliceTest, ComparisonOrdersLexicographically) {
+  EXPECT_TRUE(Slice("abc") == Slice("abc"));
+  EXPECT_TRUE(Slice("abc") != Slice("abd"));
+  EXPECT_LT(Slice("abc").Compare(Slice("abd")), 0);
+  EXPECT_LT(Slice("ab").Compare(Slice("abc")), 0);  // prefix sorts first
+  EXPECT_GT(Slice("b").Compare(Slice("ab")), 0);
+  EXPECT_TRUE(Slice("ab") < Slice("b"));
+}
+
+TEST(SliceTest, StartsWith) {
+  EXPECT_TRUE(Slice("abcdef").StartsWith(Slice("abc")));
+  EXPECT_TRUE(Slice("abc").StartsWith(Slice("")));
+  EXPECT_FALSE(Slice("ab").StartsWith(Slice("abc")));
+}
+
+TEST(SliceTest, EmbeddedNulBytesCompareByLength) {
+  std::string a("a\0b", 3);
+  std::string b("a\0c", 3);
+  EXPECT_LT(Slice(a).Compare(Slice(b)), 0);
+  EXPECT_EQ(Slice(a).size(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Random
+// ---------------------------------------------------------------------------
+
+TEST(RandomTest, DeterministicForSameSeed) {
+  Random a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RandomTest, DifferentSeedsDiverge) {
+  Random a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RandomTest, NextBoundedStaysInBounds) {
+  Random rng(7);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RandomTest, NextBoundedCoversSmallDomains) {
+  Random rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.NextBounded(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RandomTest, NextInRangeInclusive) {
+  Random rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random rng(17);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RandomTest, GaussianMomentsRoughlyStandard) {
+  Random rng(19);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.Add(rng.NextGaussian());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.03);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.03);
+}
+
+TEST(RandomTest, ShuffleIsPermutation) {
+  Random rng(23);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RandomTest, ForkProducesIndependentStream) {
+  Random a(31);
+  Random child = a.Fork();
+  // The child must not replay the parent's stream.
+  Random b(31);
+  b.Fork();
+  EXPECT_EQ(a.NextU64(), b.NextU64());  // parents stay in lockstep
+  uint64_t c1 = child.NextU64();
+  EXPECT_NE(c1, a.NextU64());
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------------
+
+TEST(StatsTest, RunningStatsMatchesDirectComputation) {
+  const std::vector<double> xs = {1.0, 2.0, 4.0, 8.0, 16.0};
+  RunningStats rs;
+  for (double x : xs) rs.Add(x);
+  EXPECT_EQ(rs.count(), 5u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 6.2);
+  double m2 = 0;
+  for (double x : xs) m2 += (x - 6.2) * (x - 6.2);
+  EXPECT_NEAR(rs.variance(), m2 / 4.0, 1e-12);
+  EXPECT_EQ(rs.min(), 1.0);
+  EXPECT_EQ(rs.max(), 16.0);
+  EXPECT_NEAR(rs.sum(), 31.0, 1e-12);
+}
+
+TEST(StatsTest, RunningStatsDegenerateCases) {
+  RunningStats rs;
+  EXPECT_EQ(rs.mean(), 0.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+  rs.Add(3.0);
+  EXPECT_EQ(rs.mean(), 3.0);
+  EXPECT_EQ(rs.variance(), 0.0);  // single sample
+}
+
+TEST(StatsTest, SummarizeComputesQuantiles) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(i);
+  Summary s = Summarize(xs);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.p50, 50.5, 0.01);
+  EXPECT_NEAR(s.p90, 90.1, 0.01);
+  EXPECT_NEAR(s.p99, 99.01, 0.01);
+}
+
+TEST(StatsTest, QuantileSortedEdges) {
+  std::vector<double> xs = {1.0, 2.0, 3.0};
+  EXPECT_EQ(QuantileSorted(xs, 0.0), 1.0);
+  EXPECT_EQ(QuantileSorted(xs, 1.0), 3.0);
+  EXPECT_EQ(QuantileSorted(xs, 0.5), 2.0);
+  EXPECT_EQ(QuantileSorted({}, 0.5), 0.0);
+}
+
+TEST(StatsTest, RatioErrorDefinition) {
+  EXPECT_DOUBLE_EQ(RatioError(0.5, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(RatioError(0.5, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(RatioError(0.25, 0.5), 2.0);  // symmetric
+  EXPECT_GE(RatioError(0.1, 0.9), 1.0);
+  EXPECT_TRUE(std::isinf(RatioError(0.5, 0.0)));
+  EXPECT_TRUE(std::isinf(RatioError(0.0, 0.5)));
+  EXPECT_DOUBLE_EQ(RatioError(0.0, 0.0), 1.0);
+}
+
+TEST(StatsTest, RelativeError) {
+  EXPECT_DOUBLE_EQ(RelativeError(2.0, 2.5), 0.25);
+  EXPECT_DOUBLE_EQ(RelativeError(2.0, 1.5), 0.25);
+}
+
+// ---------------------------------------------------------------------------
+// Bit utilities
+// ---------------------------------------------------------------------------
+
+TEST(BitUtilTest, BitsFor) {
+  EXPECT_EQ(BitsFor(0), 0);
+  EXPECT_EQ(BitsFor(1), 0);
+  EXPECT_EQ(BitsFor(2), 1);
+  EXPECT_EQ(BitsFor(3), 2);
+  EXPECT_EQ(BitsFor(4), 2);
+  EXPECT_EQ(BitsFor(5), 3);
+  EXPECT_EQ(BitsFor(256), 8);
+  EXPECT_EQ(BitsFor(257), 9);
+  EXPECT_EQ(BitsFor(1ull << 32), 32);
+}
+
+TEST(BitUtilTest, BytesForBits) {
+  EXPECT_EQ(BytesForBits(0), 0u);
+  EXPECT_EQ(BytesForBits(1), 1u);
+  EXPECT_EQ(BytesForBits(8), 1u);
+  EXPECT_EQ(BytesForBits(9), 2u);
+  EXPECT_EQ(BytesForBits(64), 8u);
+}
+
+TEST(BitUtilTest, WriterReaderRoundTrip) {
+  std::string buf;
+  BitWriter writer(&buf);
+  writer.Put(5, 3);
+  writer.Put(0, 0);  // zero-width write is a no-op
+  writer.Put(1023, 10);
+  writer.Put(1, 1);
+  BitReader reader{Slice(buf)};
+  uint64_t v = 0;
+  ASSERT_TRUE(reader.Get(3, &v));
+  EXPECT_EQ(v, 5u);
+  ASSERT_TRUE(reader.Get(0, &v));
+  EXPECT_EQ(v, 0u);
+  ASSERT_TRUE(reader.Get(10, &v));
+  EXPECT_EQ(v, 1023u);
+  ASSERT_TRUE(reader.Get(1, &v));
+  EXPECT_EQ(v, 1u);
+}
+
+TEST(BitUtilTest, ReaderFailsOnExhaustion) {
+  std::string buf;
+  BitWriter writer(&buf);
+  writer.Put(0xFF, 8);
+  BitReader reader{Slice(buf)};
+  uint64_t v = 0;
+  ASSERT_TRUE(reader.Get(8, &v));
+  EXPECT_FALSE(reader.Get(1, &v));
+}
+
+TEST(BitUtilTest, AlignSkipsToByteBoundary) {
+  std::string buf;
+  BitWriter writer(&buf);
+  writer.Put(1, 1);
+  writer.Align();
+  writer.Put(0xAB, 8);
+  EXPECT_EQ(buf.size(), 2u);
+  BitReader reader{Slice(buf)};
+  uint64_t v = 0;
+  ASSERT_TRUE(reader.Get(1, &v));
+  reader.Align();
+  ASSERT_TRUE(reader.Get(8, &v));
+  EXPECT_EQ(v, 0xABu);
+}
+
+// Property sweep: random widths round-trip through the bit stream.
+class BitRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitRoundTripTest, RandomValuesRoundTrip) {
+  const int width = GetParam();
+  Random rng(1000 + width);
+  std::vector<uint64_t> values;
+  std::string buf;
+  BitWriter writer(&buf);
+  for (int i = 0; i < 257; ++i) {
+    const uint64_t mask = width == 64 ? ~0ull : ((1ull << width) - 1);
+    const uint64_t v = rng.NextU64() & mask;
+    values.push_back(v);
+    writer.Put(v, width);
+  }
+  BitReader reader{Slice(buf)};
+  for (uint64_t expected : values) {
+    uint64_t v = 0;
+    ASSERT_TRUE(reader.Get(width, &v));
+    EXPECT_EQ(v, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitRoundTripTest,
+                         ::testing::Values(1, 2, 3, 5, 7, 8, 9, 13, 16, 17, 24,
+                                           31, 32, 33, 48, 63, 64));
+
+// ---------------------------------------------------------------------------
+// Format
+// ---------------------------------------------------------------------------
+
+TEST(FormatTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(0), "0 B");
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(2048), "2.00 KiB");
+  EXPECT_EQ(HumanBytes(3 * 1024 * 1024), "3.00 MiB");
+}
+
+TEST(FormatTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(0.42135, 4), "0.4214");
+  EXPECT_EQ(FormatDouble(1.0, 2), "1.00");
+}
+
+TEST(FormatTest, TablePrinterAlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"cf", "0.42"});
+  table.AddRow({"a-much-longer-name", "1"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("| name "), std::string::npos);
+  EXPECT_NE(out.find("| a-much-longer-name "), std::string::npos);
+  // All lines have the same width.
+  size_t first_line_len = out.find('\n');
+  size_t pos = 0;
+  while (pos < out.size()) {
+    size_t next = out.find('\n', pos);
+    EXPECT_EQ(next - pos, first_line_len);
+    pos = next + 1;
+  }
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(FormatTest, TablePrinterHandlesShortRows) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddRow({"1"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("| 1 "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cfest

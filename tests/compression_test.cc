@@ -1,0 +1,890 @@
+// Tests for the compression substrate: every compressor's exact cost
+// accounting, lossless round trips, corruption handling, and the compressed
+// index page packer.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "compression/compressed_index.h"
+#include "compression/compressor.h"
+#include "compression/scheme.h"
+#include "datagen/table_gen.h"
+#include "storage/row_codec.h"
+
+namespace cfest {
+namespace {
+
+/// Pads `s` to a char(k) fixed-width cell.
+std::string PadCell(const std::string& s, uint32_t k) {
+  std::string cell = s;
+  cell.append(k - s.size(), ' ');
+  return cell;
+}
+
+/// Encodes an int64 as its 8-byte little-endian cell.
+std::string IntCell(int64_t v) {
+  std::string cell;
+  for (int i = 0; i < 8; ++i) {
+    cell.push_back(static_cast<char>((static_cast<uint64_t>(v) >> (8 * i)) &
+                                     0xFF));
+  }
+  return cell;
+}
+
+std::unique_ptr<ColumnCompressor> MustMake(CompressionType type,
+                                           const DataType& dt,
+                                           CompressionOptions options = {}) {
+  auto result = MakeColumnCompressor(type, dt, options);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return std::move(result).ValueOrDie();
+}
+
+// ---------------------------------------------------------------------------
+// Factory & names
+// ---------------------------------------------------------------------------
+
+TEST(CompressorFactoryTest, NamesRoundTrip) {
+  for (CompressionType t : AllCompressionTypes()) {
+    Result<CompressionType> parsed =
+        CompressionTypeFromName(CompressionTypeName(t));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, t);
+  }
+  EXPECT_TRUE(CompressionTypeFromName("bogus").status().IsNotFound());
+}
+
+TEST(CompressorFactoryTest, RejectsZeroWidthColumn) {
+  EXPECT_FALSE(
+      MakeColumnCompressor(CompressionType::kNone, CharType(0)).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Cost exactness + round trip, parameterized over every compressor
+// ---------------------------------------------------------------------------
+
+struct ChunkCase {
+  CompressionType type;
+  const char* label;
+};
+
+class ChunkContractTest : public ::testing::TestWithParam<ChunkCase> {
+ protected:
+  /// Verifies Cost()/CostWith() are exact and decode inverts Finish().
+  void CheckContract(const DataType& dt, const std::vector<std::string>& cells,
+                     CompressionOptions options = {}) {
+    auto compressor = MustMake(GetParam().type, dt, options);
+    auto chunk = compressor->NewChunk();
+    for (const std::string& cell : cells) {
+      const size_t predicted = chunk->CostWith(Slice(cell));
+      chunk->Add(Slice(cell));
+      EXPECT_EQ(chunk->Cost(), predicted)
+          << "CostWith must predict Cost after Add";
+    }
+    EXPECT_EQ(chunk->count(), cells.size());
+    const size_t final_cost = chunk->Cost();
+    std::string wire = chunk->Finish();
+    EXPECT_EQ(wire.size(), final_cost) << "Cost() must equal serialized size";
+
+    std::vector<std::string> decoded;
+    ASSERT_TRUE(compressor->DecodeChunk(Slice(wire), &decoded).ok());
+    ASSERT_EQ(decoded.size(), cells.size());
+    for (size_t i = 0; i < cells.size(); ++i) {
+      EXPECT_EQ(decoded[i], cells[i]) << "cell " << i;
+    }
+  }
+};
+
+TEST_P(ChunkContractTest, StringCellsMixedLengths) {
+  const uint32_t k = 20;
+  std::vector<std::string> cells = {
+      PadCell("abc", k),   PadCell("", k),           PadCell("abc", k),
+      PadCell("abcdefghijklmnopqrst", k),            PadCell("x", k),
+      PadCell("abc", k),   PadCell("zzz", k),
+  };
+  CheckContract(CharType(k), cells);
+}
+
+TEST_P(ChunkContractTest, IntegerCells) {
+  std::vector<std::string> cells = {IntCell(0),     IntCell(1),
+                                    IntCell(256),   IntCell(-1),
+                                    IntCell(1 << 20), IntCell(1),
+                                    IntCell(0)};
+  CheckContract(Int64Type(), cells);
+}
+
+TEST_P(ChunkContractTest, SingleCell) {
+  CheckContract(CharType(8), {PadCell("hi", 8)});
+}
+
+TEST_P(ChunkContractTest, EmptyChunk) {
+  CheckContract(CharType(8), {});
+}
+
+TEST_P(ChunkContractTest, AllIdenticalCells) {
+  std::vector<std::string> cells(50, PadCell("same", 12));
+  CheckContract(CharType(12), cells);
+}
+
+TEST_P(ChunkContractTest, AllDistinctCells) {
+  std::vector<std::string> cells;
+  for (int i = 0; i < 60; ++i) {
+    cells.push_back(PadCell("v" + std::to_string(i), 12));
+  }
+  CheckContract(CharType(12), cells);
+}
+
+TEST_P(ChunkContractTest, WideColumnTwoByteLengthHeaders) {
+  const uint32_t k = 300;
+  std::vector<std::string> cells = {PadCell(std::string(280, 'a'), k),
+                                    PadCell("b", k), PadCell("", k)};
+  CheckContract(CharType(k), cells);
+}
+
+TEST_P(ChunkContractTest, RandomizedSweep) {
+  Random rng(99);
+  for (uint32_t k : {4u, 16u, 64u}) {
+    for (int trial = 0; trial < 3; ++trial) {
+      std::vector<std::string> cells;
+      const int n = 1 + static_cast<int>(rng.NextBounded(120));
+      for (int i = 0; i < n; ++i) {
+        const uint32_t len = static_cast<uint32_t>(rng.NextBounded(k + 1));
+        std::string s;
+        for (uint32_t j = 0; j < len; ++j) {
+          s.push_back('a' + static_cast<char>(rng.NextBounded(4)));
+        }
+        // Avoid trailing blanks in logical values (lost by design under NS).
+        if (!s.empty() && s.back() == ' ') s.back() = 'b';
+        cells.push_back(PadCell(s, k));
+      }
+      CheckContract(CharType(k), cells);
+    }
+  }
+}
+
+TEST_P(ChunkContractTest, DecodeRejectsTruncatedChunk) {
+  auto compressor = MustMake(GetParam().type, CharType(8));
+  auto chunk = compressor->NewChunk();
+  chunk->Add(Slice(PadCell("abcdef", 8)));
+  chunk->Add(Slice(PadCell("gh", 8)));
+  std::string wire = chunk->Finish();
+  for (size_t cut = 0; cut + 1 < wire.size(); cut += 3) {
+    std::vector<std::string> decoded;
+    Status st =
+        compressor->DecodeChunk(Slice(wire.data(), cut), &decoded);
+    // Either a clean corruption error, or (for prefixes of valid frames)
+    // fewer cells; never a crash and never trailing garbage acceptance.
+    if (st.ok()) {
+      EXPECT_LT(decoded.size(), 2u);
+    } else {
+      EXPECT_TRUE(st.IsCorruption()) << st;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCompressors, ChunkContractTest,
+    ::testing::Values(ChunkCase{CompressionType::kNone, "none"},
+                      ChunkCase{CompressionType::kNullSuppression, "ns"},
+                      ChunkCase{CompressionType::kDictionaryPage, "dictpage"},
+                      ChunkCase{CompressionType::kDictionaryGlobal,
+                                "dictglobal"},
+                      ChunkCase{CompressionType::kRle, "rle"},
+                      ChunkCase{CompressionType::kPrefix, "prefix"},
+                      ChunkCase{CompressionType::kPrefixDictionary,
+                                "combined"}),
+    [](const ::testing::TestParamInfo<ChunkCase>& info) {
+      return info.param.label;
+    });
+
+// ---------------------------------------------------------------------------
+// Delta specifics (integer-only; excluded from the string contract sweep)
+// ---------------------------------------------------------------------------
+
+TEST(DeltaTest, RejectsStringColumns) {
+  EXPECT_FALSE(
+      MakeColumnCompressor(CompressionType::kDelta, CharType(8)).ok());
+  EXPECT_TRUE(
+      MakeColumnCompressor(CompressionType::kDelta, DateType()).ok());
+}
+
+TEST(DeltaTest, CostExactAndRoundTrips) {
+  auto compressor = MustMake(CompressionType::kDelta, Int64Type());
+  auto chunk = compressor->NewChunk();
+  const std::vector<int64_t> values = {100, 101, 103, 103, 90,
+                                       1 << 20, -5, 0, INT64_MAX,
+                                       INT64_MIN + 1};
+  std::vector<std::string> cells;
+  for (int64_t v : values) cells.push_back(IntCell(v));
+  for (const auto& cell : cells) {
+    const size_t predicted = chunk->CostWith(Slice(cell));
+    chunk->Add(Slice(cell));
+    EXPECT_EQ(chunk->Cost(), predicted);
+  }
+  std::string wire = chunk->Finish();
+  EXPECT_EQ(wire.size(), chunk->Cost());
+  std::vector<std::string> decoded;
+  ASSERT_TRUE(compressor->DecodeChunk(Slice(wire), &decoded).ok());
+  ASSERT_EQ(decoded.size(), cells.size());
+  for (size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(decoded[i], cells[i]) << "value " << values[i];
+  }
+}
+
+TEST(DeltaTest, SortedKeysCostOneByteEach) {
+  auto compressor = MustMake(CompressionType::kDelta, Int64Type());
+  auto chunk = compressor->NewChunk();
+  chunk->Add(Slice(IntCell(1000000)));
+  const size_t base = chunk->Cost();
+  for (int64_t v = 1000001; v < 1000050; ++v) {
+    chunk->Add(Slice(IntCell(v)));
+  }
+  // Delta 1 zigzags to 2: a single varint byte per row.
+  EXPECT_EQ(chunk->Cost() - base, 49u);
+}
+
+TEST(DeltaTest, EmptyChunkRoundTrips) {
+  auto compressor = MustMake(CompressionType::kDelta, Int64Type());
+  auto chunk = compressor->NewChunk();
+  std::string wire = chunk->Finish();
+  std::vector<std::string> decoded;
+  ASSERT_TRUE(compressor->DecodeChunk(Slice(wire), &decoded).ok());
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(DeltaTest, NarrowIntegerWidths) {
+  auto compressor = MustMake(CompressionType::kDelta, Int32Type());
+  auto chunk = compressor->NewChunk();
+  RowCodec codec(std::move(Schema::Make({{"v", Int32Type()}})).ValueOrDie());
+  std::vector<std::string> cells;
+  for (int64_t v : {-100, 0, 100, INT32_MAX - 1, INT32_MIN + 1}) {
+    std::string cell;
+    EXPECT_TRUE(codec.Encode({Value::Int(v)}, &cell).ok());
+    cells.push_back(cell);
+    chunk->Add(Slice(cells.back()));
+  }
+  std::string wire = chunk->Finish();
+  std::vector<std::string> decoded;
+  ASSERT_TRUE(compressor->DecodeChunk(Slice(wire), &decoded).ok());
+  ASSERT_EQ(decoded.size(), cells.size());
+  for (size_t i = 0; i < cells.size(); ++i) EXPECT_EQ(decoded[i], cells[i]);
+}
+
+// ---------------------------------------------------------------------------
+// Frame-of-reference specifics (integer-only)
+// ---------------------------------------------------------------------------
+
+TEST(ForTest, RejectsStringColumns) {
+  EXPECT_FALSE(MakeColumnCompressor(CompressionType::kFrameOfReference,
+                                    CharType(8))
+                   .ok());
+}
+
+TEST(ForTest, CostExactAndRoundTrips) {
+  auto compressor = MustMake(CompressionType::kFrameOfReference, Int64Type());
+  auto chunk = compressor->NewChunk();
+  const std::vector<int64_t> values = {1000, 1017, 1003, 1000, 1063,
+                                       1001, -5,   0,    1000000};
+  std::vector<std::string> cells;
+  for (int64_t v : values) cells.push_back(IntCell(v));
+  for (const auto& cell : cells) {
+    const size_t predicted = chunk->CostWith(Slice(cell));
+    chunk->Add(Slice(cell));
+    EXPECT_EQ(chunk->Cost(), predicted);
+  }
+  std::string wire = chunk->Finish();
+  EXPECT_EQ(wire.size(), chunk->Cost());
+  std::vector<std::string> decoded;
+  ASSERT_TRUE(compressor->DecodeChunk(Slice(wire), &decoded).ok());
+  ASSERT_EQ(decoded.size(), cells.size());
+  for (size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(decoded[i], cells[i]) << values[i];
+  }
+}
+
+TEST(ForTest, NarrowRangePacksTightly) {
+  auto compressor = MustMake(CompressionType::kFrameOfReference, Int64Type());
+  auto chunk = compressor->NewChunk();
+  // Values in [10^9, 10^9 + 63]: 6-bit offsets instead of 8 bytes.
+  for (int i = 0; i < 800; ++i) {
+    chunk->Add(Slice(IntCell(1000000000 + (i % 64))));
+  }
+  // 2 + 8 + 1 + ceil(800*6/8) = 611.
+  EXPECT_EQ(chunk->Cost(), 2u + 8u + 1u + 600u);
+}
+
+TEST(ForTest, ConstantColumnNeedsZeroOffsetBits) {
+  auto compressor = MustMake(CompressionType::kFrameOfReference, Int64Type());
+  auto chunk = compressor->NewChunk();
+  for (int i = 0; i < 500; ++i) chunk->Add(Slice(IntCell(42)));
+  EXPECT_EQ(chunk->Cost(), 2u + 8u + 1u);  // base only, 0-bit offsets
+  std::string wire = chunk->Finish();
+  std::vector<std::string> decoded;
+  ASSERT_TRUE(compressor->DecodeChunk(Slice(wire), &decoded).ok());
+  ASSERT_EQ(decoded.size(), 500u);
+  EXPECT_EQ(decoded[0], IntCell(42));
+}
+
+TEST(ForTest, ExtremeSpanFallsBackTo64Bits) {
+  auto compressor = MustMake(CompressionType::kFrameOfReference, Int64Type());
+  auto chunk = compressor->NewChunk();
+  chunk->Add(Slice(IntCell(INT64_MIN)));
+  chunk->Add(Slice(IntCell(INT64_MAX)));
+  std::string wire = chunk->Finish();
+  std::vector<std::string> decoded;
+  ASSERT_TRUE(compressor->DecodeChunk(Slice(wire), &decoded).ok());
+  ASSERT_EQ(decoded.size(), 2u);
+  EXPECT_EQ(decoded[0], IntCell(INT64_MIN));
+  EXPECT_EQ(decoded[1], IntCell(INT64_MAX));
+}
+
+TEST(ForTest, NarrowIntegerWidthRoundTrips) {
+  auto compressor = MustMake(CompressionType::kFrameOfReference, Int32Type());
+  auto chunk = compressor->NewChunk();
+  RowCodec codec(std::move(Schema::Make({{"v", Int32Type()}})).ValueOrDie());
+  std::vector<std::string> cells;
+  for (int64_t v : {-1000, -1, 0, 7, 123456}) {
+    std::string cell;
+    EXPECT_TRUE(codec.Encode({Value::Int(v)}, &cell).ok());
+    cells.push_back(cell);
+    chunk->Add(Slice(cells.back()));
+  }
+  std::string wire = chunk->Finish();
+  std::vector<std::string> decoded;
+  ASSERT_TRUE(compressor->DecodeChunk(Slice(wire), &decoded).ok());
+  for (size_t i = 0; i < cells.size(); ++i) EXPECT_EQ(decoded[i], cells[i]);
+}
+
+// ---------------------------------------------------------------------------
+// Combined prefix+dictionary specifics
+// ---------------------------------------------------------------------------
+
+TEST(CombinedTest, BeatsPlainDictionaryOnSharedPrefixes) {
+  auto dict = MustMake(CompressionType::kDictionaryPage, CharType(32));
+  auto combined = MustMake(CompressionType::kPrefixDictionary, CharType(32));
+  auto dict_chunk = dict->NewChunk();
+  auto combined_chunk = combined->NewChunk();
+  for (int i = 0; i < 64; ++i) {
+    const std::string value =
+        PadCell("warehouse-item-" + std::to_string(i % 16), 32);
+    dict_chunk->Add(Slice(value));
+    combined_chunk->Add(Slice(value));
+  }
+  // Same pointers; entries store suffixes instead of 32-byte values.
+  EXPECT_LT(combined_chunk->Cost(), dict_chunk->Cost());
+}
+
+TEST(CombinedTest, TracksDictionaryEntriesAcrossPages) {
+  auto compressor = MustMake(CompressionType::kPrefixDictionary, CharType(8));
+  for (int page = 0; page < 2; ++page) {
+    auto chunk = compressor->NewChunk();
+    chunk->Add(Slice(PadCell("aa", 8)));
+    chunk->Add(Slice(PadCell("ab", 8)));
+    chunk->Finish();
+  }
+  EXPECT_EQ(compressor->TotalDictionaryEntries(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Null suppression specifics
+// ---------------------------------------------------------------------------
+
+TEST(NullSuppressionTest, CostMatchesPaperFormula) {
+  // char(20), value "abc": 3 bytes + 1 length byte (paper Fig. 1a).
+  auto compressor =
+      MustMake(CompressionType::kNullSuppression, CharType(20));
+  auto chunk = compressor->NewChunk();
+  const size_t empty_cost = chunk->Cost();  // chunk header only
+  chunk->Add(Slice(PadCell("abc", 20)));
+  EXPECT_EQ(chunk->Cost() - empty_cost, 3u + 1u);
+  chunk->Add(Slice(PadCell("", 20)));  // all blanks: length byte only
+  EXPECT_EQ(chunk->Cost() - empty_cost, 4u + 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Page-level dictionary specifics
+// ---------------------------------------------------------------------------
+
+TEST(PageDictTest, DictionaryGrowsOnlyOnNewValues) {
+  auto compressor = MustMake(CompressionType::kDictionaryPage, CharType(10));
+  auto chunk = compressor->NewChunk();
+  chunk->Add(Slice(PadCell("aa", 10)));
+  const size_t after_first = chunk->Cost();
+  chunk->Add(Slice(PadCell("aa", 10)));
+  const size_t after_repeat = chunk->Cost();
+  // A repeat adds at most pointer bits (no new 10-byte entry).
+  EXPECT_LT(after_repeat - after_first, 2u);
+  chunk->Add(Slice(PadCell("bb", 10)));
+  EXPECT_GE(chunk->Cost() - after_repeat, 10u);  // new full-width entry
+}
+
+TEST(PageDictTest, PointerBitsMatchDictSize) {
+  // With d distinct values, pointers are ceil(log2 d) bits (paper §III-B).
+  auto compressor = MustMake(CompressionType::kDictionaryPage, CharType(4));
+  auto chunk = compressor->NewChunk();
+  for (int i = 0; i < 8; ++i) {
+    chunk->Add(Slice(PadCell(std::string(1, 'a' + i), 4)));
+  }
+  // 100 more rows of existing values: 3-bit pointers each.
+  const size_t before = chunk->Cost();
+  for (int i = 0; i < 100; ++i) {
+    chunk->Add(Slice(PadCell("a", 4)));
+  }
+  const size_t added = chunk->Cost() - before;
+  EXPECT_LE(added, (100 * 3) / 8 + 2);
+  std::string wire = chunk->Finish();
+  EXPECT_EQ(static_cast<int>(static_cast<unsigned char>(wire[2])), 3);
+}
+
+TEST(PageDictTest, ByteAlignedPointerOption) {
+  CompressionOptions options;
+  options.dict_bit_packed_pointers = false;
+  auto compressor =
+      MustMake(CompressionType::kDictionaryPage, CharType(4), options);
+  auto chunk = compressor->NewChunk();
+  for (int i = 0; i < 3; ++i) {
+    chunk->Add(Slice(PadCell(std::string(1, 'a' + i), 4)));
+  }
+  std::string wire = chunk->Finish();
+  // 3 entries -> 2 bits -> rounded up to 8.
+  EXPECT_EQ(static_cast<int>(static_cast<unsigned char>(wire[2])), 8);
+  std::vector<std::string> decoded;
+  ASSERT_TRUE(compressor->DecodeChunk(Slice(wire), &decoded).ok());
+  EXPECT_EQ(decoded.size(), 3u);
+}
+
+TEST(PageDictTest, NsEncodedEntriesOption) {
+  CompressionOptions options;
+  options.dict_entries_full_width = false;
+  auto compressor =
+      MustMake(CompressionType::kDictionaryPage, CharType(100), options);
+  auto chunk = compressor->NewChunk();
+  chunk->Add(Slice(PadCell("ab", 100)));
+  // Entry costs 1 + 2 bytes instead of 100.
+  EXPECT_LT(chunk->Cost(), 20u);
+  std::string wire = chunk->Finish();
+  std::vector<std::string> decoded;
+  ASSERT_TRUE(compressor->DecodeChunk(Slice(wire), &decoded).ok());
+  EXPECT_EQ(decoded[0], PadCell("ab", 100));
+}
+
+TEST(PageDictTest, TotalDictionaryEntriesAccumulatesAcrossChunks) {
+  auto compressor = MustMake(CompressionType::kDictionaryPage, CharType(4));
+  for (int page = 0; page < 3; ++page) {
+    auto chunk = compressor->NewChunk();
+    chunk->Add(Slice(PadCell("x", 4)));
+    chunk->Add(Slice(PadCell("y", 4)));
+    chunk->Finish();
+  }
+  // "x" and "y" each appear in 3 pages: sum Pg(i) = 6.
+  EXPECT_EQ(compressor->TotalDictionaryEntries(), 6u);
+}
+
+// ---------------------------------------------------------------------------
+// Global dictionary specifics
+// ---------------------------------------------------------------------------
+
+TEST(GlobalDictTest, AuxiliaryBytesAreDTimesK) {
+  CompressionOptions options;
+  options.global_pointer_bytes = 4;
+  auto compressor =
+      MustMake(CompressionType::kDictionaryGlobal, CharType(16), options);
+  auto chunk = compressor->NewChunk();
+  chunk->Add(Slice(PadCell("a", 16)));
+  chunk->Add(Slice(PadCell("b", 16)));
+  chunk->Add(Slice(PadCell("a", 16)));
+  chunk->Finish();
+  EXPECT_EQ(compressor->AuxiliaryBytes(), 2u * 16u);  // d * k
+  EXPECT_EQ(compressor->TotalDictionaryEntries(), 2u);
+  EXPECT_TRUE(compressor->Validate().ok());
+}
+
+TEST(GlobalDictTest, RowCostIsExactlyPointerBytes) {
+  CompressionOptions options;
+  options.global_pointer_bytes = 2;
+  auto compressor =
+      MustMake(CompressionType::kDictionaryGlobal, CharType(16), options);
+  auto chunk = compressor->NewChunk();
+  const size_t base = chunk->Cost();
+  chunk->Add(Slice(PadCell("a", 16)));
+  EXPECT_EQ(chunk->Cost() - base, 2u);
+  chunk->Add(Slice(PadCell("zz", 16)));
+  EXPECT_EQ(chunk->Cost() - base, 4u);
+}
+
+TEST(GlobalDictTest, SharedDictionaryAcrossChunks) {
+  auto compressor = MustMake(CompressionType::kDictionaryGlobal, CharType(8));
+  auto c1 = compressor->NewChunk();
+  c1->Add(Slice(PadCell("v", 8)));
+  std::string w1 = c1->Finish();
+  auto c2 = compressor->NewChunk();
+  c2->Add(Slice(PadCell("v", 8)));  // same value: no new entry
+  std::string w2 = c2->Finish();
+  EXPECT_EQ(compressor->TotalDictionaryEntries(), 1u);
+  std::vector<std::string> decoded;
+  ASSERT_TRUE(compressor->DecodeChunk(Slice(w2), &decoded).ok());
+  EXPECT_EQ(decoded[0], PadCell("v", 8));
+}
+
+TEST(GlobalDictTest, PointerOverflowDetectedByValidate) {
+  CompressionOptions options;
+  options.global_pointer_bytes = 1;  // addresses only 256 values
+  auto compressor =
+      MustMake(CompressionType::kDictionaryGlobal, CharType(8), options);
+  auto chunk = compressor->NewChunk();
+  for (int i = 0; i < 300; ++i) {
+    chunk->Add(Slice(PadCell("v" + std::to_string(i), 8)));
+  }
+  chunk->Finish();
+  EXPECT_TRUE(compressor->Validate().IsCapacityExceeded());
+}
+
+// ---------------------------------------------------------------------------
+// RLE specifics
+// ---------------------------------------------------------------------------
+
+TEST(RleTest, RunsCollapse) {
+  auto compressor = MustMake(CompressionType::kRle, CharType(10));
+  auto chunk = compressor->NewChunk();
+  const size_t base = chunk->Cost();
+  for (int i = 0; i < 1000; ++i) chunk->Add(Slice(PadCell("run", 10)));
+  // One run: u32 + length byte + 3 payload bytes.
+  EXPECT_EQ(chunk->Cost() - base, 4u + 1u + 3u);
+  EXPECT_EQ(chunk->count(), 1000u);
+}
+
+TEST(RleTest, AlternatingValuesDoNotCollapse) {
+  auto compressor = MustMake(CompressionType::kRle, CharType(10));
+  auto chunk = compressor->NewChunk();
+  for (int i = 0; i < 10; ++i) {
+    chunk->Add(Slice(PadCell(i % 2 == 0 ? "a" : "b", 10)));
+  }
+  std::string wire = chunk->Finish();
+  std::vector<std::string> decoded;
+  ASSERT_TRUE(compressor->DecodeChunk(Slice(wire), &decoded).ok());
+  ASSERT_EQ(decoded.size(), 10u);
+  EXPECT_EQ(decoded[0], PadCell("a", 10));
+  EXPECT_EQ(decoded[1], PadCell("b", 10));
+}
+
+// ---------------------------------------------------------------------------
+// Prefix specifics
+// ---------------------------------------------------------------------------
+
+TEST(PrefixTest, SharedPrefixStoredOnce) {
+  auto compressor = MustMake(CompressionType::kPrefix, CharType(20));
+  auto chunk = compressor->NewChunk();
+  chunk->Add(Slice(PadCell("order-0001", 20)));
+  chunk->Add(Slice(PadCell("order-0002", 20)));
+  chunk->Add(Slice(PadCell("order-0003", 20)));
+  // 2 (count) + 1 + 9 (prefix "order-000") + 3 * (1 + 1).
+  EXPECT_EQ(chunk->Cost(), 2u + 1u + 9u + 3u * 2u);
+}
+
+TEST(PrefixTest, PrefixShrinksRetroactively) {
+  auto compressor = MustMake(CompressionType::kPrefix, CharType(20));
+  auto chunk = compressor->NewChunk();
+  chunk->Add(Slice(PadCell("aaaa", 20)));
+  chunk->Add(Slice(PadCell("aaab", 20)));
+  const size_t with_long_prefix = chunk->Cost();
+  chunk->Add(Slice(PadCell("b", 20)));  // prefix collapses to ""
+  std::string wire = chunk->Finish();
+  EXPECT_EQ(wire.size(), chunk->Cost());
+  EXPECT_GT(wire.size(), with_long_prefix);
+  std::vector<std::string> decoded;
+  ASSERT_TRUE(compressor->DecodeChunk(Slice(wire), &decoded).ok());
+  EXPECT_EQ(decoded[0], PadCell("aaaa", 20));
+  EXPECT_EQ(decoded[2], PadCell("b", 20));
+}
+
+TEST(PrefixTest, ValueEqualToPrefix) {
+  auto compressor = MustMake(CompressionType::kPrefix, CharType(10));
+  auto chunk = compressor->NewChunk();
+  chunk->Add(Slice(PadCell("ab", 10)));
+  chunk->Add(Slice(PadCell("abc", 10)));  // prefix "ab"; first has empty suffix
+  std::string wire = chunk->Finish();
+  std::vector<std::string> decoded;
+  ASSERT_TRUE(compressor->DecodeChunk(Slice(wire), &decoded).ok());
+  EXPECT_EQ(decoded[0], PadCell("ab", 10));
+  EXPECT_EQ(decoded[1], PadCell("abc", 10));
+}
+
+// ---------------------------------------------------------------------------
+// Scheme / ColumnCompressorSet
+// ---------------------------------------------------------------------------
+
+TEST(SchemeTest, UniformAndMixed) {
+  Schema schema = std::move(Schema::Make({{"a", CharType(4)},
+                                          {"b", Int64Type()}}))
+                      .ValueOrDie();
+  CompressionScheme uniform =
+      CompressionScheme::Uniform(CompressionType::kRle);
+  EXPECT_EQ(uniform.ToString(), "rle");
+  Result<ColumnCompressorSet> set = ColumnCompressorSet::Make(schema, uniform);
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(set->num_columns(), 2u);
+  EXPECT_EQ(set->column(0)->type(), CompressionType::kRle);
+
+  CompressionScheme mixed;
+  mixed.per_column = {CompressionType::kNullSuppression,
+                      CompressionType::kNone};
+  EXPECT_EQ(mixed.ToString(), "mixed(null_suppression,none)");
+  Result<ColumnCompressorSet> mixed_set =
+      ColumnCompressorSet::Make(schema, mixed);
+  ASSERT_TRUE(mixed_set.ok());
+  EXPECT_EQ(mixed_set->column(1)->type(), CompressionType::kNone);
+
+  CompressionScheme bad;
+  bad.per_column = {CompressionType::kNone};
+  EXPECT_FALSE(ColumnCompressorSet::Make(schema, bad).ok());
+}
+
+// ---------------------------------------------------------------------------
+// CompressedIndexBuilder
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<Table>> SmallTable(uint64_t n, uint64_t distinct,
+                                          uint64_t seed) {
+  return GenerateTable(
+      {ColumnSpec::String("s", 16, distinct, FrequencySpec::Uniform(),
+                          LengthSpec::Uniform(1, 12)),
+       ColumnSpec::Integer("i", distinct)},
+      n, seed);
+}
+
+class CompressedIndexBuilderTest
+    : public ::testing::TestWithParam<CompressionType> {};
+
+TEST_P(CompressedIndexBuilderTest, RoundTripsAllRows) {
+  auto table = SmallTable(500, 40, 7);
+  ASSERT_TRUE(table.ok());
+  CompressionScheme scheme = CompressionScheme::Uniform(GetParam());
+  IndexBuildOptions options;
+  options.page_size = 1024;  // force multiple pages
+  std::vector<Slice> rows;
+  for (RowId id = 0; id < (*table)->num_rows(); ++id) {
+    rows.push_back((*table)->row(id));
+  }
+  Result<CompressedIndex> compressed =
+      CompressRows((*table)->schema(), scheme, rows, options);
+  ASSERT_TRUE(compressed.ok()) << compressed.status();
+  EXPECT_EQ(compressed->stats().row_count, 500u);
+  EXPECT_GT(compressed->stats().data_pages, 1u);
+
+  std::vector<std::string> decoded;
+  ASSERT_TRUE(compressed->DecodeAllRows(&decoded).ok());
+  ASSERT_EQ(decoded.size(), 500u);
+  for (size_t i = 0; i < decoded.size(); ++i) {
+    EXPECT_EQ(Slice(decoded[i]), rows[i]) << "row " << i;
+  }
+}
+
+TEST_P(CompressedIndexBuilderTest, PagesNeverOverflow) {
+  auto table = SmallTable(400, 25, 11);
+  ASSERT_TRUE(table.ok());
+  CompressionScheme scheme = CompressionScheme::Uniform(GetParam());
+  IndexBuildOptions options;
+  options.page_size = 512;
+  std::vector<Slice> rows;
+  for (RowId id = 0; id < (*table)->num_rows(); ++id) {
+    rows.push_back((*table)->row(id));
+  }
+  Result<CompressedIndex> compressed =
+      CompressRows((*table)->schema(), scheme, rows, options);
+  ASSERT_TRUE(compressed.ok()) << compressed.status();
+  for (const Page& page : compressed->pages()) {
+    EXPECT_LE(page.used_bytes(), 512u);
+    EXPECT_EQ(page.page_size(), 512u);
+  }
+  uint64_t total_used = 0;
+  for (const Page& page : compressed->pages()) total_used += page.used_bytes();
+  EXPECT_EQ(total_used, compressed->stats().used_bytes);
+}
+
+/// All types valid for a mixed string+integer table (delta is integer-only).
+std::vector<CompressionType> MixedTableCompressionTypes() {
+  std::vector<CompressionType> types;
+  for (CompressionType t : AllCompressionTypes()) {
+    if (t != CompressionType::kDelta && t != CompressionType::kFrameOfReference) {
+      types.push_back(t);
+    }
+  }
+  return types;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, CompressedIndexBuilderTest,
+                         ::testing::ValuesIn(MixedTableCompressionTypes()),
+                         [](const auto& info) {
+                           return CompressionTypeName(info.param);
+                         });
+
+TEST(CompressedIndexBuilderTest2, DeltaSchemeOnIntegerTable) {
+  auto table = GenerateTable({ColumnSpec::Integer("a", 0)}, 3000, 5);
+  ASSERT_TRUE(table.ok());
+  std::vector<Slice> rows;
+  for (RowId id = 0; id < (*table)->num_rows(); ++id) {
+    rows.push_back((*table)->row(id));
+  }
+  IndexBuildOptions options;
+  options.page_size = 1024;
+  Result<CompressedIndex> compressed = CompressRows(
+      (*table)->schema(), CompressionScheme::Uniform(CompressionType::kDelta),
+      rows, options);
+  ASSERT_TRUE(compressed.ok()) << compressed.status();
+  // Sequential int64 keys: ~1 byte per row vs 8 uncompressed.
+  EXPECT_LT(compressed->stats().chunk_bytes, 3000u * 3u);
+  std::vector<std::string> decoded;
+  ASSERT_TRUE(compressed->DecodeAllRows(&decoded).ok());
+  ASSERT_EQ(decoded.size(), 3000u);
+  for (size_t i = 0; i < decoded.size(); ++i) {
+    EXPECT_EQ(Slice(decoded[i]), rows[i]);
+  }
+}
+
+TEST(CompressedIndexBuilderTest2, EmptyIndexHasOnePage) {
+  Schema schema =
+      std::move(Schema::Make({{"a", CharType(4)}})).ValueOrDie();
+  Result<CompressedIndex> compressed = CompressRows(
+      schema, CompressionScheme::Uniform(CompressionType::kNullSuppression),
+      {});
+  ASSERT_TRUE(compressed.ok());
+  EXPECT_EQ(compressed->stats().row_count, 0u);
+  EXPECT_EQ(compressed->stats().data_pages, 1u);
+}
+
+TEST(CompressedIndexBuilderTest2, RejectsWrongRowWidth) {
+  Schema schema =
+      std::move(Schema::Make({{"a", CharType(4)}})).ValueOrDie();
+  auto builder = CompressedIndexBuilder::Make(
+      schema, CompressionScheme::Uniform(CompressionType::kNone));
+  ASSERT_TRUE(builder.ok());
+  std::string bad(2, 'x');
+  EXPECT_TRUE((*builder)->Add(Slice(bad)).IsInvalidArgument());
+}
+
+TEST(CompressedIndexBuilderTest2, RejectsRowLargerThanPage) {
+  Schema schema =
+      std::move(Schema::Make({{"a", CharType(400)}})).ValueOrDie();
+  IndexBuildOptions options;
+  options.page_size = 256;
+  auto builder = CompressedIndexBuilder::Make(
+      schema, CompressionScheme::Uniform(CompressionType::kNone), options);
+  ASSERT_TRUE(builder.ok());
+  std::string row(400, 'x');
+  EXPECT_TRUE((*builder)->Add(Slice(row)).IsCapacityExceeded());
+}
+
+TEST(CompressedIndexBuilderTest2, RejectsTinyAndHugePageSizes) {
+  Schema schema =
+      std::move(Schema::Make({{"a", CharType(4)}})).ValueOrDie();
+  IndexBuildOptions tiny;
+  tiny.page_size = 32;
+  EXPECT_FALSE(CompressedIndexBuilder::Make(
+                   schema, CompressionScheme::Uniform(CompressionType::kNone),
+                   tiny)
+                   .ok());
+  IndexBuildOptions huge;
+  huge.page_size = 1 << 20;
+  EXPECT_FALSE(CompressedIndexBuilder::Make(
+                   schema, CompressionScheme::Uniform(CompressionType::kNone),
+                   huge)
+                   .ok());
+}
+
+TEST(CompressedIndexBuilderTest2, KeepPagesFalseSkipsRetention) {
+  auto table = SmallTable(100, 10, 3);
+  ASSERT_TRUE(table.ok());
+  IndexBuildOptions options;
+  options.keep_pages = false;
+  std::vector<Slice> rows;
+  for (RowId id = 0; id < (*table)->num_rows(); ++id) {
+    rows.push_back((*table)->row(id));
+  }
+  Result<CompressedIndex> compressed = CompressRows(
+      (*table)->schema(),
+      CompressionScheme::Uniform(CompressionType::kNullSuppression), rows,
+      options);
+  ASSERT_TRUE(compressed.ok());
+  EXPECT_TRUE(compressed->pages().empty());
+  EXPECT_GT(compressed->stats().used_bytes, 0u);
+  std::vector<std::string> decoded;
+  EXPECT_TRUE(compressed->DecodeAllRows(&decoded).IsInvalidArgument());
+}
+
+TEST(CompressedIndexBuilderTest2, GlobalDictAuxPagesCounted) {
+  auto table = SmallTable(300, 200, 5);
+  ASSERT_TRUE(table.ok());
+  std::vector<Slice> rows;
+  for (RowId id = 0; id < (*table)->num_rows(); ++id) {
+    rows.push_back((*table)->row(id));
+  }
+  IndexBuildOptions options;
+  options.page_size = 512;
+  Result<CompressedIndex> compressed = CompressRows(
+      (*table)->schema(),
+      CompressionScheme::Uniform(CompressionType::kDictionaryGlobal), rows,
+      options);
+  ASSERT_TRUE(compressed.ok());
+  EXPECT_GT(compressed->stats().aux_bytes, 0u);
+  EXPECT_GT(compressed->stats().aux_pages, 0u);
+  // aux_pages covers aux_bytes.
+  EXPECT_GE(compressed->stats().aux_pages * (512 - kPageHeaderSize),
+            compressed->stats().aux_bytes);
+}
+
+TEST(CompressedIndexBuilderTest2, ZeroBitPointerPagesRespectRowCountLimit) {
+  // A single distinct value compresses to 0-bit pointers: without a row cap
+  // the u16 chunk row count would wrap at 65536 rows. 70k identical rows
+  // must round-trip exactly.
+  Schema schema =
+      std::move(Schema::Make({{"a", CharType(4)}})).ValueOrDie();
+  RowCodec codec(schema);
+  std::string row;
+  ASSERT_TRUE(codec.Encode({Value::Str("x")}, &row).ok());
+  auto builder = CompressedIndexBuilder::Make(
+      schema, CompressionScheme::Uniform(CompressionType::kDictionaryPage));
+  ASSERT_TRUE(builder.ok());
+  const uint64_t n = 70000;
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSERT_TRUE((*builder)->Add(Slice(row)).ok());
+  }
+  Result<CompressedIndex> compressed = (*builder)->Finish();
+  ASSERT_TRUE(compressed.ok());
+  EXPECT_EQ(compressed->stats().row_count, n);
+  EXPECT_GE(compressed->stats().data_pages, 2u);  // capped at 65535 rows/page
+  std::vector<std::string> decoded;
+  ASSERT_TRUE(compressed->DecodeAllRows(&decoded).ok());
+  EXPECT_EQ(decoded.size(), n);
+}
+
+TEST(CompressedIndexBuilderTest2, PagingEffectsInflateDictionaryEntries) {
+  // With few distinct values spread over many pages, sum_i Pg(i) > d.
+  auto table = SmallTable(2000, 8, 13);
+  ASSERT_TRUE(table.ok());
+  std::vector<Slice> rows;
+  for (RowId id = 0; id < (*table)->num_rows(); ++id) {
+    rows.push_back((*table)->row(id));
+  }
+  IndexBuildOptions options;
+  options.page_size = 512;
+  options.keep_pages = false;
+  Result<CompressedIndex> paged = CompressRows(
+      (*table)->schema(),
+      CompressionScheme::Uniform(CompressionType::kDictionaryPage), rows,
+      options);
+  ASSERT_TRUE(paged.ok());
+  Result<CompressedIndex> global = CompressRows(
+      (*table)->schema(),
+      CompressionScheme::Uniform(CompressionType::kDictionaryGlobal), rows,
+      options);
+  ASSERT_TRUE(global.ok());
+  EXPECT_GT(paged->stats().dictionary_entries,
+            global->stats().dictionary_entries);
+  EXPECT_GT(paged->stats().data_pages, 1u);
+}
+
+}  // namespace
+}  // namespace cfest

@@ -1,0 +1,157 @@
+// Tests for CSV import/export and the textual schema notation used by the
+// CLI tool.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "storage/csv.h"
+
+namespace cfest {
+namespace {
+
+TEST(SchemaSpecTest, ParsesAllTypes) {
+  Result<Schema> schema = ParseSchemaSpec(
+      "a:int32,b:int64,c:date,d:decimal,e:char(20),f:varchar(44)");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_EQ(schema->num_columns(), 6u);
+  EXPECT_EQ(schema->column(0).type, Int32Type());
+  EXPECT_EQ(schema->column(1).type, Int64Type());
+  EXPECT_EQ(schema->column(2).type, DateType());
+  EXPECT_EQ(schema->column(3).type, DecimalType());
+  EXPECT_EQ(schema->column(4).type, CharType(20));
+  EXPECT_EQ(schema->column(5).type, VarcharType(44));
+}
+
+TEST(SchemaSpecTest, RoundTripsThroughSchemaToSpec) {
+  const std::string spec = "id:int64,name:char(12),note:varchar(80)";
+  Result<Schema> schema = ParseSchemaSpec(spec);
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(SchemaToSpec(*schema), spec);
+}
+
+TEST(SchemaSpecTest, RejectsMalformedSpecs) {
+  EXPECT_FALSE(ParseSchemaSpec("").ok());
+  EXPECT_FALSE(ParseSchemaSpec("noname").ok());
+  EXPECT_FALSE(ParseSchemaSpec(":int64").ok());
+  EXPECT_FALSE(ParseSchemaSpec("a:").ok());
+  EXPECT_FALSE(ParseSchemaSpec("a:int128").ok());
+  EXPECT_FALSE(ParseSchemaSpec("a:char()").ok());
+  EXPECT_FALSE(ParseSchemaSpec("a:char(0)").ok());
+  EXPECT_FALSE(ParseSchemaSpec("a:char(xyz)").ok());
+  EXPECT_FALSE(ParseSchemaSpec("a:int64,a:int64").ok());  // duplicate name
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  Schema schema_ = std::move(ParseSchemaSpec("id:int64,city:char(16)"))
+                       .ValueOrDie();
+};
+
+TEST_F(CsvTest, ParsesPlainRows) {
+  auto table = LoadCsv("id,city\n1,berlin\n2,paris\n", schema_);
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_EQ((*table)->num_rows(), 2u);
+  EXPECT_EQ((*table)->DecodeRow(0)->at(0).AsInt(), 1);
+  EXPECT_EQ((*table)->DecodeRow(1)->at(1).AsString(), "paris");
+}
+
+TEST_F(CsvTest, HeaderToggle) {
+  auto with = LoadCsv("id,city\n1,x\n", schema_, /*has_header=*/true);
+  auto without = LoadCsv("1,x\n", schema_, /*has_header=*/false);
+  ASSERT_TRUE(with.ok());
+  ASSERT_TRUE(without.ok());
+  EXPECT_EQ((*with)->num_rows(), 1u);
+  EXPECT_EQ((*without)->num_rows(), 1u);
+}
+
+TEST_F(CsvTest, QuotedFieldsWithCommasQuotesNewlines) {
+  const std::string csv =
+      "id,city\n"
+      "1,\"a,b\"\n"
+      "2,\"say \"\"hi\"\"\"\n"
+      "3,\"line1\nline2\"\n";
+  auto table = LoadCsv(csv, schema_);
+  ASSERT_TRUE(table.ok()) << table.status();
+  ASSERT_EQ((*table)->num_rows(), 3u);
+  EXPECT_EQ((*table)->DecodeRow(0)->at(1).AsString(), "a,b");
+  EXPECT_EQ((*table)->DecodeRow(1)->at(1).AsString(), "say \"hi\"");
+  EXPECT_EQ((*table)->DecodeRow(2)->at(1).AsString(), "line1\nline2");
+}
+
+TEST_F(CsvTest, CrLfAndTrailingNewlineHandling) {
+  auto table = LoadCsv("id,city\r\n1,x\r\n2,y", schema_);
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_EQ((*table)->num_rows(), 2u);
+}
+
+TEST_F(CsvTest, NegativeIntegers) {
+  auto table = LoadCsv("id,city\n-42,x\n", schema_);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->DecodeRow(0)->at(0).AsInt(), -42);
+}
+
+TEST_F(CsvTest, RejectsBadRows) {
+  // Wrong arity.
+  EXPECT_FALSE(LoadCsv("id,city\n1\n", schema_).ok());
+  EXPECT_FALSE(LoadCsv("id,city\n1,x,extra\n", schema_).ok());
+  // Non-integer.
+  EXPECT_FALSE(LoadCsv("id,city\nabc,x\n", schema_).ok());
+  EXPECT_FALSE(LoadCsv("id,city\n1.5,x\n", schema_).ok());
+  // Empty integer.
+  EXPECT_FALSE(LoadCsv("id,city\n,x\n", schema_).ok());
+  // Oversized string for char(16).
+  EXPECT_FALSE(
+      LoadCsv("id,city\n1,aaaaaaaaaaaaaaaaaaaaaaaaa\n", schema_).ok());
+  // Unterminated quote.
+  EXPECT_FALSE(LoadCsv("id,city\n1,\"open\n", schema_).ok());
+  // Quote mid-field.
+  EXPECT_FALSE(LoadCsv("id,city\n1,ab\"c\n", schema_).ok());
+}
+
+TEST_F(CsvTest, WriteReadRoundTrip) {
+  TableBuilder builder(schema_);
+  ASSERT_TRUE(builder.Append({Value::Int(7), Value::Str("a,b \"q\"")}).ok());
+  ASSERT_TRUE(builder.Append({Value::Int(-1), Value::Str("plain")}).ok());
+  auto table = builder.Finish();
+  const std::string csv = WriteCsv(*table);
+  auto reloaded = LoadCsv(csv, schema_);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status();
+  ASSERT_EQ((*reloaded)->num_rows(), 2u);
+  for (RowId id = 0; id < 2; ++id) {
+    EXPECT_EQ(*(*reloaded)->DecodeRow(id), *table->DecodeRow(id));
+  }
+}
+
+TEST_F(CsvTest, BlankLinesSkipped) {
+  auto table = LoadCsv("id,city\n1,x\n\n2,y\n", schema_);
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_EQ((*table)->num_rows(), 2u);
+}
+
+TEST(CsvSingleColumnTest, EmptyFieldDistinctFromBlankLine) {
+  Schema schema = std::move(ParseSchemaSpec("s:char(4)")).ValueOrDie();
+  TableBuilder builder(schema);
+  ASSERT_TRUE(builder.Append({Value::Str("")}).ok());
+  ASSERT_TRUE(builder.Append({Value::Str("x")}).ok());
+  auto table = builder.Finish();
+  const std::string csv = WriteCsv(*table);
+  // The empty value must be written as "" so it survives the reload.
+  EXPECT_NE(csv.find("\"\""), std::string::npos);
+  auto reloaded = LoadCsv(csv, schema);
+  ASSERT_TRUE(reloaded.ok());
+  ASSERT_EQ((*reloaded)->num_rows(), 2u);
+  EXPECT_EQ((*reloaded)->DecodeRow(0)->at(0).AsString(), "");
+}
+
+TEST_F(CsvTest, EmptyInputYieldsEmptyTable) {
+  auto table = LoadCsv("", schema_);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->num_rows(), 0u);
+  auto header_only = LoadCsv("id,city\n", schema_);
+  ASSERT_TRUE(header_only.ok());
+  EXPECT_EQ((*header_only)->num_rows(), 0u);
+}
+
+}  // namespace
+}  // namespace cfest

@@ -1,0 +1,348 @@
+// Tests for the data-generation substrate: distributions, string pools,
+// declarative table generation, and the synthetic TPC-H tables.
+
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datagen/distribution.h"
+#include "datagen/string_gen.h"
+#include "datagen/table_gen.h"
+#include "datagen/tpch/tables.h"
+#include "datagen/tpch/text.h"
+#include "storage/row_codec.h"
+
+namespace cfest {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Distributions
+// ---------------------------------------------------------------------------
+
+TEST(DistributionTest, RejectsBadParameters) {
+  EXPECT_FALSE(MakeUniformDistribution(0).ok());
+  EXPECT_FALSE(MakeZipfDistribution(0, 1.0).ok());
+  EXPECT_FALSE(MakeZipfDistribution(10, 0.0).ok());
+  EXPECT_FALSE(MakeSelfSimilarDistribution(10, 0.0).ok());
+  EXPECT_FALSE(MakeSelfSimilarDistribution(10, 0.7).ok());
+  EXPECT_FALSE(MakeSequentialDistribution(0).ok());
+}
+
+TEST(DistributionTest, UniformCoversDomainEvenly) {
+  auto dist = MakeUniformDistribution(10);
+  ASSERT_TRUE(dist.ok());
+  Random rng(1);
+  std::vector<uint64_t> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) counts[(*dist)->Next(&rng)]++;
+  for (uint64_t c : counts) {
+    EXPECT_GT(c, 800u);
+    EXPECT_LT(c, 1200u);
+  }
+}
+
+TEST(DistributionTest, ZipfFrequenciesDecrease) {
+  auto dist = MakeZipfDistribution(100, 1.0);
+  ASSERT_TRUE(dist.ok());
+  Random rng(2);
+  std::vector<uint64_t> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) counts[(*dist)->Next(&rng)]++;
+  // Head value dominates, tail is rare.
+  EXPECT_GT(counts[0], counts[10] * 3);
+  EXPECT_GT(counts[0], counts[99] * 20);
+  // Zipf(1.0) over 100 values: P(0) ~ 1/H_100 ~ 0.193.
+  EXPECT_NEAR(static_cast<double>(counts[0]) / 50000.0, 0.193, 0.02);
+}
+
+TEST(DistributionTest, SelfSimilarEightyTwenty) {
+  auto dist = MakeSelfSimilarDistribution(100, 0.2);
+  ASSERT_TRUE(dist.ok());
+  Random rng(3);
+  uint64_t head = 0;
+  const int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    if ((*dist)->Next(&rng) < 20) ++head;
+  }
+  // ~80% of draws land in the first 20% of the domain.
+  EXPECT_NEAR(static_cast<double>(head) / kDraws, 0.8, 0.03);
+}
+
+TEST(DistributionTest, SequentialIsExactRoundRobin) {
+  auto dist = MakeSequentialDistribution(3);
+  ASSERT_TRUE(dist.ok());
+  Random rng(4);
+  std::vector<uint64_t> seen;
+  for (int i = 0; i < 7; ++i) seen.push_back((*dist)->Next(&rng));
+  EXPECT_EQ(seen, (std::vector<uint64_t>{0, 1, 2, 0, 1, 2, 0}));
+}
+
+TEST(DistributionTest, DomainsReported) {
+  EXPECT_EQ((*MakeUniformDistribution(42))->domain(), 42u);
+  EXPECT_EQ((*MakeZipfDistribution(7, 0.5))->domain(), 7u);
+}
+
+// ---------------------------------------------------------------------------
+// String pools
+// ---------------------------------------------------------------------------
+
+TEST(StringPoolTest, AllDistinct) {
+  Random rng(5);
+  auto pool = StringPool::Make(500, 12, LengthSpec::Uniform(1, 12), &rng);
+  ASSERT_TRUE(pool.ok());
+  std::unordered_set<std::string> values;
+  for (uint64_t i = 0; i < pool->size(); ++i) values.insert(pool->Get(i));
+  EXPECT_EQ(values.size(), 500u);
+}
+
+TEST(StringPoolTest, ConstantLengthsExact) {
+  Random rng(6);
+  auto pool = StringPool::Make(100, 16, LengthSpec::Constant(9), &rng);
+  ASSERT_TRUE(pool.ok());
+  for (uint64_t i = 0; i < pool->size(); ++i) {
+    EXPECT_EQ(pool->Get(i).size(), 9u);
+  }
+  EXPECT_DOUBLE_EQ(pool->MeanLength(), 9.0);
+}
+
+TEST(StringPoolTest, FullLengthUsesDeclaredWidth) {
+  Random rng(7);
+  auto pool = StringPool::Make(10, 8, LengthSpec::Full(), &rng);
+  ASSERT_TRUE(pool.ok());
+  for (uint64_t i = 0; i < pool->size(); ++i) {
+    EXPECT_EQ(pool->Get(i).size(), 8u);
+  }
+}
+
+TEST(StringPoolTest, BimodalLengths) {
+  Random rng(8);
+  auto pool = StringPool::Make(1000, 20, LengthSpec::Bimodal(2, 20), &rng);
+  ASSERT_TRUE(pool.ok());
+  uint64_t lo = 0, hi = 0;
+  for (uint64_t i = 0; i < pool->size(); ++i) {
+    const size_t len = pool->Get(i).size();
+    EXPECT_TRUE(len == 2 || len == 20) << len;
+    (len == 2 ? lo : hi)++;
+  }
+  EXPECT_GT(lo, 350u);
+  EXPECT_GT(hi, 350u);
+}
+
+TEST(StringPoolTest, RejectsOverfullDomain) {
+  Random rng(9);
+  // char(2) can hold at most 36^2 = 1296 index-distinct strings.
+  EXPECT_FALSE(StringPool::Make(2000, 2, LengthSpec::Full(), &rng).ok());
+  EXPECT_TRUE(StringPool::Make(1296, 2, LengthSpec::Full(), &rng).ok());
+  EXPECT_FALSE(StringPool::Make(0, 8, LengthSpec::Full(), &rng).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Table generation
+// ---------------------------------------------------------------------------
+
+TEST(TableGenTest, DistinctCountsHonored) {
+  auto table = GenerateTable(
+      {ColumnSpec::String("s", 10, 25),
+       ColumnSpec::Integer("i", 7)},
+      5000, 42);
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_EQ((*table)->num_rows(), 5000u);
+  std::unordered_set<std::string> s_values;
+  std::unordered_set<std::string> i_values;
+  for (RowId id = 0; id < (*table)->num_rows(); ++id) {
+    s_values.insert((*table)->cell(id, 0).ToString());
+    i_values.insert((*table)->cell(id, 1).ToString());
+  }
+  EXPECT_EQ(s_values.size(), 25u);  // all 25 appear at n=5000
+  EXPECT_EQ(i_values.size(), 7u);
+}
+
+TEST(TableGenTest, UniqueColumnsUseRowIndex) {
+  auto table = GenerateTable({ColumnSpec::Integer("id", 0)}, 100, 1);
+  ASSERT_TRUE(table.ok());
+  RowCodec codec((*table)->schema());
+  for (RowId id = 0; id < 100; ++id) {
+    EXPECT_EQ(codec.DecodeCell((*table)->row(id), 0)->AsInt(),
+              static_cast<int64_t>(id));
+  }
+}
+
+TEST(TableGenTest, DeterministicInSeed) {
+  auto a = GenerateTable({ColumnSpec::String("s", 8, 10)}, 200, 77);
+  auto b = GenerateTable({ColumnSpec::String("s", 8, 10)}, 200, 77);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (RowId id = 0; id < 200; ++id) {
+    EXPECT_EQ((*a)->row(id), (*b)->row(id));
+  }
+  auto c = GenerateTable({ColumnSpec::String("s", 8, 10)}, 200, 78);
+  ASSERT_TRUE(c.ok());
+  bool any_diff = false;
+  for (RowId id = 0; id < 200; ++id) {
+    if (!((*a)->row(id) == (*c)->row(id))) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(TableGenTest, RejectsBadSpecs) {
+  EXPECT_FALSE(GenerateTable({}, 10, 1).ok());
+  // Unique string too narrow for row indexes.
+  EXPECT_FALSE(
+      GenerateTable({ColumnSpec::String("s", 2, 0)}, 1000, 1).ok());
+}
+
+TEST(TableGenTest, ZipfSkewConcentratesValues) {
+  auto table = GenerateTable(
+      {ColumnSpec::String("s", 10, 50, FrequencySpec::Zipf(1.2))}, 10000, 5);
+  ASSERT_TRUE(table.ok());
+  std::map<std::string, uint64_t> counts;
+  for (RowId id = 0; id < (*table)->num_rows(); ++id) {
+    counts[(*table)->cell(id, 0).ToString()]++;
+  }
+  uint64_t max_count = 0;
+  for (const auto& [v, c] : counts) max_count = std::max(max_count, c);
+  // Under zipf(1.2) on 50 values the head holds >> 1/50 of the mass.
+  EXPECT_GT(max_count, 10000u / 50u * 5u);
+}
+
+// ---------------------------------------------------------------------------
+// TPC-H
+// ---------------------------------------------------------------------------
+
+TEST(TpchTest, RowCountsFollowScaleFactor) {
+  EXPECT_EQ(tpch::LineitemRows(1.0), 6000000u);
+  EXPECT_EQ(tpch::OrdersRows(1.0), 1500000u);
+  EXPECT_EQ(tpch::PartRows(0.01), 2000u);
+  EXPECT_EQ(tpch::CustomerRows(0.01), 1500u);
+  EXPECT_EQ(tpch::SupplierRows(0.01), 100u);
+  EXPECT_GE(tpch::LineitemRows(1e-9), 1u);  // clamped to at least one row
+}
+
+TEST(TpchTest, SchemasMatchSpecification) {
+  EXPECT_EQ(tpch::LineitemSchema().num_columns(), 16u);
+  EXPECT_EQ(tpch::OrdersSchema().num_columns(), 9u);
+  EXPECT_EQ(tpch::PartSchema().num_columns(), 9u);
+  EXPECT_EQ(tpch::CustomerSchema().num_columns(), 8u);
+  EXPECT_EQ(tpch::SupplierSchema().num_columns(), 7u);
+  EXPECT_EQ(*tpch::LineitemSchema().ColumnIndex("l_shipmode"), 14u);
+  EXPECT_EQ(tpch::LineitemSchema().column(14).type, CharType(10));
+  EXPECT_EQ(tpch::CustomerSchema().column(7).type, VarcharType(117));
+}
+
+class TpchDistinctProfileTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    tpch::TpchOptions options;
+    options.scale_factor = 0.002;
+    auto result = tpch::GenerateCatalog(options);
+    ASSERT_TRUE(result.ok()) << result.status();
+    catalog_ = result->release();
+  }
+  static void TearDownTestSuite() {
+    delete catalog_;
+    catalog_ = nullptr;
+  }
+
+  static uint64_t CountDistinct(const Table& table, const std::string& col) {
+    const size_t idx = *table.schema().ColumnIndex(col);
+    std::unordered_set<std::string> values;
+    for (RowId id = 0; id < table.num_rows(); ++id) {
+      values.insert(table.cell(id, idx).ToString());
+    }
+    return values.size();
+  }
+
+  static Catalog* catalog_;
+};
+
+Catalog* TpchDistinctProfileTest::catalog_ = nullptr;
+
+TEST_F(TpchDistinctProfileTest, AllTablesPresentWithExpectedRows) {
+  EXPECT_EQ(catalog_->TableNames().size(), 7u);
+  EXPECT_EQ((*catalog_->GetTable("lineitem"))->num_rows(), 12000u);
+  EXPECT_EQ((*catalog_->GetTable("orders"))->num_rows(), 3000u);
+  EXPECT_EQ((*catalog_->GetTable("part"))->num_rows(), 400u);
+  EXPECT_EQ((*catalog_->GetTable("customer"))->num_rows(), 300u);
+  EXPECT_EQ((*catalog_->GetTable("supplier"))->num_rows(), 20u);
+  // Reference tables are fixed-size at every scale factor.
+  EXPECT_EQ((*catalog_->GetTable("nation"))->num_rows(), 25u);
+  EXPECT_EQ((*catalog_->GetTable("region"))->num_rows(), 5u);
+}
+
+TEST_F(TpchDistinctProfileTest, NationRegionContents) {
+  const Table& nation = **catalog_->GetTable("nation");
+  EXPECT_EQ(nation.schema().num_columns(), 4u);
+  EXPECT_EQ(CountDistinct(nation, "n_name"), 25u);
+  RowCodec codec(nation.schema());
+  const size_t regionkey = *nation.schema().ColumnIndex("n_regionkey");
+  for (RowId id = 0; id < nation.num_rows(); ++id) {
+    const int64_t rk = codec.DecodeCell(nation.row(id), regionkey)->AsInt();
+    EXPECT_GE(rk, 0);
+    EXPECT_LT(rk, 5);
+  }
+  const Table& region = **catalog_->GetTable("region");
+  EXPECT_EQ(CountDistinct(region, "r_name"), 5u);
+}
+
+TEST_F(TpchDistinctProfileTest, LineitemCategoricalDomains) {
+  const Table& li = **catalog_->GetTable("lineitem");
+  EXPECT_LE(CountDistinct(li, "l_returnflag"), 3u);
+  EXPECT_LE(CountDistinct(li, "l_linestatus"), 2u);
+  EXPECT_EQ(CountDistinct(li, "l_shipmode"), 7u);
+  EXPECT_EQ(CountDistinct(li, "l_shipinstruct"), 4u);
+  // Comments are near-unique free text.
+  EXPECT_GT(CountDistinct(li, "l_comment"), li.num_rows() / 2);
+}
+
+TEST_F(TpchDistinctProfileTest, OrdersProfiles) {
+  const Table& orders = **catalog_->GetTable("orders");
+  EXPECT_EQ(CountDistinct(orders, "o_orderkey"), orders.num_rows());
+  EXPECT_EQ(CountDistinct(orders, "o_orderpriority"), 5u);
+  EXPECT_LE(CountDistinct(orders, "o_orderstatus"), 3u);
+  EXPECT_LE(CountDistinct(orders, "o_clerk"), 10u);  // sf*1000 clerks
+}
+
+TEST_F(TpchDistinctProfileTest, PartProfiles) {
+  const Table& part = **catalog_->GetTable("part");
+  EXPECT_LE(CountDistinct(part, "p_brand"), 25u);
+  EXPECT_GE(CountDistinct(part, "p_brand"), 20u);
+  EXPECT_LE(CountDistinct(part, "p_container"), 40u);
+  EXPECT_LE(CountDistinct(part, "p_mfgr"), 5u);
+}
+
+TEST_F(TpchDistinctProfileTest, DatesWithinTpchRange) {
+  const Table& li = **catalog_->GetTable("lineitem");
+  RowCodec codec(li.schema());
+  const size_t shipdate = *li.schema().ColumnIndex("l_shipdate");
+  for (RowId id = 0; id < 100; ++id) {
+    const int64_t days = codec.DecodeCell(li.row(id), shipdate)->AsInt();
+    EXPECT_GE(days, 8035);          // 1992-01-01
+    EXPECT_LT(days, 8035 + 2557 + 91);  // receipt slack included
+  }
+}
+
+TEST(TpchTextTest, DomainsAndShapes) {
+  EXPECT_EQ(tpch::ShipModes().size(), 7u);
+  EXPECT_EQ(tpch::ShipInstructs().size(), 4u);
+  EXPECT_EQ(tpch::OrderPriorities().size(), 5u);
+  EXPECT_EQ(tpch::Nations().size(), 25u);
+  EXPECT_EQ(tpch::PartContainers().size(), 40u);
+  EXPECT_EQ(tpch::PartTypes().size(), 150u);
+  Random rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const std::string comment = tpch::Comment(44, &rng);
+    EXPECT_LE(comment.size(), 44u);
+    EXPECT_FALSE(comment.empty());
+    EXPECT_NE(comment.back(), ' ');
+    const std::string brand = tpch::Brand(&rng);
+    EXPECT_EQ(brand.size(), 8u);
+    EXPECT_EQ(brand.substr(0, 6), "Brand#");
+    const std::string phone = tpch::Phone(3, &rng);
+    EXPECT_EQ(phone.size(), 15u);
+    EXPECT_EQ(phone.substr(0, 2), "13");
+  }
+  EXPECT_EQ(tpch::Name("Customer", 42, 9), "Customer#000000042");
+}
+
+}  // namespace
+}  // namespace cfest

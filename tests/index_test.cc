@@ -1,0 +1,295 @@
+// Tests for the index substrate: typed comparators, bulk build (sorting,
+// clustered vs non-clustered projection, leaf packing), size accounting, and
+// compression of index rows.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "index/comparator.h"
+#include "index/index.h"
+#include "storage/table.h"
+
+namespace cfest {
+namespace {
+
+std::unique_ptr<Table> MakeTable(const std::vector<Row>& rows) {
+  Schema schema = std::move(Schema::Make({{"name", CharType(8)},
+                                          {"score", Int32Type()},
+                                          {"payload", CharType(12)}}))
+                      .ValueOrDie();
+  TableBuilder builder(schema);
+  for (const Row& row : rows) {
+    EXPECT_TRUE(builder.Append(row).ok());
+  }
+  return builder.Finish();
+}
+
+std::unique_ptr<Table> ScoresTable() {
+  return MakeTable({
+      {Value::Str("carol"), Value::Int(30), Value::Str("p1")},
+      {Value::Str("alice"), Value::Int(-5), Value::Str("p2")},
+      {Value::Str("bob"), Value::Int(100), Value::Str("p3")},
+      {Value::Str("alice"), Value::Int(7), Value::Str("p4")},
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Comparator
+// ---------------------------------------------------------------------------
+
+TEST(ComparatorTest, StringOrdering) {
+  Schema schema =
+      std::move(Schema::Make({{"s", CharType(4)}})).ValueOrDie();
+  RowCodec codec(schema);
+  std::string a, b;
+  ASSERT_TRUE(codec.Encode({Value::Str("ab")}, &a).ok());
+  ASSERT_TRUE(codec.Encode({Value::Str("b")}, &b).ok());
+  RowComparator cmp(&schema, 1);
+  EXPECT_LT(cmp.Compare(Slice(a), Slice(b)), 0);
+  EXPECT_GT(cmp.Compare(Slice(b), Slice(a)), 0);
+  EXPECT_EQ(cmp.Compare(Slice(a), Slice(a)), 0);
+}
+
+TEST(ComparatorTest, IntegerOrderingWithNegatives) {
+  Schema schema =
+      std::move(Schema::Make({{"v", Int32Type()}})).ValueOrDie();
+  RowCodec codec(schema);
+  auto encode = [&](int64_t v) {
+    std::string buf;
+    EXPECT_TRUE(codec.Encode({Value::Int(v)}, &buf).ok());
+    return buf;
+  };
+  RowComparator cmp(&schema, 1);
+  const std::vector<int64_t> ordered = {-2000000, -1, 0, 1, 255, 256, 2000000};
+  for (size_t i = 0; i + 1 < ordered.size(); ++i) {
+    const std::string lo = encode(ordered[i]);
+    const std::string hi = encode(ordered[i + 1]);
+    EXPECT_LT(cmp.Compare(Slice(lo), Slice(hi)), 0)
+        << ordered[i] << " vs " << ordered[i + 1];
+  }
+}
+
+TEST(ComparatorTest, Int64Extremes) {
+  Schema schema =
+      std::move(Schema::Make({{"v", Int64Type()}})).ValueOrDie();
+  RowCodec codec(schema);
+  auto encode = [&](int64_t v) {
+    std::string buf;
+    EXPECT_TRUE(codec.Encode({Value::Int(v)}, &buf).ok());
+    return buf;
+  };
+  RowComparator cmp(&schema, 1);
+  const std::string lo = encode(INT64_MIN);
+  const std::string hi = encode(INT64_MAX);
+  const std::string zero = encode(0);
+  EXPECT_LT(cmp.Compare(Slice(lo), Slice(zero)), 0);
+  EXPECT_LT(cmp.Compare(Slice(zero), Slice(hi)), 0);
+}
+
+TEST(ComparatorTest, MultiColumnLexicographic) {
+  Schema schema = std::move(Schema::Make({{"a", CharType(2)},
+                                          {"b", Int32Type()}}))
+                      .ValueOrDie();
+  RowCodec codec(schema);
+  auto encode = [&](const std::string& s, int64_t v) {
+    std::string buf;
+    EXPECT_TRUE(codec.Encode({Value::Str(s), Value::Int(v)}, &buf).ok());
+    return buf;
+  };
+  RowComparator cmp(&schema, 2);
+  EXPECT_LT(cmp.Compare(Slice(encode("a", 9)), Slice(encode("b", 1))), 0);
+  EXPECT_LT(cmp.Compare(Slice(encode("a", 1)), Slice(encode("a", 9))), 0);
+  // Only the first column is the key if num_key_columns == 1.
+  RowComparator cmp1(&schema, 1);
+  EXPECT_EQ(cmp1.Compare(Slice(encode("a", 1)), Slice(encode("a", 9))), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Index build
+// ---------------------------------------------------------------------------
+
+TEST(IndexBuildTest, NonClusteredSchemaHasKeyPlusRid) {
+  auto table = ScoresTable();
+  IndexDescriptor desc{"ix_score", {"score"}, /*clustered=*/false};
+  Result<Index> index = Index::Build(*table, desc);
+  ASSERT_TRUE(index.ok()) << index.status();
+  EXPECT_EQ(index->schema().num_columns(), 2u);
+  EXPECT_EQ(index->schema().column(0).name, "score");
+  EXPECT_EQ(index->schema().column(1).name, "__rid");
+  EXPECT_EQ(index->schema().row_width(), 12u);
+  EXPECT_EQ(index->num_rows(), 4u);
+}
+
+TEST(IndexBuildTest, ClusteredSchemaReordersKeyFirst) {
+  auto table = ScoresTable();
+  IndexDescriptor desc{"cx", {"score"}, /*clustered=*/true};
+  Result<Index> index = Index::Build(*table, desc);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->schema().num_columns(), 3u);
+  EXPECT_EQ(index->schema().column(0).name, "score");
+  EXPECT_EQ(index->schema().column(1).name, "name");
+  EXPECT_EQ(index->schema().column(2).name, "payload");
+  EXPECT_EQ(index->schema().row_width(), table->row_width());
+}
+
+TEST(IndexBuildTest, RowsSortedByKey) {
+  auto table = ScoresTable();
+  IndexDescriptor desc{"ix", {"score"}, false};
+  Result<Index> index = Index::Build(*table, desc);
+  ASSERT_TRUE(index.ok());
+  RowCodec codec(index->schema());
+  std::vector<int64_t> scores;
+  for (uint64_t i = 0; i < index->num_rows(); ++i) {
+    scores.push_back(codec.DecodeCell(index->row(i), 0)->AsInt());
+  }
+  EXPECT_EQ(scores, (std::vector<int64_t>{-5, 7, 30, 100}));
+}
+
+TEST(IndexBuildTest, RidsPointBackToHeapRows) {
+  auto table = ScoresTable();
+  IndexDescriptor desc{"ix", {"name"}, false};
+  Result<Index> index = Index::Build(*table, desc);
+  ASSERT_TRUE(index.ok());
+  RowCodec codec(index->schema());
+  // "alice" rows (heap ids 1 and 3) come first; stable sort keeps heap order.
+  EXPECT_EQ(codec.DecodeCell(index->row(0), 1)->AsInt(), 1);
+  EXPECT_EQ(codec.DecodeCell(index->row(1), 1)->AsInt(), 3);
+  EXPECT_EQ(codec.DecodeCell(index->row(0), 0)->AsString(), "alice");
+}
+
+TEST(IndexBuildTest, MultiColumnKeySequenceRespected) {
+  auto table = ScoresTable();
+  IndexDescriptor desc{"ix", {"name", "score"}, false};
+  Result<Index> index = Index::Build(*table, desc);
+  ASSERT_TRUE(index.ok());
+  RowCodec codec(index->schema());
+  // alice rows ordered by score: -5 then 7.
+  EXPECT_EQ(codec.DecodeCell(index->row(0), 1)->AsInt(), -5);
+  EXPECT_EQ(codec.DecodeCell(index->row(1), 1)->AsInt(), 7);
+}
+
+TEST(IndexBuildTest, RejectsBadDescriptors) {
+  auto table = ScoresTable();
+  EXPECT_FALSE(Index::Build(*table, {"ix", {}, false}).ok());
+  EXPECT_FALSE(Index::Build(*table, {"ix", {"nope"}, false}).ok());
+  EXPECT_FALSE(Index::Build(*table, {"ix", {"name", "name"}, false}).ok());
+}
+
+TEST(IndexBuildTest, EmptyTableStillOwnsOnePage) {
+  Schema schema =
+      std::move(Schema::Make({{"v", Int32Type()}})).ValueOrDie();
+  TableBuilder builder(schema);
+  auto table = builder.Finish();
+  Result<Index> index = Index::Build(*table, {"ix", {"v"}, false});
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->stats().leaf_pages, 1u);
+  EXPECT_EQ(index->stats().internal_pages, 0u);
+  EXPECT_EQ(index->num_rows(), 0u);
+}
+
+TEST(IndexBuildTest, LeafPackingMatchesArithmetic) {
+  Schema schema =
+      std::move(Schema::Make({{"v", Int64Type()}})).ValueOrDie();
+  TableBuilder builder(schema);
+  const uint64_t n = 10000;
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(builder.Append({Value::Int(static_cast<int64_t>(i))}).ok());
+  }
+  auto table = builder.Finish();
+  IndexBuildOptions options;
+  options.page_size = 4096;
+  options.keep_pages = false;
+  Result<Index> index = Index::Build(*table, {"ix", {"v"}, false}, options);
+  ASSERT_TRUE(index.ok());
+  // Row: 8 (key) + 8 (rid) = 16 bytes + 4 slot; capacity 4096-32 = 4064.
+  const uint64_t per_page = 4064 / 20;  // 203
+  const uint64_t expected_leaves = (n + per_page - 1) / per_page;
+  EXPECT_EQ(index->stats().leaf_pages, expected_leaves);
+  EXPECT_GT(index->stats().internal_pages, 0u);
+  EXPECT_EQ(index->stats().row_data_bytes, n * 16u);
+}
+
+TEST(IndexBuildTest, StatsBytesConsistentWithPages) {
+  auto table = ScoresTable();
+  IndexBuildOptions options;
+  options.keep_pages = true;
+  Result<Index> index = Index::Build(*table, {"ix", {"name"}, true}, options);
+  ASSERT_TRUE(index.ok());
+  uint64_t used = 0;
+  for (const Page& page : index->leaf_pages()) used += page.used_bytes();
+  EXPECT_EQ(used, index->stats().leaf_used_bytes);
+  EXPECT_EQ(index->leaf_pages().size(), index->stats().leaf_pages);
+}
+
+// ---------------------------------------------------------------------------
+// Internal page math
+// ---------------------------------------------------------------------------
+
+TEST(InternalPageTest, Counts) {
+  EXPECT_EQ(InternalPageCount(0, 100), 0u);
+  EXPECT_EQ(InternalPageCount(1, 100), 0u);
+  EXPECT_EQ(InternalPageCount(2, 100), 1u);
+  EXPECT_EQ(InternalPageCount(100, 100), 1u);
+  EXPECT_EQ(InternalPageCount(101, 100), 2u + 1u);
+  EXPECT_EQ(InternalPageCount(10000, 100), 100u + 1u);
+  EXPECT_EQ(InternalPageCount(5, 0), 0u);  // degenerate fanout
+}
+
+TEST(InternalPageTest, FanoutReflectsKeyWidth) {
+  auto table = ScoresTable();
+  Result<Index> narrow = Index::Build(*table, {"ix", {"score"}, false});
+  Result<Index> wide = Index::Build(*table, {"ix", {"name", "payload"}, false});
+  ASSERT_TRUE(narrow.ok());
+  ASSERT_TRUE(wide.ok());
+  EXPECT_GT(narrow->fanout(), wide->fanout());
+}
+
+// ---------------------------------------------------------------------------
+// Index compression
+// ---------------------------------------------------------------------------
+
+TEST(IndexCompressTest, SortedKeysCompressWellUnderRle) {
+  Schema schema = std::move(Schema::Make({{"flag", CharType(1)},
+                                          {"payload", CharType(16)}}))
+                      .ValueOrDie();
+  TableBuilder builder(schema);
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(builder
+                    .Append({Value::Str(i % 2 == 0 ? "A" : "B"),
+                             Value::Str("pl" + std::to_string(i % 50))})
+                    .ok());
+  }
+  auto table = builder.Finish();
+  IndexBuildOptions options;
+  options.keep_pages = false;
+  Result<Index> index = Index::Build(*table, {"ix", {"flag"}, false}, options);
+  ASSERT_TRUE(index.ok());
+  // After sorting, the flag column is two giant runs.
+  CompressionScheme rle;
+  rle.per_column = {CompressionType::kRle, CompressionType::kNone};
+  Result<CompressedIndex> compressed = index->Compress(rle, options);
+  ASSERT_TRUE(compressed.ok()) << compressed.status();
+  // The flag column compresses to almost nothing; the rid column dominates.
+  EXPECT_LT(compressed->stats().chunk_bytes,
+            index->stats().row_data_bytes);
+}
+
+TEST(IndexCompressTest, CompressedRowsMatchIndexRows) {
+  auto table = ScoresTable();
+  Result<Index> index = Index::Build(*table, {"ix", {"name"}, true});
+  ASSERT_TRUE(index.ok());
+  Result<CompressedIndex> compressed = index->Compress(
+      CompressionScheme::Uniform(CompressionType::kNullSuppression));
+  ASSERT_TRUE(compressed.ok());
+  std::vector<std::string> decoded;
+  ASSERT_TRUE(compressed->DecodeAllRows(&decoded).ok());
+  ASSERT_EQ(decoded.size(), index->num_rows());
+  for (uint64_t i = 0; i < index->num_rows(); ++i) {
+    EXPECT_EQ(Slice(decoded[i]), index->row(i));
+  }
+}
+
+}  // namespace
+}  // namespace cfest

@@ -1,0 +1,359 @@
+// Tests for the storage substrate: types, schema, row codec (the paper's
+// fixed-width char(k) layout and null-suppressed lengths), tables, slotted
+// pages, and the catalog.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "storage/catalog.h"
+#include "storage/page.h"
+#include "storage/row_codec.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+#include "storage/types.h"
+#include "storage/value.h"
+
+namespace cfest {
+namespace {
+
+Schema TestSchema() {
+  return std::move(Schema::Make({{"id", Int64Type()},
+                                 {"flag", CharType(1)},
+                                 {"name", CharType(20)},
+                                 {"qty", Int32Type()}}))
+      .ValueOrDie();
+}
+
+// ---------------------------------------------------------------------------
+// Types
+// ---------------------------------------------------------------------------
+
+TEST(TypesTest, FixedWidths) {
+  EXPECT_EQ(Int32Type().FixedWidth(), 4u);
+  EXPECT_EQ(Int64Type().FixedWidth(), 8u);
+  EXPECT_EQ(DateType().FixedWidth(), 4u);
+  EXPECT_EQ(DecimalType().FixedWidth(), 8u);
+  EXPECT_EQ(CharType(20).FixedWidth(), 20u);
+  EXPECT_EQ(VarcharType(300).FixedWidth(), 300u);
+}
+
+TEST(TypesTest, Classification) {
+  EXPECT_TRUE(CharType(5).IsString());
+  EXPECT_TRUE(VarcharType(5).IsString());
+  EXPECT_FALSE(Int32Type().IsString());
+  EXPECT_TRUE(Int64Type().IsInteger());
+  EXPECT_TRUE(DateType().IsInteger());
+  EXPECT_FALSE(CharType(5).IsInteger());
+}
+
+TEST(TypesTest, Names) {
+  EXPECT_EQ(Int32Type().ToString(), "int32");
+  EXPECT_EQ(CharType(20).ToString(), "char(20)");
+  EXPECT_EQ(VarcharType(44).ToString(), "varchar(44)");
+}
+
+// ---------------------------------------------------------------------------
+// Schema
+// ---------------------------------------------------------------------------
+
+TEST(SchemaTest, OffsetsAndRowWidth) {
+  Schema schema = TestSchema();
+  EXPECT_EQ(schema.num_columns(), 4u);
+  EXPECT_EQ(schema.offset(0), 0u);
+  EXPECT_EQ(schema.offset(1), 8u);
+  EXPECT_EQ(schema.offset(2), 9u);
+  EXPECT_EQ(schema.offset(3), 29u);
+  EXPECT_EQ(schema.row_width(), 33u);
+}
+
+TEST(SchemaTest, RejectsInvalidDefinitions) {
+  EXPECT_FALSE(Schema::Make({}).ok());
+  EXPECT_FALSE(Schema::Make({{"", Int32Type()}}).ok());
+  EXPECT_FALSE(
+      Schema::Make({{"a", Int32Type()}, {"a", Int64Type()}}).ok());
+  EXPECT_FALSE(Schema::Make({{"s", CharType(0)}}).ok());
+}
+
+TEST(SchemaTest, ColumnIndexLookup) {
+  Schema schema = TestSchema();
+  EXPECT_EQ(*schema.ColumnIndex("name"), 2u);
+  EXPECT_TRUE(schema.ColumnIndex("nope").status().IsNotFound());
+}
+
+TEST(SchemaTest, Projection) {
+  Schema schema = TestSchema();
+  Result<Schema> proj = schema.Project({2, 0});
+  ASSERT_TRUE(proj.ok());
+  EXPECT_EQ(proj->num_columns(), 2u);
+  EXPECT_EQ(proj->column(0).name, "name");
+  EXPECT_EQ(proj->column(1).name, "id");
+  EXPECT_EQ(proj->row_width(), 28u);
+  EXPECT_FALSE(schema.Project({9}).ok());
+  EXPECT_FALSE(schema.Project({}).ok());
+}
+
+TEST(SchemaTest, EqualityAndToString) {
+  Schema a = TestSchema();
+  Schema b = TestSchema();
+  EXPECT_TRUE(a == b);
+  EXPECT_NE(a.ToString().find("name char(20)"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Row codec
+// ---------------------------------------------------------------------------
+
+TEST(RowCodecTest, EncodeDecodeRoundTrip) {
+  RowCodec codec(TestSchema());
+  Row row = {Value::Int(42), Value::Str("A"), Value::Str("abc"),
+             Value::Int(-7)};
+  std::string buf;
+  ASSERT_TRUE(codec.Encode(row, &buf).ok());
+  EXPECT_EQ(buf.size(), codec.schema().row_width());
+  Result<Row> decoded = codec.Decode(Slice(buf));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, row);
+}
+
+TEST(RowCodecTest, StringPaddedWithBlanks) {
+  RowCodec codec(TestSchema());
+  Row row = {Value::Int(1), Value::Str("X"), Value::Str("abc"), Value::Int(0)};
+  std::string buf;
+  ASSERT_TRUE(codec.Encode(row, &buf).ok());
+  // "abc" + 17 blanks at offset 9, exactly as the paper's Fig. 1a layout.
+  EXPECT_EQ(buf.substr(9, 20), "abc" + std::string(17, ' '));
+}
+
+TEST(RowCodecTest, IntegersLittleEndianSignExtended) {
+  RowCodec codec(TestSchema());
+  Row row = {Value::Int(-2), Value::Str("X"), Value::Str("s"), Value::Int(-2)};
+  std::string buf;
+  ASSERT_TRUE(codec.Encode(row, &buf).ok());
+  Result<Value> id = codec.DecodeCell(Slice(buf), 0);
+  Result<Value> qty = codec.DecodeCell(Slice(buf), 3);
+  EXPECT_EQ(id->AsInt(), -2);
+  EXPECT_EQ(qty->AsInt(), -2);
+}
+
+TEST(RowCodecTest, RejectsBadRows) {
+  RowCodec codec(TestSchema());
+  std::string buf;
+  // Wrong arity.
+  EXPECT_TRUE(codec.Encode({Value::Int(1)}, &buf).IsInvalidArgument());
+  // String too long for char(1).
+  Row too_long = {Value::Int(1), Value::Str("XY"), Value::Str("a"),
+                  Value::Int(0)};
+  EXPECT_TRUE(codec.Encode(too_long, &buf).IsOutOfRange());
+  // Type mismatch.
+  Row mismatch = {Value::Str("x"), Value::Str("X"), Value::Str("a"),
+                  Value::Int(0)};
+  EXPECT_TRUE(codec.Encode(mismatch, &buf).IsInvalidArgument());
+  // Int32 overflow.
+  Row overflow = {Value::Int(1), Value::Str("X"), Value::Str("a"),
+                  Value::Int(1ll << 40)};
+  EXPECT_TRUE(codec.Encode(overflow, &buf).IsOutOfRange());
+  // Failed encodes must leave the buffer unchanged.
+  EXPECT_TRUE(buf.empty());
+}
+
+TEST(RowCodecTest, DecodeRejectsShortBuffer) {
+  RowCodec codec(TestSchema());
+  std::string buf(10, 'x');
+  EXPECT_TRUE(codec.Decode(Slice(buf)).status().IsCorruption());
+}
+
+TEST(RowCodecTest, NullSuppressedLengthStrings) {
+  const DataType t = CharType(20);
+  std::string cell = "abc" + std::string(17, ' ');
+  EXPECT_EQ(NullSuppressedLength(Slice(cell), t), 3u);
+  std::string blank(20, ' ');
+  EXPECT_EQ(NullSuppressedLength(Slice(blank), t), 0u);
+  std::string full(20, 'x');
+  EXPECT_EQ(NullSuppressedLength(Slice(full), t), 20u);
+  // NUL padding also suppressed (paper: "suppress either zeros or blanks").
+  std::string nulpad = "ab" + std::string(18, '\0');
+  EXPECT_EQ(NullSuppressedLength(Slice(nulpad), t), 2u);
+}
+
+TEST(RowCodecTest, NullSuppressedLengthIntegers) {
+  const DataType t = Int64Type();
+  RowCodec codec(std::move(Schema::Make({{"v", Int64Type()}})).ValueOrDie());
+  std::string buf;
+  ASSERT_TRUE(codec.Encode({Value::Int(1)}, &buf).ok());
+  EXPECT_EQ(NullSuppressedLength(Slice(buf), t), 1u);
+  buf.clear();
+  ASSERT_TRUE(codec.Encode({Value::Int(256)}, &buf).ok());
+  EXPECT_EQ(NullSuppressedLength(Slice(buf), t), 2u);
+  buf.clear();
+  ASSERT_TRUE(codec.Encode({Value::Int(0)}, &buf).ok());
+  EXPECT_EQ(NullSuppressedLength(Slice(buf), t), 0u);
+  buf.clear();
+  // Negative values have 0xFF high bytes: nothing to suppress.
+  ASSERT_TRUE(codec.Encode({Value::Int(-1)}, &buf).ok());
+  EXPECT_EQ(NullSuppressedLength(Slice(buf), t), 8u);
+}
+
+TEST(RowCodecTest, LengthHeaderBytesByWidth) {
+  EXPECT_EQ(LengthHeaderBytes(CharType(20)), 1u);
+  EXPECT_EQ(LengthHeaderBytes(CharType(255)), 1u);
+  EXPECT_EQ(LengthHeaderBytes(CharType(256)), 2u);
+  EXPECT_EQ(LengthHeaderBytes(Int64Type()), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Value
+// ---------------------------------------------------------------------------
+
+TEST(ValueTest, OrderingAndEquality) {
+  EXPECT_TRUE(Value::Int(1) < Value::Int(2));
+  EXPECT_TRUE(Value::Str("a") < Value::Str("b"));
+  EXPECT_TRUE(Value::Int(5) == Value::Int(5));
+  EXPECT_FALSE(Value::Int(5) == Value::Str("5"));
+  EXPECT_EQ(Value::Int(7).ToString(), "7");
+  EXPECT_EQ(Value::Str("xy").ToString(), "xy");
+}
+
+// ---------------------------------------------------------------------------
+// Table
+// ---------------------------------------------------------------------------
+
+TEST(TableTest, BuildAndAccess) {
+  TableBuilder builder(TestSchema());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(builder
+                    .Append({Value::Int(i), Value::Str("F"),
+                             Value::Str("row" + std::to_string(i)),
+                             Value::Int(i * 2)})
+                    .ok());
+  }
+  auto table = builder.Finish();
+  EXPECT_EQ(table->num_rows(), 10u);
+  EXPECT_EQ(table->row_width(), 33u);
+  EXPECT_EQ(table->data_bytes(), 330u);
+  Result<Row> row = table->DecodeRow(3);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((*row)[0].AsInt(), 3);
+  EXPECT_EQ((*row)[2].AsString(), "row3");
+  // Zero-copy cell view.
+  EXPECT_EQ(table->cell(3, 1).ToString(), "F");
+}
+
+TEST(TableTest, AppendEncodedValidatesWidth) {
+  TableBuilder builder(TestSchema());
+  std::string bad(10, 'x');
+  EXPECT_TRUE(builder.AppendEncoded(Slice(bad)).IsInvalidArgument());
+  std::string good(33, ' ');
+  EXPECT_TRUE(builder.AppendEncoded(Slice(good)).ok());
+  EXPECT_EQ(builder.num_rows(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Page
+// ---------------------------------------------------------------------------
+
+TEST(PageTest, BuildAndReadRecords) {
+  PageBuilder builder(42, PageType::kDataLeaf, 4096);
+  ASSERT_TRUE(builder.Add(Slice("hello")).ok());
+  ASSERT_TRUE(builder.Add(Slice("world!")).ok());
+  Page page = builder.Finish();
+  EXPECT_EQ(page.page_id(), 42u);
+  EXPECT_EQ(page.type(), PageType::kDataLeaf);
+  EXPECT_EQ(page.slot_count(), 2u);
+  EXPECT_EQ(page.page_size(), 4096u);
+  EXPECT_EQ(page.record(0)->ToString(), "hello");
+  EXPECT_EQ(page.record(1)->ToString(), "world!");
+  EXPECT_TRUE(page.record(2).status().IsOutOfRange());
+  EXPECT_EQ(page.used_bytes(),
+            kPageHeaderSize + 11 + 2 * kSlotSize);
+  EXPECT_EQ(page.free_bytes(), 4096 - page.used_bytes());
+}
+
+TEST(PageTest, FitsAccountsForSlot) {
+  PageBuilder builder(0, PageType::kDataLeaf, 128);
+  // capacity = 128 - 32 header = 96; record + 4-byte slot each.
+  EXPECT_TRUE(builder.Fits(92));
+  EXPECT_FALSE(builder.Fits(93));
+}
+
+TEST(PageTest, AddUntilFull) {
+  PageBuilder builder(0, PageType::kDataLeaf, 256);
+  std::string rec(20, 'r');
+  int added = 0;
+  while (builder.Add(Slice(rec)).ok()) ++added;
+  // 256 - 32 = 224 bytes; each record consumes 24 -> 9 records.
+  EXPECT_EQ(added, 9);
+  EXPECT_TRUE(builder.Add(Slice(rec)).IsCapacityExceeded());
+  Page page = builder.Finish();
+  EXPECT_EQ(page.slot_count(), 9u);
+}
+
+TEST(PageTest, OversizedRecordRejected) {
+  PageBuilder builder(0, PageType::kDataLeaf, 256);
+  std::string huge(500, 'x');
+  EXPECT_TRUE(builder.Add(Slice(huge)).IsInvalidArgument());
+  EXPECT_EQ(PageBuilder::MaxRecordSize(256), 256 - kPageHeaderSize - kSlotSize);
+}
+
+TEST(PageTest, EmptyPageIsValid) {
+  PageBuilder builder(7, PageType::kInternal, 512);
+  Page page = builder.Finish();
+  EXPECT_EQ(page.slot_count(), 0u);
+  EXPECT_EQ(page.type(), PageType::kInternal);
+  EXPECT_EQ(page.used_bytes(), kPageHeaderSize);
+}
+
+TEST(PageTest, FromBufferRejectsCorruption) {
+  EXPECT_TRUE(Page::FromBuffer("short").status().IsCorruption());
+  // A page whose slot directory overruns the buffer.
+  PageBuilder builder(0, PageType::kDataLeaf, 128);
+  ASSERT_TRUE(builder.Add(Slice("data")).ok());
+  std::string buf = builder.Finish().buffer();
+  buf[10] = static_cast<char>(0xFF);  // slot_count low byte -> 255 slots
+  EXPECT_FALSE(Page::FromBuffer(buf).ok());
+}
+
+TEST(PageTest, RoundTripThroughBuffer) {
+  PageBuilder builder(9, PageType::kCompressedLeaf, 1024);
+  ASSERT_TRUE(builder.Add(Slice("abc")).ok());
+  Page page = builder.Finish();
+  Result<Page> reloaded = Page::FromBuffer(page.buffer());
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(reloaded->record(0)->ToString(), "abc");
+  EXPECT_EQ(reloaded->page_id(), 9u);
+}
+
+// ---------------------------------------------------------------------------
+// Catalog
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<Table> OneRowTable() {
+  TableBuilder builder(
+      std::move(Schema::Make({{"x", Int32Type()}})).ValueOrDie());
+  EXPECT_TRUE(builder.Append({Value::Int(1)}).ok());
+  return builder.Finish();
+}
+
+TEST(CatalogTest, RegisterAndLookup) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddTable("t1", OneRowTable()).ok());
+  EXPECT_TRUE(catalog.HasTable("t1"));
+  EXPECT_FALSE(catalog.HasTable("t2"));
+  Result<const Table*> t = catalog.GetTable("t1");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->num_rows(), 1u);
+  EXPECT_TRUE(catalog.GetTable("t2").status().IsNotFound());
+}
+
+TEST(CatalogTest, RejectsDuplicatesAndBadInput) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddTable("t", OneRowTable()).ok());
+  EXPECT_TRUE(catalog.AddTable("t", OneRowTable()).IsAlreadyExists());
+  EXPECT_TRUE(catalog.AddTable("", OneRowTable()).IsInvalidArgument());
+  EXPECT_TRUE(catalog.AddTable("x", nullptr).IsInvalidArgument());
+  EXPECT_EQ(catalog.TableNames(), std::vector<std::string>{"t"});
+}
+
+}  // namespace
+}  // namespace cfest
