@@ -122,4 +122,13 @@ Result<AdvisorRecommendation> SelectConfigurations(
   return Status::NotSupported("unhandled strategy");
 }
 
+Result<AdvisorRecommendation> AdviseConfigurations(
+    EstimationEngine& engine,
+    std::span<const CandidateConfiguration> candidates,
+    uint64_t storage_bound, AdvisorStrategy strategy) {
+  CFEST_ASSIGN_OR_RETURN(std::vector<SizedCandidate> sized,
+                         engine.EstimateAll(candidates));
+  return SelectConfigurations(sized, storage_bound, strategy);
+}
+
 }  // namespace cfest

@@ -9,11 +9,13 @@
 #define CFEST_ADVISOR_ADVISOR_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "advisor/what_if.h"
 #include "common/result.h"
+#include "estimator/engine.h"
 
 namespace cfest {
 
@@ -39,6 +41,16 @@ struct AdvisorRecommendation {
 /// one per index name.
 Result<AdvisorRecommendation> SelectConfigurations(
     const std::vector<SizedCandidate>& candidates, uint64_t storage_bound,
+    AdvisorStrategy strategy = AdvisorStrategy::kGreedy);
+
+/// End-to-end advisor pass: what-if sizes every candidate through `engine`
+/// (one shared sample, cached sample indexes, parallel fan-out) and selects
+/// a configuration set under the bound. This is the batched replacement for
+/// the EstimateCandidateSize-per-candidate loop.
+Result<AdvisorRecommendation> AdviseConfigurations(
+    EstimationEngine& engine,
+    std::span<const CandidateConfiguration> candidates,
+    uint64_t storage_bound,
     AdvisorStrategy strategy = AdvisorStrategy::kGreedy);
 
 }  // namespace cfest

@@ -1,85 +1,15 @@
 #include "advisor/what_if.h"
 
-#include <cmath>
-
 namespace cfest {
-namespace {
-
-/// Width of one index row without building it.
-Result<uint32_t> IndexRowWidth(const Table& table,
-                               const IndexDescriptor& index) {
-  uint32_t width = 0;
-  std::vector<bool> used(table.schema().num_columns(), false);
-  for (const std::string& name : index.key_columns) {
-    CFEST_ASSIGN_OR_RETURN(size_t idx, table.schema().ColumnIndex(name));
-    if (used[idx]) {
-      return Status::InvalidArgument("duplicate key column " + name);
-    }
-    used[idx] = true;
-    width += table.schema().width(idx);
-  }
-  if (index.clustered) {
-    for (size_t i = 0; i < table.schema().num_columns(); ++i) {
-      if (!used[i]) width += table.schema().width(i);
-    }
-  } else {
-    width += 8;  // __rid
-  }
-  return width;
-}
-
-}  // namespace
-
-Result<uint64_t> EstimateUncompressedIndexBytes(const Table& table,
-                                                const IndexDescriptor& index,
-                                                size_t page_size) {
-  CFEST_ASSIGN_OR_RETURN(uint32_t width, IndexRowWidth(table, index));
-  const uint64_t per_page =
-      (page_size - kPageHeaderSize) / (width + kSlotSize);
-  if (per_page == 0) {
-    return Status::InvalidArgument("index row wider than a page");
-  }
-  const uint64_t n = table.num_rows();
-  const uint64_t leaves = n == 0 ? 1 : (n + per_page - 1) / per_page;
-  // Internal fan-out: separator key + child pointer per entry.
-  uint32_t key_width = 0;
-  for (const std::string& name : index.key_columns) {
-    CFEST_ASSIGN_OR_RETURN(size_t idx, table.schema().ColumnIndex(name));
-    key_width += table.schema().width(idx);
-  }
-  const uint64_t fanout = std::max<uint64_t>(
-      2, (page_size - kPageHeaderSize) / (key_width + 8 + kSlotSize));
-  return (leaves + InternalPageCount(leaves, fanout)) * page_size;
-}
 
 Result<SizedCandidate> EstimateCandidateSize(
     const Table& table, const CandidateConfiguration& candidate,
     const SampleCFOptions& options, Random* rng) {
-  SizedCandidate sized;
-  sized.config = candidate;
-  CFEST_ASSIGN_OR_RETURN(
-      sized.uncompressed_bytes,
-      EstimateUncompressedIndexBytes(table, candidate.index,
-                                     options.build.page_size));
-
-  const bool is_uncompressed =
-      candidate.scheme.per_column.empty() &&
-      candidate.scheme.default_type == CompressionType::kNone;
-  if (is_uncompressed) {
-    sized.estimated_cf = 1.0;
-    sized.estimated_bytes = sized.uncompressed_bytes;
-    return sized;
-  }
-
-  SampleCFOptions page_options = options;
-  page_options.metric = SizeMetric::kPageBytes;
-  CFEST_ASSIGN_OR_RETURN(
-      SampleCFResult result,
-      SampleCF(table, candidate.index, candidate.scheme, page_options, rng));
-  sized.estimated_cf = result.cf.value;
-  sized.estimated_bytes = static_cast<uint64_t>(std::llround(
-      result.cf.value * static_cast<double>(sized.uncompressed_bytes)));
-  return sized;
+  EstimationEngineOptions engine_options;
+  engine_options.base = options;
+  engine_options.rng = rng;
+  EstimationEngine engine(table, engine_options);
+  return engine.Estimate(candidate);
 }
 
 }  // namespace cfest

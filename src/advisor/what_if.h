@@ -5,6 +5,11 @@
 // "take as input a query workload and a storage bound to produce a set of
 // indexes that can fit the storage bound", which requires estimating the
 // size of an index *if it were to be compressed* without building it.
+//
+// The candidate/sized-candidate types, the uncompressed size arithmetic, and
+// the batch path live in estimator/engine.h (EstimationEngine); this header
+// keeps the single-shot wrapper whose rng-driven draw matches the paper's
+// Fig. 2 pipeline invocation-for-invocation.
 
 #ifndef CFEST_ADVISOR_WHAT_IF_H_
 #define CFEST_ADVISOR_WHAT_IF_H_
@@ -16,44 +21,17 @@
 #include "common/random.h"
 #include "common/result.h"
 #include "compression/scheme.h"
+#include "estimator/engine.h"
 #include "estimator/sample_cf.h"
 #include "index/index.h"
 #include "storage/table.h"
 
 namespace cfest {
 
-/// \brief A candidate physical-design structure for the advisor.
-struct CandidateConfiguration {
-  /// Table the index would be built on (catalog name, for reporting).
-  std::string table_name;
-  IndexDescriptor index;
-  CompressionScheme scheme;
-  /// Workload benefit if this candidate is materialized (supplied by the
-  /// caller's cost model; the advisor maximizes the sum).
-  double benefit = 0.0;
-};
-
-/// \brief A candidate with its estimated storage footprint.
-struct SizedCandidate {
-  CandidateConfiguration config;
-  /// CF' from SampleCF (1.0 for uncompressed candidates).
-  double estimated_cf = 1.0;
-  /// Estimated on-disk pages * page size for the *full* index.
-  uint64_t estimated_bytes = 0;
-  /// Size the uncompressed index would have (page-granular).
-  uint64_t uncompressed_bytes = 0;
-};
-
-/// Uncompressed full-index size (page-granular) from schema arithmetic
-/// alone — no build needed, mirroring how design tools size uncompressed
-/// indexes "in a straightforward manner from the schema" (paper §I).
-Result<uint64_t> EstimateUncompressedIndexBytes(const Table& table,
-                                                const IndexDescriptor& index,
-                                                size_t page_size =
-                                                    kDefaultPageSize);
-
 /// Sizes one candidate: runs SampleCF for compressed candidates and scales
-/// the uncompressed estimate by CF'.
+/// the uncompressed estimate by CF'. Thin single-shot wrapper over
+/// EstimationEngine — it draws a fresh sample from `rng` per call; batch
+/// callers should hold an engine and use EstimateAll instead.
 Result<SizedCandidate> EstimateCandidateSize(const Table& table,
                                              const CandidateConfiguration&
                                                  candidate,

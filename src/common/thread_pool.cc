@@ -1,0 +1,98 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace cfest {
+
+ThreadPool::ThreadPool(uint32_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (uint32_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    all_done_.wait(lock, [this] { return in_flight_ == 0; });
+    shutting_down_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::ParallelFor(uint64_t n,
+                             const std::function<void(uint64_t)>& body) {
+  if (n == 0) return;
+  if (n == 1 || num_threads() == 1) {
+    for (uint64_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  // The calling thread participates: it drains the same shared counter so a
+  // ParallelFor never deadlocks even if every worker is busy elsewhere.
+  // State lives in one shared block because queued drains may still be
+  // running their final iteration when the caller wakes up and returns.
+  struct SharedState {
+    std::atomic<uint64_t> next{0};
+    std::mutex mu;
+    std::condition_variable all_done;
+    uint64_t done = 0;
+  };
+  auto state = std::make_shared<SharedState>();
+  const uint64_t tasks = std::min<uint64_t>(num_threads(), n);
+  auto drain = [state, n, &body] {
+    uint64_t completed = 0;
+    for (uint64_t i = state->next++; i < n; i = state->next++) {
+      body(i);
+      ++completed;
+    }
+    if (completed == 0) return;
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->done += completed;
+    if (state->done == n) state->all_done.notify_all();
+  };
+  for (uint64_t t = 1; t < tasks; ++t) Submit(drain);
+  drain();
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->all_done.wait(lock, [&] { return state->done == n; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_ready_.wait(lock,
+                       [this] { return shutting_down_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // shutting down
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+    }
+    all_done_.notify_all();
+  }
+}
+
+}  // namespace cfest

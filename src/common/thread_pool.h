@@ -1,0 +1,64 @@
+// Copyright (c) the samplecf authors. Licensed under the MIT license.
+//
+// A small fixed-size worker pool for fanning independent estimation work
+// across cores. The advisor stack sizes dozens of candidate configurations
+// per request; each candidate is CPU-bound (index build + compression on the
+// sample) and shares only read-only state, so a plain task queue is all the
+// machinery needed. Callers that require determinism must make each task's
+// output depend only on its own inputs (e.g. a per-task forked RNG), never
+// on execution order — ParallelFor writes results by index for exactly this
+// reason.
+
+#ifndef CFEST_COMMON_THREAD_POOL_H_
+#define CFEST_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace cfest {
+
+/// \brief Fixed set of worker threads draining a FIFO task queue.
+class ThreadPool {
+ public:
+  /// num_threads == 0 picks std::thread::hardware_concurrency() (at least 1).
+  explicit ThreadPool(uint32_t num_threads = 0);
+  /// Blocks until all submitted tasks have finished, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  uint32_t num_threads() const {
+    return static_cast<uint32_t>(workers_.size());
+  }
+
+  /// Enqueues a task. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has completed.
+  void Wait();
+
+  /// Runs body(0..n-1) across the pool and blocks until all complete.
+  /// Iterations may run in any order and concurrently.
+  void ParallelFor(uint64_t n, const std::function<void(uint64_t)>& body);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::queue<std::function<void()>> tasks_;
+  uint64_t in_flight_ = 0;  // queued + running
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace cfest
+
+#endif  // CFEST_COMMON_THREAD_POOL_H_

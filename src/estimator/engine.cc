@@ -1,0 +1,238 @@
+#include "estimator/engine.h"
+
+#include <cmath>
+#include <utility>
+
+#include "storage/page.h"
+
+namespace cfest {
+namespace {
+
+/// Width of one index row without building it.
+Result<uint32_t> IndexRowWidth(const Table& table,
+                               const IndexDescriptor& index) {
+  uint32_t width = 0;
+  std::vector<bool> used(table.schema().num_columns(), false);
+  for (const std::string& name : index.key_columns) {
+    CFEST_ASSIGN_OR_RETURN(size_t idx, table.schema().ColumnIndex(name));
+    if (used[idx]) {
+      return Status::InvalidArgument("duplicate key column " + name);
+    }
+    used[idx] = true;
+    width += table.schema().width(idx);
+  }
+  if (index.clustered) {
+    for (size_t i = 0; i < table.schema().num_columns(); ++i) {
+      if (!used[i]) width += table.schema().width(i);
+    }
+  } else {
+    width += 8;  // __rid
+  }
+  return width;
+}
+
+/// Cache key for the sample index: schemes on the same key set share one
+/// build, so the descriptor's cosmetic name is deliberately excluded.
+std::string DescriptorKey(const IndexDescriptor& descriptor) {
+  std::string key = descriptor.clustered ? "c" : "n";
+  for (const std::string& col : descriptor.key_columns) {
+    key += '\x1f';
+    key += col;
+  }
+  return key;
+}
+
+bool IsUncompressed(const CompressionScheme& scheme) {
+  return scheme.per_column.empty() &&
+         scheme.default_type == CompressionType::kNone;
+}
+
+}  // namespace
+
+Result<uint64_t> EstimateUncompressedIndexBytes(const Table& table,
+                                                const IndexDescriptor& index,
+                                                size_t page_size) {
+  CFEST_ASSIGN_OR_RETURN(uint32_t width, IndexRowWidth(table, index));
+  const uint64_t per_page =
+      (page_size - kPageHeaderSize) / (width + kSlotSize);
+  if (per_page == 0) {
+    return Status::InvalidArgument("index row wider than a page");
+  }
+  const uint64_t n = table.num_rows();
+  const uint64_t leaves = n == 0 ? 1 : (n + per_page - 1) / per_page;
+  // Internal fan-out: separator key + child pointer per entry.
+  uint32_t key_width = 0;
+  for (const std::string& name : index.key_columns) {
+    CFEST_ASSIGN_OR_RETURN(size_t idx, table.schema().ColumnIndex(name));
+    key_width += table.schema().width(idx);
+  }
+  const uint64_t fanout = std::max<uint64_t>(
+      2, (page_size - kPageHeaderSize) / (key_width + 8 + kSlotSize));
+  return (leaves + InternalPageCount(leaves, fanout)) * page_size;
+}
+
+EstimationEngine::EstimationEngine(const Table& table,
+                                   EstimationEngineOptions options)
+    : table_(table), options_(std::move(options)) {}
+
+Status EstimationEngine::EnsureSample() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sample_ != nullptr) return Status::OK();
+
+  std::unique_ptr<RowSampler> default_sampler;
+  const RowSampler* sampler = options_.base.sampler;
+  if (sampler == nullptr) {
+    default_sampler = MakeUniformWithReplacementSampler();
+    sampler = default_sampler.get();
+  }
+  Random own_rng(options_.seed);
+  Random* rng = options_.rng != nullptr ? options_.rng : &own_rng;
+  CFEST_ASSIGN_OR_RETURN(
+      sample_, sampler->SampleView(table_, options_.base.fraction, rng));
+  ++stats_.samples_drawn;
+  return Status::OK();
+}
+
+Result<const Table*> EstimationEngine::SampleTable() {
+  CFEST_RETURN_NOT_OK(EnsureSample());
+  return static_cast<const Table*>(sample_.get());
+}
+
+Result<std::shared_ptr<const Index>> EstimationEngine::SampleIndex(
+    const IndexDescriptor& descriptor) {
+  CFEST_RETURN_NOT_OK(EnsureSample());
+  const std::string key = DescriptorKey(descriptor);
+
+  std::shared_future<IndexEntry> future;
+  bool builder = false;
+  std::promise<IndexEntry> promise;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = indexes_.find(key);
+    if (it != indexes_.end()) {
+      future = it->second;
+      ++stats_.index_cache_hits;
+    } else {
+      future = promise.get_future().share();
+      indexes_.emplace(key, future);
+      builder = true;
+    }
+  }
+
+  if (builder) {
+    IndexEntry entry;
+    Result<Index> built =
+        Index::Build(*sample_, descriptor, options_.base.build);
+    if (built.ok()) {
+      entry.index =
+          std::make_shared<const Index>(std::move(built).ValueOrDie());
+    } else {
+      entry.status = built.status();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.index_builds;
+    }
+    promise.set_value(std::move(entry));
+  }
+
+  const IndexEntry& entry = future.get();
+  CFEST_RETURN_NOT_OK(entry.status);
+  return entry.index;
+}
+
+Result<SampleCFResult> EstimationEngine::EstimateCFWithMetric(
+    const IndexDescriptor& descriptor, const CompressionScheme& scheme,
+    SizeMetric metric) {
+  CFEST_ASSIGN_OR_RETURN(std::shared_ptr<const Index> index,
+                         SampleIndex(descriptor));
+  CFEST_ASSIGN_OR_RETURN(CompressedIndex compressed,
+                         index->Compress(scheme, options_.base.build));
+
+  SampleCFResult result;
+  result.cf = MeasureCF(index->stats(), compressed.stats(), metric);
+  result.sample_rows = index->num_rows();
+  result.sample_dictionary_entries = compressed.stats().dictionary_entries;
+  result.sample_uncompressed = index->stats();
+  result.sample_compressed = compressed.stats();
+  return result;
+}
+
+Result<SampleCFResult> EstimationEngine::EstimateCF(
+    const IndexDescriptor& descriptor, const CompressionScheme& scheme) {
+  return EstimateCFWithMetric(descriptor, scheme, options_.base.metric);
+}
+
+Result<CompressedIndex> EstimationEngine::CompressOnSample(
+    const IndexDescriptor& descriptor, const CompressionScheme& scheme) {
+  CFEST_ASSIGN_OR_RETURN(std::shared_ptr<const Index> index,
+                         SampleIndex(descriptor));
+  return index->Compress(scheme, options_.base.build);
+}
+
+Result<SizedCandidate> EstimationEngine::Estimate(
+    const CandidateConfiguration& candidate) {
+  SizedCandidate sized;
+  sized.config = candidate;
+  CFEST_ASSIGN_OR_RETURN(
+      sized.uncompressed_bytes,
+      EstimateUncompressedIndexBytes(table_, candidate.index,
+                                     options_.base.build.page_size));
+
+  if (IsUncompressed(candidate.scheme)) {
+    sized.estimated_cf = 1.0;
+    sized.estimated_bytes = sized.uncompressed_bytes;
+    return sized;
+  }
+
+  // Capacity planners size whole pages on disk, hence the page metric.
+  CFEST_ASSIGN_OR_RETURN(
+      SampleCFResult result,
+      EstimateCFWithMetric(candidate.index, candidate.scheme,
+                           SizeMetric::kPageBytes));
+  sized.estimated_cf = result.cf.value;
+  sized.estimated_bytes = static_cast<uint64_t>(std::llround(
+      result.cf.value * static_cast<double>(sized.uncompressed_bytes)));
+  return sized;
+}
+
+ThreadPool* EstimationEngine::Pool() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+  return pool_.get();
+}
+
+Result<std::vector<SizedCandidate>> EstimationEngine::EstimateAll(
+    std::span<const CandidateConfiguration> candidates) {
+  std::vector<SizedCandidate> results(candidates.size());
+  std::vector<Status> statuses(candidates.size(), Status::OK());
+  auto size_one = [&](uint64_t i) {
+    Result<SizedCandidate> sized = Estimate(candidates[i]);
+    if (sized.ok()) {
+      results[i] = std::move(sized).ValueOrDie();
+    } else {
+      statuses[i] = sized.status();
+    }
+  };
+
+  const bool serial = options_.num_threads == 1 || candidates.size() < 2;
+  if (serial) {
+    for (uint64_t i = 0; i < candidates.size(); ++i) size_one(i);
+  } else {
+    Pool()->ParallelFor(candidates.size(), size_one);
+  }
+
+  for (const Status& status : statuses) {
+    CFEST_RETURN_NOT_OK(status);
+  }
+  return results;
+}
+
+EstimationEngine::CacheStats EstimationEngine::cache_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace cfest

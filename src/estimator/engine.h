@@ -1,0 +1,162 @@
+// Copyright (c) the samplecf authors. Licensed under the MIT license.
+//
+// EstimationEngine — one sample, many candidates.
+//
+// The paper's §II-C observes that a single random sample can be reused
+// across estimations: a physical-design advisor sizing dozens of candidate
+// (index, compression-scheme) pairs does not need a fresh sample per
+// candidate. The engine exploits that three ways:
+//
+//   1. The sample is drawn once per engine (zero-copy TableView, no row
+//      bytes copied) and shared by every estimate.
+//   2. The sorted sample index is cached per distinct key set, so every
+//      compression scheme ranked on the same index reuses one build.
+//   3. Independent candidates fan out across a ThreadPool; results are
+//      deterministic because the sample draw is the only stochastic step
+//      and it happens exactly once.
+//
+// Estimates are bit-identical to single-shot SampleCF under the same seed:
+// the engine runs the same draw, build, and compress pipeline, just without
+// the redundancy.
+
+#ifndef CFEST_ESTIMATOR_ENGINE_H_
+#define CFEST_ESTIMATOR_ENGINE_H_
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "compression/scheme.h"
+#include "estimator/sample_cf.h"
+#include "index/index.h"
+#include "storage/table.h"
+#include "storage/table_view.h"
+
+namespace cfest {
+
+/// \brief A candidate physical-design structure for the advisor.
+struct CandidateConfiguration {
+  /// Table the index would be built on (catalog name, for reporting).
+  std::string table_name;
+  IndexDescriptor index;
+  CompressionScheme scheme;
+  /// Workload benefit if this candidate is materialized (supplied by the
+  /// caller's cost model; the advisor maximizes the sum).
+  double benefit = 0.0;
+};
+
+/// \brief A candidate with its estimated storage footprint.
+struct SizedCandidate {
+  CandidateConfiguration config;
+  /// CF' from SampleCF (1.0 for uncompressed candidates).
+  double estimated_cf = 1.0;
+  /// Estimated on-disk pages * page size for the *full* index.
+  uint64_t estimated_bytes = 0;
+  /// Size the uncompressed index would have (page-granular).
+  uint64_t uncompressed_bytes = 0;
+};
+
+/// Uncompressed full-index size (page-granular) from schema arithmetic
+/// alone — no build needed, mirroring how design tools size uncompressed
+/// indexes "in a straightforward manner from the schema" (paper §I).
+Result<uint64_t> EstimateUncompressedIndexBytes(const Table& table,
+                                                const IndexDescriptor& index,
+                                                size_t page_size =
+                                                    kDefaultPageSize);
+
+/// \brief Configuration of an EstimationEngine.
+struct EstimationEngineOptions {
+  /// Sampling fraction, sampler, metric, and index-build options shared by
+  /// every estimate the engine serves.
+  SampleCFOptions base;
+  /// Seeds the one-time sample draw (ignored when `rng` is set).
+  uint64_t seed = 42;
+  /// Optional external generator for the draw; useful when the engine must
+  /// consume randomness from a caller-owned stream exactly like single-shot
+  /// SampleCF would. Must outlive the draw (first estimate).
+  Random* rng = nullptr;
+  /// Workers for EstimateAll. 0 = hardware concurrency; 1 = serial.
+  uint32_t num_threads = 0;
+};
+
+/// \brief Batched, cached CF estimation over one table.
+///
+/// Thread-safe: concurrent calls share the sample and index caches. The
+/// engine holds a reference to the base table; the table must outlive it.
+class EstimationEngine {
+ public:
+  explicit EstimationEngine(const Table& table,
+                            EstimationEngineOptions options = {});
+
+  const Table& table() const { return table_; }
+  const EstimationEngineOptions& options() const { return options_; }
+
+  /// The shared sample (drawn on first use). Stable for the engine's life.
+  Result<const Table*> SampleTable();
+
+  /// The sorted sample index for `descriptor`, built at most once per
+  /// distinct (key_columns, clustered) pair.
+  Result<std::shared_ptr<const Index>> SampleIndex(
+      const IndexDescriptor& descriptor);
+
+  /// SampleCF on the shared sample: equals SampleCF(table, descriptor,
+  /// scheme, options.base, Random(seed)) bit for bit.
+  Result<SampleCFResult> EstimateCF(const IndexDescriptor& descriptor,
+                                    const CompressionScheme& scheme);
+
+  /// Compresses the cached sample index with `scheme` (per-column stats for
+  /// scheme ranking; the index build is shared across schemes).
+  Result<CompressedIndex> CompressOnSample(const IndexDescriptor& descriptor,
+                                           const CompressionScheme& scheme);
+
+  /// What-if sizes one candidate (CF' scaled to the full-index footprint).
+  Result<SizedCandidate> Estimate(const CandidateConfiguration& candidate);
+
+  /// What-if sizes a batch of candidates, fanning out across the pool.
+  /// Results are positionally aligned with `candidates` and identical to
+  /// calling Estimate() per candidate serially.
+  Result<std::vector<SizedCandidate>> EstimateAll(
+      std::span<const CandidateConfiguration> candidates);
+
+  /// \brief Work-avoidance counters (monotone over the engine's life).
+  struct CacheStats {
+    uint64_t samples_drawn = 0;
+    uint64_t index_builds = 0;
+    uint64_t index_cache_hits = 0;
+  };
+  CacheStats cache_stats() const;
+
+ private:
+  struct IndexEntry {
+    Status status = Status::OK();
+    std::shared_ptr<const Index> index;
+  };
+
+  /// Draws the shared sample if not drawn yet (thread-safe, idempotent).
+  Status EnsureSample();
+  Result<SampleCFResult> EstimateCFWithMetric(const IndexDescriptor& d,
+                                              const CompressionScheme& scheme,
+                                              SizeMetric metric);
+  ThreadPool* Pool();
+
+  const Table& table_;
+  EstimationEngineOptions options_;
+
+  mutable std::mutex mu_;
+  std::unique_ptr<TableView> sample_;
+  std::unordered_map<std::string, std::shared_future<IndexEntry>> indexes_;
+  std::unique_ptr<ThreadPool> pool_;
+  CacheStats stats_;
+};
+
+}  // namespace cfest
+
+#endif  // CFEST_ESTIMATOR_ENGINE_H_

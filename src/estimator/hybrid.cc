@@ -30,6 +30,17 @@ Result<HybridCFResult> HybridDictionaryCF(const Table& table,
                                           const CompressionScheme& scheme,
                                           const HybridCFOptions& options,
                                           Random* rng) {
+  EstimationEngineOptions engine_options;
+  engine_options.base = options.base;
+  engine_options.rng = rng;
+  EstimationEngine engine(table, engine_options);
+  return HybridDictionaryCF(engine, descriptor, scheme, options.dv_estimator);
+}
+
+Result<HybridCFResult> HybridDictionaryCF(EstimationEngine& engine,
+                                          const IndexDescriptor& descriptor,
+                                          const CompressionScheme& scheme,
+                                          DvEstimator dv_estimator) {
   if (!scheme.per_column.empty() ||
       scheme.default_type != CompressionType::kDictionaryGlobal) {
     return Status::NotSupported(
@@ -37,42 +48,33 @@ Result<HybridCFResult> HybridDictionaryCF(const Table& table,
         "scheme (the paper's simplified model)");
   }
 
-  // Draw one sample and run the constructive pipeline on it (this is plain
-  // SampleCF, but sharing the sample with the correction step).
-  std::unique_ptr<RowSampler> default_sampler;
-  const RowSampler* sampler = options.base.sampler;
-  if (sampler == nullptr) {
-    default_sampler = MakeUniformWithReplacementSampler();
-    sampler = default_sampler.get();
-  }
-  CFEST_ASSIGN_OR_RETURN(std::unique_ptr<Table> sample,
-                         sampler->Sample(table, options.base.fraction, rng));
-  CFEST_ASSIGN_OR_RETURN(Index index,
-                         Index::Build(*sample, descriptor, options.base.build));
+  // The engine's shared sample and cached sample index feed both the plain
+  // SampleCF pipeline and the correction step below.
+  CFEST_ASSIGN_OR_RETURN(std::shared_ptr<const Index> index,
+                         engine.SampleIndex(descriptor));
   CFEST_ASSIGN_OR_RETURN(CompressedIndex compressed,
-                         index.Compress(scheme, options.base.build));
+                         engine.CompressOnSample(descriptor, scheme));
 
   HybridCFResult result;
-  result.plain.cf =
-      MeasureCF(index.stats(), compressed.stats(), options.base.metric);
-  result.plain.sample_rows = sample->num_rows();
+  result.plain.cf = MeasureCF(index->stats(), compressed.stats(),
+                              engine.options().base.metric);
+  result.plain.sample_rows = index->num_rows();
   result.plain.sample_dictionary_entries =
       compressed.stats().dictionary_entries;
-  result.plain.sample_uncompressed = index.stats();
+  result.plain.sample_uncompressed = index->stats();
   result.plain.sample_compressed = compressed.stats();
 
   // Correction: CF = sum_c (p + (Dhat_c / n) * k_c) / K under the global
   // model, with Dhat_c a classical DV estimate projected to the population.
-  const uint64_t n = table.num_rows();
-  const Schema& schema = index.schema();
+  const uint64_t n = engine.table().num_rows();
+  const Schema& schema = index->schema();
   const uint32_t p = scheme.options.global_pointer_bytes == 0
                          ? 4
                          : scheme.options.global_pointer_bytes;
   double numerator = 0.0;
   for (size_t c = 0; c < schema.num_columns(); ++c) {
-    SampleFrequencyProfile profile = ProfileIndexColumn(index, c);
-    const double dhat =
-        EstimateDistinct(options.dv_estimator, profile, n);
+    SampleFrequencyProfile profile = ProfileIndexColumn(*index, c);
+    const double dhat = EstimateDistinct(dv_estimator, profile, n);
     result.column_dv_estimates.push_back(dhat);
     numerator += static_cast<double>(p) +
                  dhat / static_cast<double>(n) * schema.width(c);

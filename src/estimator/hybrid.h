@@ -17,6 +17,7 @@
 #include "common/random.h"
 #include "common/result.h"
 #include "estimator/distinct_value.h"
+#include "estimator/engine.h"
 #include "estimator/sample_cf.h"
 
 namespace cfest {
@@ -45,6 +46,15 @@ Result<HybridCFResult> HybridDictionaryCF(const Table& table,
                                           const CompressionScheme& scheme,
                                           const HybridCFOptions& options,
                                           Random* rng);
+
+/// Engine-backed variant: reuses the engine's shared sample and cached
+/// sample index, so the hybrid correction rides on the same draw/build as
+/// every other estimate for the table.
+Result<HybridCFResult> HybridDictionaryCF(EstimationEngine& engine,
+                                          const IndexDescriptor& descriptor,
+                                          const CompressionScheme& scheme,
+                                          DvEstimator dv_estimator =
+                                              DvEstimator::kGee);
 
 }  // namespace cfest
 

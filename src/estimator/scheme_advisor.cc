@@ -19,6 +19,16 @@ Result<SchemeRecommendation> RecommendScheme(
     const Table& table, const IndexDescriptor& descriptor,
     const std::vector<CompressionType>& candidates,
     const SampleCFOptions& options, Random* rng) {
+  EstimationEngineOptions engine_options;
+  engine_options.base = options;
+  engine_options.rng = rng;
+  EstimationEngine engine(table, engine_options);
+  return RecommendScheme(engine, descriptor, candidates);
+}
+
+Result<SchemeRecommendation> RecommendScheme(
+    EstimationEngine& engine, const IndexDescriptor& descriptor,
+    const std::vector<CompressionType>& candidates) {
   std::vector<CompressionType> pool =
       candidates.empty() ? AllCompressionTypes() : candidates;
   // kNone is the do-nothing fallback: a recommendation never inflates a
@@ -27,18 +37,12 @@ Result<SchemeRecommendation> RecommendScheme(
   for (CompressionType t : pool) has_none |= (t == CompressionType::kNone);
   if (!has_none) pool.push_back(CompressionType::kNone);
 
-  std::unique_ptr<RowSampler> default_sampler;
-  const RowSampler* sampler = options.sampler;
-  if (sampler == nullptr) {
-    default_sampler = MakeUniformWithReplacementSampler();
-    sampler = default_sampler.get();
-  }
-  CFEST_ASSIGN_OR_RETURN(std::unique_ptr<Table> sample,
-                         sampler->Sample(table, options.fraction, rng));
-  CFEST_ASSIGN_OR_RETURN(Index index,
-                         Index::Build(*sample, descriptor, options.build));
-  const Schema& schema = index.schema();
-  const uint64_t r = index.num_rows();
+  // One sample, one sorted build per key set: every scheme ranked below
+  // compresses the same cached sample index.
+  CFEST_ASSIGN_OR_RETURN(std::shared_ptr<const Index> index,
+                         engine.SampleIndex(descriptor));
+  const Schema& schema = index->schema();
+  const uint64_t r = index->num_rows();
   if (r == 0) {
     return Status::InvalidArgument("sample is empty; increase the fraction");
   }
@@ -71,7 +75,7 @@ Result<SchemeRecommendation> RecommendScheme(
     }
     if (!any) continue;
     CFEST_ASSIGN_OR_RETURN(CompressedIndex compressed,
-                           index.Compress(scheme, options.build));
+                           engine.CompressOnSample(descriptor, scheme));
     for (size_t c = 0; c < schema.num_columns(); ++c) {
       if (scheme.per_column[c] != type) continue;
       const ColumnCompressionStats& col = compressed.stats().columns[c];

@@ -18,6 +18,7 @@
 
 #include "common/random.h"
 #include "common/result.h"
+#include "estimator/engine.h"
 #include "estimator/sample_cf.h"
 
 namespace cfest {
@@ -53,6 +54,14 @@ Result<SchemeRecommendation> RecommendScheme(
     const Table& table, const IndexDescriptor& descriptor,
     const std::vector<CompressionType>& candidates,
     const SampleCFOptions& options, Random* rng);
+
+/// Engine-backed variant: the sample and the sorted sample index come from
+/// the engine's caches, so ranking all schemes for an index — or for many
+/// indexes of the same table — shares one sample and one build per key set
+/// with every other estimate the engine serves.
+Result<SchemeRecommendation> RecommendScheme(
+    EstimationEngine& engine, const IndexDescriptor& descriptor,
+    const std::vector<CompressionType>& candidates = {});
 
 }  // namespace cfest
 

@@ -39,6 +39,14 @@ Result<std::unique_ptr<Table>> RowSampler::Sample(const Table& table,
   return MaterializeSample(table, ids);
 }
 
+Result<std::unique_ptr<TableView>> RowSampler::SampleView(const Table& table,
+                                                          double fraction,
+                                                          Random* rng) const {
+  CFEST_ASSIGN_OR_RETURN(std::vector<RowId> ids,
+                         SampleIds(table, fraction, rng));
+  return TableView::Make(table, std::move(ids));
+}
+
 namespace {
 
 uint64_t TargetRows(const Table& table, double fraction) {

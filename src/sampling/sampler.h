@@ -17,6 +17,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "storage/table.h"
+#include "storage/table_view.h"
 
 namespace cfest {
 
@@ -35,9 +36,17 @@ class RowSampler {
                                                double fraction,
                                                Random* rng) const = 0;
 
-  /// Materializes the sampled rows as a new table with the same schema.
+  /// Materializes the sampled rows as a new table with the same schema
+  /// (copies row bytes; the paper-fidelity path).
   Result<std::unique_ptr<Table>> Sample(const Table& table, double fraction,
                                         Random* rng) const;
+
+  /// Draws a sample as a zero-copy TableView over `table`: same ids as
+  /// Sample() for the same rng state, no row bytes copied. `table` must
+  /// outlive the view.
+  Result<std::unique_ptr<TableView>> SampleView(const Table& table,
+                                                double fraction,
+                                                Random* rng) const;
 };
 
 /// Copies the given rows of `table` into a new table (in the given order).

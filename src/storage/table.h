@@ -26,9 +26,15 @@ using RowId = uint64_t;
 /// \brief An immutable in-memory table of fixed-width encoded rows.
 ///
 /// Construct through TableBuilder. Row access is zero-copy (Slice into the
-/// contiguous buffer).
+/// contiguous buffer). `row()` is the one virtual read hook: TableView
+/// (storage/table_view.h) overrides it to serve rows out of another table
+/// through a row-id indirection, so a sample can behave like a table without
+/// copying any row bytes. Everything else (cells, decoding, sizes) derives
+/// from `row()` and `num_rows()`.
 class Table {
  public:
+  virtual ~Table() = default;
+
   const Schema& schema() const { return codec_.schema(); }
   const RowCodec& codec() const { return codec_; }
 
@@ -38,7 +44,7 @@ class Table {
   uint64_t data_bytes() const { return num_rows_ * row_width(); }
 
   /// Zero-copy view of an encoded row. id must be < num_rows().
-  Slice row(RowId id) const {
+  virtual Slice row(RowId id) const {
     return Slice(buffer_.data() + static_cast<size_t>(id) * row_width(),
                  row_width());
   }
@@ -51,13 +57,15 @@ class Table {
   /// Decodes a row into Values (for display / tests).
   Result<Row> DecodeRow(RowId id) const { return codec_.Decode(row(id)); }
 
- private:
-  friend class TableBuilder;
+ protected:
   explicit Table(RowCodec codec) : codec_(std::move(codec)) {}
 
   RowCodec codec_;
-  std::string buffer_;
   uint64_t num_rows_ = 0;
+
+ private:
+  friend class TableBuilder;
+  std::string buffer_;
 };
 
 /// \brief Accumulates rows and produces an immutable Table.

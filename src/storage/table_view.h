@@ -1,0 +1,58 @@
+// Copyright (c) the samplecf authors. Licensed under the MIT license.
+//
+// TableView — a zero-copy row-id indirection over another table.
+//
+// SampleCF's step 1 used to *materialize* the sampled rows into a fresh
+// table (one memcpy per row). A TableView instead keeps the drawn row ids
+// and serves `row(i)` straight out of the backing table's buffer, so a
+// sample costs O(r) ids instead of O(r * row_width) bytes, and one base
+// table can back many concurrent samples. The view implements the Table
+// read interface, so index builds, compression, and estimation run on it
+// unchanged.
+//
+// The view holds a non-owning pointer to the base table: the base must
+// outlive every view onto it (the EstimationEngine guarantees this by
+// holding the base table for its whole lifetime).
+
+#ifndef CFEST_STORAGE_TABLE_VIEW_H_
+#define CFEST_STORAGE_TABLE_VIEW_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace cfest {
+
+/// \brief A Table whose rows are a row-id indirection into a base table.
+///
+/// Row i of the view is row ids[i] of the base; ids may repeat (samples
+/// drawn with replacement) and may be in any order.
+class TableView final : public Table {
+ public:
+  /// Validates that every id addresses a base row and builds the view.
+  static Result<std::unique_ptr<TableView>> Make(const Table& base,
+                                                 std::vector<RowId> ids);
+
+  Slice row(RowId id) const override {
+    return base_->row(ids_[static_cast<size_t>(id)]);
+  }
+
+  const Table& base() const { return *base_; }
+  const std::vector<RowId>& row_ids() const { return ids_; }
+
+ private:
+  TableView(const Table& base, std::vector<RowId> ids)
+      : Table(base.codec()), base_(&base), ids_(std::move(ids)) {
+    num_rows_ = ids_.size();
+  }
+
+  const Table* base_;
+  std::vector<RowId> ids_;
+};
+
+}  // namespace cfest
+
+#endif  // CFEST_STORAGE_TABLE_VIEW_H_

@@ -8,6 +8,12 @@
 //       Full build-and-compress ground truth (slow on big files).
 //   recommend <csv> <schema-spec> <key-cols> [fraction] [seed]
 //       Per-column best-scheme recommendation from one sample.
+//   batch     <csv> <schema-spec> --candidates <file> [fraction] [seed]
+//       Sizes every (key-columns, scheme) pair in <file> through the
+//       EstimationEngine in one invocation: one shared sample, one index
+//       build per distinct key set, and a comparison table at the end.
+//       Each line of <file> is "key-cols scheme [clustered]"; blank lines
+//       and lines starting with '#' are skipped.
 //   analyze   <csv> <schema-spec>
 //       Per-column profile: distinct counts, length stats, heavy hitters,
 //       and closed-form NS / dictionary CF predictions.
@@ -34,6 +40,7 @@
 #include "datagen/tpch/tables.h"
 #include "estimator/column_profile.h"
 #include "estimator/compression_fraction.h"
+#include "estimator/engine.h"
 #include "estimator/sample_cf.h"
 #include "estimator/scheme_advisor.h"
 #include "storage/csv.h"
@@ -157,6 +164,104 @@ int CmdRecommend(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// Parses one "key-cols scheme [clustered]" candidate line.
+Result<CandidateConfiguration> ParseCandidateLine(const std::string& line,
+                                                  size_t line_number) {
+  std::istringstream in(line);
+  std::string key_cols, scheme_name, clustered, extra;
+  in >> key_cols >> scheme_name >> clustered >> extra;
+  if (key_cols.empty() || scheme_name.empty()) {
+    return Status::InvalidArgument(
+        "candidates line " + std::to_string(line_number) +
+        ": expected \"key-cols scheme [clustered]\", got \"" + line + "\"");
+  }
+  if (!extra.empty()) {
+    return Status::InvalidArgument(
+        "candidates line " + std::to_string(line_number) +
+        ": unexpected trailing token \"" + extra + "\"");
+  }
+  CFEST_ASSIGN_OR_RETURN(CompressionType type,
+                         CompressionTypeFromName(scheme_name));
+  CandidateConfiguration c;
+  c.index.name = "ix_" + key_cols + "_" + scheme_name;
+  c.index.key_columns = SplitCommas(key_cols);
+  c.index.clustered = clustered == "clustered";
+  if (!clustered.empty() && !c.index.clustered) {
+    return Status::InvalidArgument(
+        "candidates line " + std::to_string(line_number) +
+        ": trailing token must be \"clustered\", got \"" + clustered + "\"");
+  }
+  c.scheme = CompressionScheme::Uniform(type);
+  return c;
+}
+
+int CmdBatch(const std::vector<std::string>& args) {
+  // batch <csv> <schema-spec> --candidates <file> [fraction] [seed]
+  if (args.size() < 4 || args[2] != "--candidates") {
+    return Fail(
+        "usage: batch <csv> <schema-spec> --candidates <file> "
+        "[fraction] [seed]");
+  }
+  auto table = LoadTable(args[0], args[1]);
+  if (!table.ok()) return Fail(table.status().ToString());
+  auto spec = ReadFile(args[3]);
+  if (!spec.ok()) return Fail(spec.status().ToString());
+
+  std::vector<CandidateConfiguration> candidates;
+  std::istringstream lines(*spec);
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(lines, line)) {
+    ++line_number;
+    const size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos || line[start] == '#') continue;
+    auto candidate = ParseCandidateLine(line, line_number);
+    if (!candidate.ok()) return Fail(candidate.status().ToString());
+    candidates.push_back(std::move(*candidate));
+  }
+  if (candidates.empty()) return Fail("no candidates in " + args[3]);
+
+  EstimationEngineOptions options;
+  options.base.fraction =
+      args.size() > 4 ? std::atof(args[4].c_str()) : 0.01;
+  options.seed =
+      args.size() > 5 ? std::strtoull(args[5].c_str(), nullptr, 10) : 42;
+  EstimationEngine engine(**table, options);
+  auto sized = engine.EstimateAll(candidates);
+  if (!sized.ok()) return Fail(sized.status().ToString());
+
+  TablePrinter out({"key columns", "scheme", "est. CF'", "est. size",
+                    "uncompressed", "saved"});
+  for (const SizedCandidate& s : *sized) {
+    std::string keys;
+    for (const std::string& k : s.config.index.key_columns) {
+      if (!keys.empty()) keys += ",";
+      keys += k;
+    }
+    if (s.config.index.clustered) keys += " (clustered)";
+    // A scheme can inflate an index (CF' > 1); show that as a negative
+    // saving instead of wrapping the unsigned subtraction.
+    const std::string saved =
+        s.estimated_bytes <= s.uncompressed_bytes
+            ? HumanBytes(s.uncompressed_bytes - s.estimated_bytes)
+            : "-" + HumanBytes(s.estimated_bytes - s.uncompressed_bytes);
+    out.AddRow({keys, s.config.scheme.ToString(),
+                FormatDouble(s.estimated_cf), HumanBytes(s.estimated_bytes),
+                HumanBytes(s.uncompressed_bytes), saved});
+  }
+  out.Print();
+  const EstimationEngine::CacheStats stats = engine.cache_stats();
+  std::printf(
+      "\n%zu candidates sized from %llu sample draw(s), %llu index "
+      "build(s), %llu cache hit(s) (f = %.4f, seed %llu)\n",
+      sized->size(), static_cast<unsigned long long>(stats.samples_drawn),
+      static_cast<unsigned long long>(stats.index_builds),
+      static_cast<unsigned long long>(stats.index_cache_hits),
+      options.base.fraction,
+      static_cast<unsigned long long>(options.seed));
+  return 0;
+}
+
 int CmdAnalyze(const std::vector<std::string>& args) {
   if (args.size() < 2) return Fail("usage: analyze <csv> <schema-spec>");
   auto table = LoadTable(args[0], args[1]);
@@ -209,9 +314,10 @@ int CmdGenTpch(const std::vector<std::string>& args) {
 
 int Main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: %s <estimate|exact|recommend|analyze|gen-tpch> ...\n",
-                 argv[0]);
+    std::fprintf(
+        stderr,
+        "usage: %s <estimate|exact|recommend|batch|analyze|gen-tpch> ...\n",
+        argv[0]);
     return 1;
   }
   const std::string command = argv[1];
@@ -219,6 +325,7 @@ int Main(int argc, char** argv) {
   if (command == "estimate") return CmdEstimate(args);
   if (command == "exact") return CmdExact(args);
   if (command == "recommend") return CmdRecommend(args);
+  if (command == "batch") return CmdBatch(args);
   if (command == "analyze") return CmdAnalyze(args);
   if (command == "gen-tpch") return CmdGenTpch(args);
   return Fail("unknown command: " + command);
