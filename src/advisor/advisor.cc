@@ -131,4 +131,13 @@ Result<AdvisorRecommendation> AdviseConfigurations(
   return SelectConfigurations(sized, storage_bound, strategy);
 }
 
+Result<AdvisorRecommendation> AdviseConfigurations(
+    CatalogEstimationService& service,
+    std::span<const CandidateConfiguration> candidates,
+    uint64_t storage_bound, AdvisorStrategy strategy) {
+  CFEST_ASSIGN_OR_RETURN(std::vector<SizedCandidate> sized,
+                         service.EstimateAll(candidates));
+  return SelectConfigurations(sized, storage_bound, strategy);
+}
+
 }  // namespace cfest

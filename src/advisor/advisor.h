@@ -16,6 +16,7 @@
 #include "advisor/what_if.h"
 #include "common/result.h"
 #include "estimator/engine.h"
+#include "estimator/service.h"
 
 namespace cfest {
 
@@ -49,6 +50,16 @@ Result<AdvisorRecommendation> SelectConfigurations(
 /// the EstimateCandidateSize-per-candidate loop.
 Result<AdvisorRecommendation> AdviseConfigurations(
     EstimationEngine& engine,
+    std::span<const CandidateConfiguration> candidates,
+    uint64_t storage_bound,
+    AdvisorStrategy strategy = AdvisorStrategy::kGreedy);
+
+/// Catalog-level advisor pass: candidates may span any number of tables;
+/// the service sizes them in one cross-table fan-out (one engine per
+/// table, created lazily) before the same selection runs. The merged
+/// recommendation picks at most one configuration per (table, index) pair.
+Result<AdvisorRecommendation> AdviseConfigurations(
+    CatalogEstimationService& service,
     std::span<const CandidateConfiguration> candidates,
     uint64_t storage_bound,
     AdvisorStrategy strategy = AdvisorStrategy::kGreedy);

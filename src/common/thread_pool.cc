@@ -6,9 +6,7 @@
 namespace cfest {
 
 ThreadPool::ThreadPool(uint32_t num_threads) {
-  if (num_threads == 0) {
-    num_threads = std::max(1u, std::thread::hardware_concurrency());
-  }
+  num_threads = ResolveThreadCount(num_threads);
   workers_.reserve(num_threads);
   for (uint32_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });

@@ -20,6 +20,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/status.h"
+
 namespace cfest {
 
 /// \brief Fixed set of worker threads draining a FIFO task queue.
@@ -27,6 +29,15 @@ class ThreadPool {
  public:
   /// num_threads == 0 picks std::thread::hardware_concurrency() (at least 1).
   explicit ThreadPool(uint32_t num_threads = 0);
+
+  /// The worker count `num_threads` resolves to — the constructor's
+  /// "0 = hardware concurrency" rule, exposed so reports can print the
+  /// actual count without duplicating the policy.
+  static uint32_t ResolveThreadCount(uint32_t num_threads) {
+    if (num_threads > 0) return num_threads;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+  }
   /// Blocks until all submitted tasks have finished, then joins the workers.
   ~ThreadPool();
 
@@ -58,6 +69,26 @@ class ThreadPool {
   bool shutting_down_ = false;
   std::vector<std::thread> workers_;
 };
+
+/// Runs body(0..n-1) — serially when `pool` is null or n < 2, across the
+/// pool otherwise — always completing every iteration, then returns the
+/// first non-OK Status in index order (not completion order, so the
+/// outcome is independent of scheduling). The batch-estimation fan-outs
+/// (EstimationEngine / CatalogEstimationService) share this shape.
+template <typename Body>
+Status StatusParallelFor(ThreadPool* pool, uint64_t n, const Body& body) {
+  std::vector<Status> statuses(n, Status::OK());
+  auto run_one = [&](uint64_t i) { statuses[i] = body(i); };
+  if (pool == nullptr || n < 2) {
+    for (uint64_t i = 0; i < n; ++i) run_one(i);
+  } else {
+    pool->ParallelFor(n, run_one);
+  }
+  for (const Status& status : statuses) {
+    if (!status.ok()) return status;
+  }
+  return Status::OK();
+}
 
 }  // namespace cfest
 

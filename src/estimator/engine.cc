@@ -79,6 +79,34 @@ Status EstimationEngine::EnsureSample() {
   std::lock_guard<std::mutex> lock(mu_);
   if (sample_ != nullptr) return Status::OK();
 
+  if (options_.maintain_reservoir) {
+    if (options_.rng != nullptr) {
+      return Status::InvalidArgument(
+          "maintain_reservoir needs an engine-owned RNG stream (seed), not "
+          "an external rng");
+    }
+    if (table_.num_rows() == 0) {
+      return Status::InvalidArgument("cannot sample an empty table");
+    }
+    uint64_t capacity = options_.reservoir_capacity;
+    if (capacity == 0) {
+      CFEST_RETURN_NOT_OK(CheckFraction(options_.base.fraction));
+      capacity = std::max<uint64_t>(
+          1, static_cast<uint64_t>(std::llround(
+                 options_.base.fraction *
+                 static_cast<double>(table_.num_rows()))));
+    }
+    reservoir_rng_.Seed(options_.seed);
+    reservoir_core_.emplace(capacity);
+    reservoir_ids_.clear();
+    OfferRowsToReservoir(0, table_.num_rows());
+    CFEST_ASSIGN_OR_RETURN(
+        sample_, TableView::Make(table_, std::vector<RowId>(reservoir_ids_)));
+    ++stats_.samples_drawn;
+    ++stats_.sample_version;
+    return Status::OK();
+  }
+
   std::unique_ptr<RowSampler> default_sampler;
   const RowSampler* sampler = options_.base.sampler;
   if (sampler == nullptr) {
@@ -90,7 +118,59 @@ Status EstimationEngine::EnsureSample() {
   CFEST_ASSIGN_OR_RETURN(
       sample_, sampler->SampleView(table_, options_.base.fraction, rng));
   ++stats_.samples_drawn;
+  ++stats_.sample_version;
   return Status::OK();
+}
+
+Status EstimationEngine::NotifyAppend(RowRange range) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!options_.maintain_reservoir) {
+    return Status::InvalidArgument(
+        "NotifyAppend requires maintain_reservoir");
+  }
+  if (range.begin > range.end || range.end > table_.num_rows()) {
+    return Status::OutOfRange(
+        "append range [" + std::to_string(range.begin) + ", " +
+        std::to_string(range.end) + ") does not address appended rows of a " +
+        std::to_string(table_.num_rows()) + "-row table");
+  }
+  if (range.empty()) return Status::OK();
+  // Not drawn yet: the eventual draw scans the whole (grown) table.
+  if (sample_ == nullptr) return Status::OK();
+  if (range.begin != reservoir_core_->items_seen()) {
+    return Status::InvalidArgument(
+        "append range begins at row " + std::to_string(range.begin) +
+        " but the reservoir has consumed rows up to " +
+        std::to_string(reservoir_core_->items_seen()) +
+        " (ranges must arrive contiguously)");
+  }
+
+  if (!OfferRowsToReservoir(range.begin, range.end)) return Status::OK();
+
+  // The sample contents moved: swap in a fresh view and drop every cached
+  // index built on the old contents (they are all stale — an index is a
+  // function of every sample row). Untouched appends above cost nothing.
+  CFEST_ASSIGN_OR_RETURN(
+      sample_, TableView::Make(table_, std::vector<RowId>(reservoir_ids_)));
+  stats_.invalidations += indexes_.size();
+  indexes_.clear();
+  ++stats_.sample_version;
+  return Status::OK();
+}
+
+bool EstimationEngine::OfferRowsToReservoir(RowId begin, RowId end) {
+  bool changed = false;
+  for (RowId id = begin; id < end; ++id) {
+    const uint64_t slot = reservoir_core_->Offer(&reservoir_rng_);
+    if (slot == ReservoirSampler::kSkip) continue;
+    if (slot == reservoir_ids_.size()) {
+      reservoir_ids_.push_back(id);
+    } else {
+      reservoir_ids_[static_cast<size_t>(slot)] = id;
+    }
+    changed = true;
+  }
+  return changed;
 }
 
 Result<const Table*> EstimationEngine::SampleTable() {
@@ -207,26 +287,12 @@ ThreadPool* EstimationEngine::Pool() {
 Result<std::vector<SizedCandidate>> EstimationEngine::EstimateAll(
     std::span<const CandidateConfiguration> candidates) {
   std::vector<SizedCandidate> results(candidates.size());
-  std::vector<Status> statuses(candidates.size(), Status::OK());
-  auto size_one = [&](uint64_t i) {
-    Result<SizedCandidate> sized = Estimate(candidates[i]);
-    if (sized.ok()) {
-      results[i] = std::move(sized).ValueOrDie();
-    } else {
-      statuses[i] = sized.status();
-    }
-  };
-
   const bool serial = options_.num_threads == 1 || candidates.size() < 2;
-  if (serial) {
-    for (uint64_t i = 0; i < candidates.size(); ++i) size_one(i);
-  } else {
-    Pool()->ParallelFor(candidates.size(), size_one);
-  }
-
-  for (const Status& status : statuses) {
-    CFEST_RETURN_NOT_OK(status);
-  }
+  CFEST_RETURN_NOT_OK(StatusParallelFor(
+      serial ? nullptr : Pool(), candidates.size(), [&](uint64_t i) {
+        CFEST_ASSIGN_OR_RETURN(results[i], Estimate(candidates[i]));
+        return Status::OK();
+      }));
   return results;
 }
 

@@ -18,6 +18,16 @@
 // Estimates are bit-identical to single-shot SampleCF under the same seed:
 // the engine runs the same draw, build, and compress pipeline, just without
 // the redundancy.
+//
+// For long-lived service use, the engine can instead maintain its sample as
+// a fixed-capacity reservoir (options.maintain_reservoir): the initial draw
+// is Vitter's Algorithm R over row ids, and NotifyAppend folds newly
+// appended base-table rows into the same RNG stream. Because Algorithm R is
+// a streaming algorithm, the incrementally maintained reservoir is
+// identical to the one a fresh engine would draw over the grown table in
+// one pass — re-estimation after growth needs O(delta) RNG work, not O(n).
+// Cached sample indexes are invalidated only when the reservoir contents
+// actually changed (an append whose rows are all rejected costs nothing).
 
 #ifndef CFEST_ESTIMATOR_ENGINE_H_
 #define CFEST_ESTIMATOR_ENGINE_H_
@@ -26,6 +36,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -37,6 +48,7 @@
 #include "compression/scheme.h"
 #include "estimator/sample_cf.h"
 #include "index/index.h"
+#include "sampling/reservoir.h"
 #include "storage/table.h"
 #include "storage/table_view.h"
 
@@ -81,10 +93,23 @@ struct EstimationEngineOptions {
   uint64_t seed = 42;
   /// Optional external generator for the draw; useful when the engine must
   /// consume randomness from a caller-owned stream exactly like single-shot
-  /// SampleCF would. Must outlive the draw (first estimate).
+  /// SampleCF would. Must outlive the draw (first estimate). Incompatible
+  /// with maintain_reservoir (the engine must own the stream so appends can
+  /// resume it).
   Random* rng = nullptr;
   /// Workers for EstimateAll. 0 = hardware concurrency; 1 = serial.
   uint32_t num_threads = 0;
+  /// Maintain the sample as a fixed-capacity reservoir over row ids
+  /// (Vitter's Algorithm R seeded from `seed`) instead of a frozen draw
+  /// from base.sampler. Required for NotifyAppend; base.sampler is ignored
+  /// in this mode.
+  bool maintain_reservoir = false;
+  /// Reservoir capacity r when maintain_reservoir is set. 0 derives
+  /// max(1, round(base.fraction * num_rows)) at the first draw — note the
+  /// derived value then depends on the table size at that moment, so
+  /// callers comparing engines across differently grown tables should pin
+  /// an explicit capacity.
+  uint64_t reservoir_capacity = 0;
 };
 
 /// \brief Batched, cached CF estimation over one table.
@@ -126,11 +151,35 @@ class EstimationEngine {
   Result<std::vector<SizedCandidate>> EstimateAll(
       std::span<const CandidateConfiguration> candidates);
 
+  /// Folds newly appended base-table rows [range.begin, range.end) into the
+  /// maintained reservoir, continuing the Algorithm-R stream from the
+  /// initial draw (the resulting reservoir equals a fresh one-pass draw
+  /// over the grown table under the same seed and capacity). Cached sample
+  /// indexes are invalidated only if the reservoir contents changed; the
+  /// invalidation is recorded in CacheStats (sample_version bumps,
+  /// invalidations counts the dropped index entries).
+  ///
+  /// Requires maintain_reservoir; `range` must start exactly where the rows
+  /// already offered to the reservoir end (no gaps, no overlaps) and must
+  /// not extend past the current table size. If the sample has not been
+  /// drawn yet the call is a no-op — the eventual draw sees the full table.
+  ///
+  /// Not safe to run concurrently with estimates: callers must quiesce
+  /// in-flight Estimate/EstimateAll calls first (estimates may read the
+  /// sample view outside the engine lock).
+  Status NotifyAppend(RowRange range);
+
   /// \brief Work-avoidance counters (monotone over the engine's life).
   struct CacheStats {
     uint64_t samples_drawn = 0;
     uint64_t index_builds = 0;
     uint64_t index_cache_hits = 0;
+    /// Cached sample-index entries dropped by reservoir refreshes.
+    uint64_t invalidations = 0;
+    /// Version of the sample contents: 1 after the initial draw, +1 per
+    /// NotifyAppend that actually changed the reservoir. Cached indexes are
+    /// always consistent with the current version.
+    uint64_t sample_version = 0;
   };
   CacheStats cache_stats() const;
 
@@ -142,6 +191,10 @@ class EstimationEngine {
 
   /// Draws the shared sample if not drawn yet (thread-safe, idempotent).
   Status EnsureSample();
+  /// Offers base-table rows [begin, end) to the reservoir core, applying
+  /// accepted slots to reservoir_ids_. Returns whether anything changed.
+  /// Caller holds mu_ and has initialized the reservoir state.
+  bool OfferRowsToReservoir(RowId begin, RowId end);
   Result<SampleCFResult> EstimateCFWithMetric(const IndexDescriptor& d,
                                               const CompressionScheme& scheme,
                                               SizeMetric metric);
@@ -155,6 +208,13 @@ class EstimationEngine {
   std::unordered_map<std::string, std::shared_future<IndexEntry>> indexes_;
   std::unique_ptr<ThreadPool> pool_;
   CacheStats stats_;
+
+  /// Reservoir state (maintain_reservoir mode only): the Algorithm-R slot
+  /// core, the RNG stream it consumes (resumed by NotifyAppend), and the
+  /// slot storage — the row ids the current sample view is built from.
+  std::optional<ReservoirSampler> reservoir_core_;
+  Random reservoir_rng_{0};
+  std::vector<RowId> reservoir_ids_;
 };
 
 }  // namespace cfest

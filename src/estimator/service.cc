@@ -1,0 +1,131 @@
+#include "estimator/service.h"
+
+#include <utility>
+
+namespace cfest {
+
+CatalogEstimationService::CatalogEstimationService(
+    const Catalog& catalog, CatalogEstimationServiceOptions options)
+    : catalog_(catalog), options_(std::move(options)) {}
+
+uint64_t CatalogEstimationService::SeedForTable(
+    const std::string& table_name) const {
+  auto it = options_.table_seeds.find(table_name);
+  return it != options_.table_seeds.end() ? it->second : options_.seed;
+}
+
+Result<EstimationEngine*> CatalogEstimationService::Engine(
+    const std::string& table_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Re-validate against the catalog even on a cache hit: a cached engine
+  // for a table that was removed (or removed and re-added) must never be
+  // served — it borrows the old Table object. The check is by the
+  // catalog's per-name registration version, not pointer identity, so a
+  // replacement table reusing the freed Table's address is still caught.
+  Result<const Table*> table = catalog_.GetTable(table_name);
+  if (!table.ok()) {
+    engines_.erase(table_name);
+    return table.status();
+  }
+  const uint64_t version = catalog_.TableVersion(table_name);
+  auto it = engines_.find(table_name);
+  if (it != engines_.end()) {
+    if (it->second.table_version == version) return it->second.engine.get();
+    engines_.erase(it);  // name re-bound since the engine was created
+  }
+  EstimationEngineOptions engine_options;
+  engine_options.base = options_.base;
+  engine_options.seed = SeedForTable(table_name);
+  // All parallelism lives in the service's shared pool; per-table engines
+  // stay serial so a fan-out never spins nested pools.
+  engine_options.num_threads = 1;
+  engine_options.maintain_reservoir = options_.maintain_reservoirs;
+  engine_options.reservoir_capacity = options_.reservoir_capacity;
+  auto engine = std::make_unique<EstimationEngine>(**table, engine_options);
+  EstimationEngine* raw = engine.get();
+  engines_[table_name] = EngineEntry{std::move(engine), version};
+  return raw;
+}
+
+ThreadPool* CatalogEstimationService::Pool() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+  return pool_.get();
+}
+
+Result<std::vector<SizedCandidate>> CatalogEstimationService::EstimateAll(
+    std::span<const CandidateConfiguration> candidates) {
+  // Group by table name: resolve each distinct table's engine exactly once
+  // (creating it if needed) before any estimation work starts, so a
+  // missing table fails the whole batch up front.
+  std::map<std::string, EstimationEngine*> group_engines;
+  std::vector<EstimationEngine*> engine_of(candidates.size(), nullptr);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const std::string& name = candidates[i].table_name;
+    auto it = group_engines.find(name);
+    if (it == group_engines.end()) {
+      Result<EstimationEngine*> engine = Engine(name);
+      if (!engine.ok()) {
+        return Status::NotFound("candidate " + std::to_string(i) + " (" +
+                                candidates[i].index.name + "): " +
+                                engine.status().message());
+      }
+      it = group_engines.emplace(name, *engine).first;
+    }
+    engine_of[i] = it->second;
+  }
+
+  // Fan every candidate of every group across the shared pool. Estimates
+  // are order-independent (each engine's sample draw is seeded and happens
+  // once, under the engine's own lock), so per-candidate granularity keeps
+  // all workers busy even when group sizes are skewed.
+  std::vector<SizedCandidate> results(candidates.size());
+  const bool serial = options_.num_threads == 1 || candidates.size() < 2;
+  CFEST_RETURN_NOT_OK(StatusParallelFor(
+      serial ? nullptr : Pool(), candidates.size(), [&](uint64_t i) {
+        CFEST_ASSIGN_OR_RETURN(results[i], engine_of[i]->Estimate(candidates[i]));
+        return Status::OK();
+      }));
+  return results;
+}
+
+Status CatalogEstimationService::NotifyAppend(const std::string& table_name,
+                                              RowRange range) {
+  EstimationEngine* engine = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CFEST_RETURN_NOT_OK(catalog_.GetTable(table_name).status());
+    auto it = engines_.find(table_name);
+    if (it == engines_.end()) return Status::OK();  // nothing cached yet
+    if (it->second.table_version != catalog_.TableVersion(table_name)) {
+      // The name was re-bound since the engine was created; drop the
+      // stale engine — the replacement's first use draws a fresh sample.
+      engines_.erase(it);
+      return Status::OK();
+    }
+    engine = it->second.engine.get();
+  }
+  return engine->NotifyAppend(range);
+}
+
+CatalogEstimationService::Stats CatalogEstimationService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats;
+  stats.engines_created = engines_.size();
+  for (const auto& [name, entry] : engines_) {
+    (void)name;
+    const EstimationEngine::CacheStats s = entry.engine->cache_stats();
+    stats.samples_drawn += s.samples_drawn;
+    stats.index_builds += s.index_builds;
+    stats.index_cache_hits += s.index_cache_hits;
+    stats.invalidations += s.invalidations;
+    // sample_version is 1 after an engine's initial draw and +1 per
+    // effective refresh, so the refresh count is version - draws.
+    stats.refreshes += s.sample_version - s.samples_drawn;
+  }
+  return stats;
+}
+
+}  // namespace cfest

@@ -1,0 +1,139 @@
+// Copyright (c) the samplecf authors. Licensed under the MIT license.
+//
+// CatalogEstimationService — cross-table batched what-if sizing.
+//
+// PR 1's EstimationEngine amortizes one sample across many candidates, but
+// only within a single table. A real advisor sizes a candidate set spanning
+// a whole schema ("lineitem" *and* "orders") against tables that keep
+// growing. The service lifts the engine to catalog level:
+//
+//   - One lazily created EstimationEngine per catalog table, each seeded by
+//     SeedForTable(name) so results are reproducible per table regardless
+//     of which candidates arrive first.
+//   - EstimateAll groups candidates by table_name and fans the groups'
+//     candidates across one shared ThreadPool (per-table engines are built
+//     with num_threads = 1 — they never spin nested pools). Results are
+//     positionally aligned with the input and bit-identical to running each
+//     table's group through its own per-table EstimateAll under the same
+//     per-table seeds.
+//   - NotifyAppend(table, range) forwards a growth delta to exactly that
+//     table's engine (reservoir refresh); every other table's cached
+//     samples and indexes are untouched.
+//
+// The service borrows the catalog; the catalog (and its tables) must
+// outlive the service.
+
+#ifndef CFEST_ESTIMATOR_SERVICE_H_
+#define CFEST_ESTIMATOR_SERVICE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "estimator/engine.h"
+#include "storage/catalog.h"
+
+namespace cfest {
+
+/// \brief Configuration of a CatalogEstimationService.
+struct CatalogEstimationServiceOptions {
+  /// Sampling fraction, metric, and index-build options shared by every
+  /// per-table engine. base.sampler applies to non-reservoir engines.
+  SampleCFOptions base;
+  /// Default per-table seed; SeedForTable(name) returns this unless
+  /// overridden in table_seeds.
+  uint64_t seed = 42;
+  /// Per-table seed overrides (table name -> seed).
+  std::map<std::string, uint64_t> table_seeds;
+  /// Workers of the shared cross-table pool. 0 = hardware concurrency;
+  /// 1 = serial.
+  uint32_t num_threads = 0;
+  /// Create per-table engines in reservoir-maintenance mode so
+  /// NotifyAppend can refresh them incrementally.
+  bool maintain_reservoirs = false;
+  /// Reservoir capacity per engine when maintain_reservoirs is set
+  /// (0 = derive from base.fraction at each table's first draw).
+  uint64_t reservoir_capacity = 0;
+};
+
+/// \brief Catalog-level batched CF estimation: one engine per table, one
+/// fan-out per workload.
+///
+/// Estimate paths are thread-safe. NotifyAppend requires the same quiescing
+/// as EstimationEngine::NotifyAppend: no in-flight estimates for that table.
+class CatalogEstimationService {
+ public:
+  explicit CatalogEstimationService(const Catalog& catalog,
+                                    CatalogEstimationServiceOptions options = {});
+
+  const Catalog& catalog() const { return catalog_; }
+  const CatalogEstimationServiceOptions& options() const { return options_; }
+
+  /// The seed the table's engine draws from: table_seeds override or the
+  /// default seed.
+  uint64_t SeedForTable(const std::string& table_name) const;
+
+  /// The table's engine, created on first use (NotFound if the table is not
+  /// in the catalog). The pointer is stable while the table stays
+  /// registered: if the table is removed from the catalog (or removed and
+  /// re-added), the cached engine is dropped and lookups fail or rebuild
+  /// against the new table — a removed table's engine is never served.
+  Result<EstimationEngine*> Engine(const std::string& table_name);
+
+  /// What-if sizes a mixed-table batch: candidates are grouped by
+  /// table_name, every group's table engine is resolved (creating engines
+  /// as needed), and all candidates fan out across the shared pool.
+  /// Results are positionally aligned with `candidates` and bit-identical
+  /// to per-table EstimateAll under the same per-table seeds.
+  Result<std::vector<SizedCandidate>> EstimateAll(
+      std::span<const CandidateConfiguration> candidates);
+
+  /// Forwards an append delta to the named table's engine (see
+  /// EstimationEngine::NotifyAppend). A table whose engine has not been
+  /// created yet is a no-op — its eventual first draw sees the grown
+  /// table. Requires maintain_reservoirs for created engines.
+  Status NotifyAppend(const std::string& table_name, RowRange range);
+
+  /// \brief Aggregate work-avoidance counters across every engine created
+  /// so far (sums of the per-engine CacheStats; per-engine sample versions
+  /// are reduced to an additive refresh count).
+  struct Stats {
+    uint64_t engines_created = 0;
+    uint64_t samples_drawn = 0;
+    uint64_t index_builds = 0;
+    uint64_t index_cache_hits = 0;
+    uint64_t invalidations = 0;
+    /// Effective reservoir refreshes (NotifyAppend calls that changed a
+    /// reservoir) summed across engines.
+    uint64_t refreshes = 0;
+  };
+  Stats stats() const;
+
+ private:
+  /// An engine stamped with the catalog's registration version for its
+  /// table at creation time; a version mismatch means the name was
+  /// re-bound (removed, or removed and re-added) and the engine is stale.
+  struct EngineEntry {
+    std::unique_ptr<EstimationEngine> engine;
+    uint64_t table_version = 0;
+  };
+
+  ThreadPool* Pool();
+
+  const Catalog& catalog_;
+  CatalogEstimationServiceOptions options_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, EngineEntry> engines_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace cfest
+
+#endif  // CFEST_ESTIMATOR_SERVICE_H_

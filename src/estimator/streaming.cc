@@ -27,17 +27,16 @@ Status StreamingSampleCF::Add(Slice encoded_row) {
         "encoded row has " + std::to_string(encoded_row.size()) +
         " bytes, expected " + std::to_string(schema_.row_width()));
   }
-  // Vitter's Algorithm R.
-  if (reservoir_.size() < options_.sample_capacity) {
-    reservoir_.emplace_back(encoded_row.data(), encoded_row.size());
-  } else {
-    const uint64_t j = rng_.NextBounded(rows_seen_ + 1);
-    if (j < options_.sample_capacity) {
-      reservoir_[static_cast<size_t>(j)].assign(encoded_row.data(),
-                                                encoded_row.size());
+  // Vitter's Algorithm R via the shared slot core.
+  const uint64_t slot = core_.Offer(&rng_);
+  if (slot != ReservoirSampler::kSkip) {
+    if (slot == reservoir_.size()) {
+      reservoir_.emplace_back(encoded_row.data(), encoded_row.size());
+    } else {
+      reservoir_[static_cast<size_t>(slot)].assign(encoded_row.data(),
+                                                   encoded_row.size());
     }
   }
-  ++rows_seen_;
   return Status::OK();
 }
 

@@ -16,6 +16,7 @@
 #include "common/random.h"
 #include "common/result.h"
 #include "estimator/sample_cf.h"
+#include "sampling/reservoir.h"
 
 namespace cfest {
 
@@ -40,7 +41,7 @@ class StreamingSampleCF {
   /// reservoir.
   Status Add(Slice encoded_row);
 
-  uint64_t rows_seen() const { return rows_seen_; }
+  uint64_t rows_seen() const { return core_.items_seen(); }
   uint64_t reservoir_size() const { return reservoir_.size(); }
 
   /// Computes the SampleCF estimate from the current reservoir (builds and
@@ -54,15 +55,18 @@ class StreamingSampleCF {
         descriptor_(std::move(descriptor)),
         scheme_(std::move(scheme)),
         options_(options),
-        rng_(options.seed) {}
+        rng_(options.seed),
+        core_(options.sample_capacity) {}
 
   Schema schema_;
   IndexDescriptor descriptor_;
   CompressionScheme scheme_;
   Options options_;
   Random rng_;
+  /// Shared Algorithm-R slot core (sampling/reservoir.h); `reservoir_` is
+  /// the slot storage it assigns into.
+  ReservoirSampler core_;
   std::vector<std::string> reservoir_;
-  uint64_t rows_seen_ = 0;
 };
 
 }  // namespace cfest

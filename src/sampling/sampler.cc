@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "sampling/reservoir.h"
 #include "storage/page.h"
 
 namespace cfest {
@@ -125,7 +126,7 @@ class BernoulliSampler final : public RowSampler {
   }
 };
 
-class ReservoirSampler final : public RowSampler {
+class ReservoirRowSampler final : public RowSampler {
  public:
   std::string name() const override { return "reservoir"; }
 
@@ -137,14 +138,14 @@ class ReservoirSampler final : public RowSampler {
     }
     const uint64_t n = table.num_rows();
     const uint64_t r = std::min(TargetRows(table, fraction), n);
-    // Vitter's Algorithm R: fill the reservoir, then replace with
-    // decreasing probability.
-    std::vector<RowId> reservoir;
-    reservoir.reserve(r);
-    for (RowId id = 0; id < r; ++id) reservoir.push_back(id);
-    for (RowId id = r; id < n; ++id) {
-      const uint64_t j = rng->NextBounded(id + 1);
-      if (j < r) reservoir[static_cast<size_t>(j)] = id;
+    // Vitter's Algorithm R via the shared slot core (sampling/reservoir.h).
+    ReservoirSampler core(r);
+    std::vector<RowId> reservoir(static_cast<size_t>(r), 0);
+    for (RowId id = 0; id < n; ++id) {
+      const uint64_t slot = core.Offer(rng);
+      if (slot != ReservoirSampler::kSkip) {
+        reservoir[static_cast<size_t>(slot)] = id;
+      }
     }
     return reservoir;
   }
@@ -253,7 +254,7 @@ std::unique_ptr<RowSampler> MakeBernoulliSampler() {
   return std::make_unique<BernoulliSampler>();
 }
 std::unique_ptr<RowSampler> MakeReservoirSampler() {
-  return std::make_unique<ReservoirSampler>();
+  return std::make_unique<ReservoirRowSampler>();
 }
 std::unique_ptr<RowSampler> MakeBlockSampler(uint32_t rows_per_block) {
   return std::make_unique<BlockSampler>(rows_per_block);

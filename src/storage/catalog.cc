@@ -15,7 +15,24 @@ Status Catalog::AddTable(const std::string& name,
   if (!inserted) {
     return Status::AlreadyExists("table " + name + " already registered");
   }
+  ++versions_[name];
   return Status::OK();
+}
+
+Result<std::unique_ptr<Table>> Catalog::RemoveTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table " + name + " not in catalog");
+  }
+  std::unique_ptr<Table> table = std::move(it->second);
+  tables_.erase(it);
+  ++versions_[name];
+  return table;
+}
+
+uint64_t Catalog::TableVersion(const std::string& name) const {
+  auto it = versions_.find(name);
+  return it != versions_.end() ? it->second : 0;
 }
 
 Result<const Table*> Catalog::GetTable(const std::string& name) const {
@@ -24,6 +41,37 @@ Result<const Table*> Catalog::GetTable(const std::string& name) const {
     return Status::NotFound("table " + name + " not in catalog");
   }
   return const_cast<const Table*>(it->second.get());
+}
+
+Result<Table*> Catalog::GetMutableTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table " + name + " not in catalog");
+  }
+  return it->second.get();
+}
+
+Result<RowRange> Catalog::AppendRows(const std::string& name,
+                                     std::span<const Row> rows) {
+  CFEST_ASSIGN_OR_RETURN(Table * table, GetMutableTable(name));
+  // Encode (and thereby validate) every row before touching the table, so
+  // a bad row mid-batch appends nothing: consumers tracking the table's
+  // append stream (EstimationEngine::NotifyAppend expects contiguous
+  // ranges) never see rows that no RowRange accounts for.
+  std::string encoded;
+  encoded.reserve(rows.size() * table->row_width());
+  for (const Row& row : rows) {
+    CFEST_RETURN_NOT_OK(table->codec().Encode(row, &encoded));
+  }
+  RowRange range;
+  range.begin = table->num_rows();
+  const uint32_t width = table->row_width();
+  for (size_t offset = 0; offset < encoded.size(); offset += width) {
+    CFEST_RETURN_NOT_OK(
+        table->AppendEncodedRow(Slice(encoded.data() + offset, width)));
+  }
+  range.end = table->num_rows();
+  return range;
 }
 
 std::vector<std::string> Catalog::TableNames() const {

@@ -1,13 +1,29 @@
 // Copyright (c) the samplecf authors. Licensed under the MIT license.
 //
 // A minimal catalog: named tables, so examples and the advisor can refer to
-// "lineitem" etc.
+// "lineitem" etc. The catalog is also the mutation entry point for growing
+// tables: AppendRows is the source of truth for streaming deltas, and the
+// RowRange it returns is what estimation-layer consumers (EstimationEngine::
+// NotifyAppend, CatalogEstimationService) use to refresh incrementally.
+//
+// Ownership and lifetime contract:
+//   - The catalog owns every registered table (unique_ptr); tables live
+//     until RemoveTable hands ownership back or the catalog is destroyed.
+//   - Pointers returned by GetTable/GetMutableTable are borrowed from the
+//     catalog and stay valid across AddTable/AppendRows of *other* tables,
+//     and across AppendRows of the same table (the Table object is stable;
+//     only its internal row buffer grows). They are invalidated by
+//     RemoveTable of that table and by catalog destruction.
+//   - AppendRows may reallocate the table's row buffer: zero-copy Slices
+//     previously obtained from the table are invalidated (row ids are not —
+//     rows never move ids). See storage/table.h.
 
 #ifndef CFEST_STORAGE_CATALOG_H_
 #define CFEST_STORAGE_CATALOG_H_
 
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -23,18 +39,46 @@ class Catalog {
   /// Registers a table under `name`. Fails if the name is taken.
   Status AddTable(const std::string& name, std::unique_ptr<Table> table);
 
+  /// Unregisters `name` and hands the table's ownership back to the caller;
+  /// NotFound if absent. Borrowed pointers to this table become the
+  /// caller's responsibility (they stay valid only as long as the returned
+  /// unique_ptr lives).
+  Result<std::unique_ptr<Table>> RemoveTable(const std::string& name);
+
   /// Looks up a table; NotFound if absent.
   Result<const Table*> GetTable(const std::string& name) const;
+
+  /// Mutable lookup, for callers that append through the table directly.
+  Result<Table*> GetMutableTable(const std::string& name);
+
+  /// Appends `rows` to table `name` and returns the heap row-id range the
+  /// new rows occupy — feed it to EstimationEngine::NotifyAppend (or
+  /// CatalogEstimationService::NotifyAppend) to refresh samples
+  /// incrementally. The batch is atomic: every row is validated against
+  /// the table schema before any is appended, so a failed call leaves the
+  /// table unchanged and the append stream contiguous.
+  Result<RowRange> AppendRows(const std::string& name,
+                              std::span<const Row> rows);
 
   bool HasTable(const std::string& name) const {
     return tables_.count(name) > 0;
   }
+
+  size_t num_tables() const { return tables_.size(); }
+
+  /// Monotone per-name registration version: bumped every time `name` is
+  /// added or removed. Caches keyed on a table name (e.g. the estimation
+  /// service's per-table engines) compare this to detect that a name was
+  /// re-bound to a different table — pointer identity alone is unreliable
+  /// because a freed Table's address can be reused. 0 = never registered.
+  uint64_t TableVersion(const std::string& name) const;
 
   /// Names in lexicographic order.
   std::vector<std::string> TableNames() const;
 
  private:
   std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::map<std::string, uint64_t> versions_;
 };
 
 }  // namespace cfest

@@ -23,7 +23,18 @@ namespace cfest {
 /// \brief Identifies a row within a table (heap row id).
 using RowId = uint64_t;
 
-/// \brief An immutable in-memory table of fixed-width encoded rows.
+/// \brief A half-open range [begin, end) of heap row ids — the unit of an
+/// append delta (Catalog::AppendRows returns one; EstimationEngine's
+/// NotifyAppend consumes one).
+struct RowRange {
+  RowId begin = 0;
+  RowId end = 0;
+
+  uint64_t size() const { return end - begin; }
+  bool empty() const { return begin >= end; }
+};
+
+/// \brief An in-memory table of fixed-width encoded rows.
 ///
 /// Construct through TableBuilder. Row access is zero-copy (Slice into the
 /// contiguous buffer). `row()` is the one virtual read hook: TableView
@@ -31,6 +42,14 @@ using RowId = uint64_t;
 /// through a row-id indirection, so a sample can behave like a table without
 /// copying any row bytes. Everything else (cells, decoding, sizes) derives
 /// from `row()` and `num_rows()`.
+///
+/// Rows are append-only: existing rows never move ids or change bytes, but
+/// `AppendRow`/`AppendEncodedRow` may grow the table after construction (the
+/// streaming-delta source of truth; Catalog::AppendRows is the usual entry
+/// point). Appending may reallocate the row buffer, so any Slice previously
+/// obtained from `row()`/`cell()` is invalidated by an append — re-fetch
+/// after mutating. Row-id indirections (TableView) remain valid: they
+/// re-resolve through `row()` on every access.
 class Table {
  public:
   virtual ~Table() = default;
@@ -56,6 +75,27 @@ class Table {
 
   /// Decodes a row into Values (for display / tests).
   Result<Row> DecodeRow(RowId id) const { return codec_.Decode(row(id)); }
+
+  /// Appends one already-encoded row (exactly row_width() bytes) to the
+  /// heap. Views refuse (they do not own row storage). Invalidates
+  /// previously returned Slices; see the class comment.
+  virtual Status AppendEncodedRow(Slice encoded) {
+    if (encoded.size() != row_width()) {
+      return Status::InvalidArgument(
+          "encoded row has " + std::to_string(encoded.size()) +
+          " bytes, expected " + std::to_string(row_width()));
+    }
+    buffer_.append(encoded.data(), encoded.size());
+    ++num_rows_;
+    return Status::OK();
+  }
+
+  /// Appends one row of Values (validated against the schema).
+  Status AppendRow(const Row& r) {
+    std::string encoded;
+    CFEST_RETURN_NOT_OK(codec_.Encode(r, &encoded));
+    return AppendEncodedRow(Slice(encoded));
+  }
 
  protected:
   explicit Table(RowCodec codec) : codec_(std::move(codec)) {}

@@ -40,6 +40,11 @@ class TableView final : public Table {
     return base_->row(ids_[static_cast<size_t>(id)]);
   }
 
+  /// A view does not own row storage; append to the base table instead.
+  Status AppendEncodedRow(Slice) override {
+    return Status::NotSupported("cannot append rows to a TableView");
+  }
+
   const Table& base() const { return *base_; }
   const std::vector<RowId>& row_ids() const { return ids_; }
 

@@ -1,0 +1,489 @@
+// Tests for the catalog estimation stack: CatalogEstimationService's
+// cross-table batching (bit-identical to per-table engines), the
+// reservoir-maintained engine sample with NotifyAppend delta refresh
+// (equal to a fresh draw over the grown table), invalidation granularity
+// (cache-stats assertions), and the storage-layer append plumbing it all
+// rides on.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "advisor/advisor.h"
+#include "common/random.h"
+#include "datagen/table_gen.h"
+#include "estimator/engine.h"
+#include "estimator/service.h"
+#include "storage/catalog.h"
+#include "storage/table_view.h"
+
+namespace cfest {
+namespace {
+
+std::unique_ptr<Table> OrdersTable(uint64_t rows = 12000, uint64_t seed = 7) {
+  auto table = GenerateTable(
+      {ColumnSpec::String("status", 12, 6, FrequencySpec::Uniform(),
+                          LengthSpec::Uniform(4, 10)),
+       ColumnSpec::String("city", 24, 50, FrequencySpec::Zipf(1.0),
+                          LengthSpec::Uniform(4, 20)),
+       ColumnSpec::Integer("amount", 400)},
+      rows, seed);
+  EXPECT_TRUE(table.ok());
+  return std::move(table).ValueOrDie();
+}
+
+std::unique_ptr<Table> LineitemTable(uint64_t rows = 15000,
+                                     uint64_t seed = 11) {
+  auto table = GenerateTable(
+      {ColumnSpec::Integer("partkey", 800),
+       ColumnSpec::String("shipmode", 8, 7, FrequencySpec::Uniform(),
+                          LengthSpec::Uniform(3, 8)),
+       ColumnSpec::Integer("quantity", 50)},
+      rows, seed);
+  EXPECT_TRUE(table.ok());
+  return std::move(table).ValueOrDie();
+}
+
+/// A catalog holding both tables.
+std::unique_ptr<Catalog> TwoTableCatalog() {
+  auto catalog = std::make_unique<Catalog>();
+  EXPECT_TRUE(catalog->AddTable("orders", OrdersTable()).ok());
+  EXPECT_TRUE(catalog->AddTable("lineitem", LineitemTable()).ok());
+  return catalog;
+}
+
+/// Candidates interleaved across the two tables — the service must group
+/// them internally yet return positionally aligned results.
+std::vector<CandidateConfiguration> MixedCandidates() {
+  std::vector<CandidateConfiguration> candidates;
+  auto add = [&](const std::string& table, const std::string& col,
+                 CompressionType type) {
+    CandidateConfiguration c;
+    c.table_name = table;
+    c.index = {"ix_" + col + "_" + CompressionTypeName(type), {col},
+               /*clustered=*/false};
+    c.scheme = CompressionScheme::Uniform(type);
+    c.benefit = 1.0;
+    candidates.push_back(std::move(c));
+  };
+  for (CompressionType type :
+       {CompressionType::kNullSuppression, CompressionType::kRle,
+        CompressionType::kPrefix}) {
+    add("orders", "status", type);
+    add("lineitem", "shipmode", type);
+    add("orders", "city", type);
+    add("lineitem", "partkey", type);
+  }
+  // One uncompressed candidate for the schema-arithmetic path.
+  CandidateConfiguration none;
+  none.table_name = "orders";
+  none.index = {"ix_amount_none", {"amount"}, false};
+  none.scheme = CompressionScheme::Uniform(CompressionType::kNone);
+  candidates.push_back(std::move(none));
+  return candidates;
+}
+
+// ---------------------------------------------------------------------------
+// Storage plumbing: append-only tables and catalog deltas
+// ---------------------------------------------------------------------------
+
+TEST(MutableTableTest, AppendRowsGrowsTableAndKeepsExistingBytes) {
+  auto table = OrdersTable(100);
+  const uint64_t n = table->num_rows();
+  const std::string row0(table->row(0).data(), table->row(0).size());
+
+  auto decoded = table->DecodeRow(5);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_TRUE(table->AppendRow(*decoded).ok());
+  EXPECT_EQ(n + 1, table->num_rows());
+  // Existing rows keep their ids and bytes; the new row equals its source.
+  EXPECT_EQ(row0, std::string(table->row(0).data(), table->row(0).size()));
+  EXPECT_EQ(std::string(table->row(5).data(), table->row(5).size()),
+            std::string(table->row(n).data(), table->row(n).size()));
+}
+
+TEST(MutableTableTest, ViewsRefuseAppends) {
+  auto table = OrdersTable(100);
+  auto view = TableView::Make(*table, {0, 1, 2});
+  ASSERT_TRUE(view.ok());
+  auto decoded = table->DecodeRow(0);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_FALSE((*view)->AppendRow(*decoded).ok());
+}
+
+TEST(CatalogTest, AppendRowsReturnsTheAppendedRange) {
+  auto catalog = TwoTableCatalog();
+  auto before = catalog->GetTable("orders");
+  ASSERT_TRUE(before.ok());
+  const uint64_t n = (*before)->num_rows();
+
+  std::vector<Row> rows;
+  for (RowId id = 0; id < 5; ++id) {
+    auto decoded = (*before)->DecodeRow(id);
+    ASSERT_TRUE(decoded.ok());
+    rows.push_back(*decoded);
+  }
+  auto range = catalog->AppendRows("orders", rows);
+  ASSERT_TRUE(range.ok());
+  EXPECT_EQ(n, range->begin);
+  EXPECT_EQ(n + 5, range->end);
+  EXPECT_EQ(5u, range->size());
+  EXPECT_EQ(n + 5, (*catalog->GetTable("orders"))->num_rows());
+
+  EXPECT_FALSE(catalog->AppendRows("nope", rows).ok());
+}
+
+TEST(CatalogTest, RemoveTableHandsOwnershipBack) {
+  auto catalog = TwoTableCatalog();
+  EXPECT_TRUE(catalog->HasTable("orders"));
+  EXPECT_EQ(2u, catalog->num_tables());
+
+  auto removed = catalog->RemoveTable("orders");
+  ASSERT_TRUE(removed.ok());
+  EXPECT_NE(nullptr, removed->get());
+  EXPECT_GT((*removed)->num_rows(), 0u);
+  EXPECT_FALSE(catalog->HasTable("orders"));
+  EXPECT_EQ(1u, catalog->num_tables());
+  EXPECT_FALSE(catalog->RemoveTable("orders").ok());
+
+  // The name is free again.
+  EXPECT_TRUE(catalog->AddTable("orders", std::move(*removed)).ok());
+  EXPECT_EQ(2u, catalog->num_tables());
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance (1): cross-table EstimateAll is bit-identical to per-table
+// engines under the same per-table seeds
+// ---------------------------------------------------------------------------
+
+TEST(ServiceTest, CrossTableBatchMatchesPerTableEnginesBitForBit) {
+  auto catalog = TwoTableCatalog();
+  const std::vector<CandidateConfiguration> candidates = MixedCandidates();
+
+  CatalogEstimationServiceOptions options;
+  options.base.fraction = 0.02;
+  options.base.metric = SizeMetric::kPageBytes;
+  options.seed = 42;
+  options.table_seeds["lineitem"] = 1234;  // exercise per-table seeds
+  CatalogEstimationService service(*catalog, options);
+  EXPECT_EQ(42u, service.SeedForTable("orders"));
+  EXPECT_EQ(1234u, service.SeedForTable("lineitem"));
+
+  auto batch = service.EstimateAll(candidates);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(candidates.size(), batch->size());
+
+  // Reference: one engine per table, same seeds, same shared options.
+  std::map<std::string, std::unique_ptr<EstimationEngine>> engines;
+  for (const std::string& name : catalog->TableNames()) {
+    EstimationEngineOptions engine_options;
+    engine_options.base = options.base;
+    engine_options.seed = service.SeedForTable(name);
+    engines.emplace(name, std::make_unique<EstimationEngine>(
+                              **catalog->GetTable(name), engine_options));
+  }
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    auto single = engines.at(candidates[i].table_name)->Estimate(candidates[i]);
+    ASSERT_TRUE(single.ok());
+    EXPECT_EQ(single->estimated_cf, (*batch)[i].estimated_cf)
+        << "candidate " << i << " (" << candidates[i].index.name << ")";
+    EXPECT_EQ(single->estimated_bytes, (*batch)[i].estimated_bytes);
+    EXPECT_EQ(single->uncompressed_bytes, (*batch)[i].uncompressed_bytes);
+    EXPECT_EQ(candidates[i].index.name, (*batch)[i].config.index.name);
+  }
+
+  // One engine and one sample per table, regardless of candidate count.
+  const CatalogEstimationService::Stats stats = service.stats();
+  EXPECT_EQ(2u, stats.engines_created);
+  EXPECT_EQ(2u, stats.samples_drawn);
+}
+
+TEST(ServiceTest, ParallelFanOutIsDeterministic) {
+  auto catalog = TwoTableCatalog();
+  const std::vector<CandidateConfiguration> candidates = MixedCandidates();
+
+  auto run = [&](uint32_t threads) {
+    CatalogEstimationServiceOptions options;
+    options.base.fraction = 0.02;
+    options.num_threads = threads;
+    CatalogEstimationService service(*catalog, options);
+    auto sized = service.EstimateAll(candidates);
+    EXPECT_TRUE(sized.ok());
+    return std::move(sized).ValueOrDie();
+  };
+
+  const std::vector<SizedCandidate> serial = run(1);
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    const std::vector<SizedCandidate> parallel = run(4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(serial[i].estimated_cf, parallel[i].estimated_cf);
+      EXPECT_EQ(serial[i].estimated_bytes, parallel[i].estimated_bytes);
+    }
+  }
+}
+
+TEST(ServiceTest, RemovedTablesEngineIsNeverServed) {
+  auto catalog = TwoTableCatalog();
+  CatalogEstimationServiceOptions options;
+  options.base.fraction = 0.02;
+  CatalogEstimationService service(*catalog, options);
+  const std::vector<CandidateConfiguration> candidates = MixedCandidates();
+  ASSERT_TRUE(service.EstimateAll(candidates).ok());
+
+  // Removing the table must drop the cached engine: lookups fail instead
+  // of serving an engine bound to a table the caller now owns.
+  auto removed = catalog->RemoveTable("orders");
+  ASSERT_TRUE(removed.ok());
+  EXPECT_FALSE(service.Engine("orders").ok());
+  EXPECT_FALSE(service.EstimateAll(candidates).ok());
+
+  // Re-registering serves a fresh engine bound to the current table.
+  ASSERT_TRUE(catalog->AddTable("orders", std::move(*removed)).ok());
+  auto engine = service.Engine("orders");
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ(*catalog->GetTable("orders"), &(*engine)->table());
+  EXPECT_TRUE(service.EstimateAll(candidates).ok());
+}
+
+TEST(ServiceTest, UnknownTableFailsTheBatchUpFront) {
+  auto catalog = TwoTableCatalog();
+  std::vector<CandidateConfiguration> candidates = MixedCandidates();
+  candidates[3].table_name = "supplier";  // not registered
+
+  CatalogEstimationService service(*catalog);
+  auto sized = service.EstimateAll(candidates);
+  EXPECT_FALSE(sized.ok());
+  EXPECT_EQ(StatusCode::kNotFound, sized.status().code());
+}
+
+TEST(ServiceTest, AdviseConfigurationsMergesAcrossTables) {
+  auto catalog = TwoTableCatalog();
+  const std::vector<CandidateConfiguration> candidates = MixedCandidates();
+
+  CatalogEstimationServiceOptions options;
+  options.base.fraction = 0.02;
+  CatalogEstimationService service(*catalog, options);
+  auto sized = service.EstimateAll(candidates);
+  ASSERT_TRUE(sized.ok());
+  uint64_t total = 0;
+  for (const SizedCandidate& s : *sized) total += s.estimated_bytes;
+
+  auto rec = AdviseConfigurations(service, candidates, total / 2);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_LE(rec->total_bytes, total / 2);
+  ASSERT_FALSE(rec->selected.empty());
+  // The merged recommendation spans both tables (the workload is balanced
+  // enough that a half-bound selection should touch each).
+  bool saw_orders = false, saw_lineitem = false;
+  for (const SizedCandidate& s : rec->selected) {
+    saw_orders |= s.config.table_name == "orders";
+    saw_lineitem |= s.config.table_name == "lineitem";
+  }
+  EXPECT_TRUE(saw_orders);
+  EXPECT_TRUE(saw_lineitem);
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance (2): NotifyAppend + re-estimate equals a fresh engine over the
+// grown table (same reservoir contents under the same RNG stream)
+// ---------------------------------------------------------------------------
+
+/// Rows 'delta' rows decoded from `source` to append (content doesn't
+/// matter for the reservoir identity; reusing early rows keeps it simple).
+std::vector<Row> DeltaRows(const Table& source, uint64_t delta) {
+  std::vector<Row> rows;
+  for (RowId id = 0; id < delta; ++id) {
+    auto decoded = source.DecodeRow(id % source.num_rows());
+    EXPECT_TRUE(decoded.ok());
+    rows.push_back(*decoded);
+  }
+  return rows;
+}
+
+TEST(ReservoirEngineTest, IncrementalRefreshEqualsFreshDrawOverGrownTable) {
+  constexpr uint64_t kSeed = 77;
+  constexpr uint64_t kCapacity = 300;
+  const uint64_t base_rows = 10000;
+  const uint64_t delta = 1000;  // 10% growth
+
+  // Engine A: drawn over the base table, then grown incrementally.
+  auto catalog = std::make_unique<Catalog>();
+  ASSERT_TRUE(catalog->AddTable("orders", OrdersTable(base_rows)).ok());
+  const Table* table_a = *catalog->GetTable("orders");
+
+  EstimationEngineOptions options;
+  options.base.fraction = 0.02;
+  options.base.metric = SizeMetric::kPageBytes;
+  options.seed = kSeed;
+  options.maintain_reservoir = true;
+  options.reservoir_capacity = kCapacity;
+  EstimationEngine engine_a(*table_a, options);
+
+  const IndexDescriptor desc{"ix", {"city"}, false};
+  const CompressionScheme scheme =
+      CompressionScheme::Uniform(CompressionType::kDictionaryPage);
+  ASSERT_TRUE(engine_a.EstimateCF(desc, scheme).ok());  // draw over base
+
+  auto range = catalog->AppendRows("orders", DeltaRows(*table_a, delta));
+  ASSERT_TRUE(range.ok());
+  ASSERT_TRUE(engine_a.NotifyAppend(*range).ok());
+  auto incremental = engine_a.EstimateCF(desc, scheme);
+  ASSERT_TRUE(incremental.ok());
+
+  // Engine B: fresh, drawn in one pass over an identically grown table.
+  auto grown = OrdersTable(base_rows);
+  for (const Row& row : DeltaRows(*grown, delta)) {
+    ASSERT_TRUE(grown->AppendRow(row).ok());
+  }
+  ASSERT_EQ(base_rows + delta, grown->num_rows());
+  EstimationEngine engine_b(*grown, options);
+  auto fresh = engine_b.EstimateCF(desc, scheme);
+  ASSERT_TRUE(fresh.ok());
+
+  // Same reservoir contents (row ids, slot for slot) ...
+  auto sample_a = engine_a.SampleTable();
+  auto sample_b = engine_b.SampleTable();
+  ASSERT_TRUE(sample_a.ok());
+  ASSERT_TRUE(sample_b.ok());
+  const auto* view_a = dynamic_cast<const TableView*>(*sample_a);
+  const auto* view_b = dynamic_cast<const TableView*>(*sample_b);
+  ASSERT_NE(nullptr, view_a);
+  ASSERT_NE(nullptr, view_b);
+  EXPECT_EQ(view_a->row_ids(), view_b->row_ids());
+
+  // ... hence bit-identical estimates.
+  EXPECT_EQ(fresh->cf.value, incremental->cf.value);
+  EXPECT_EQ(fresh->sample_rows, incremental->sample_rows);
+  EXPECT_EQ(fresh->sample_compressed.page_bytes(),
+            incremental->sample_compressed.page_bytes());
+}
+
+TEST(ReservoirEngineTest, NotifyAppendValidatesModeAndRanges) {
+  auto table = OrdersTable(1000);
+
+  // Engines without reservoir maintenance refuse.
+  EstimationEngine frozen(*table, {});
+  EXPECT_FALSE(frozen.NotifyAppend({0, 1}).ok());
+
+  EstimationEngineOptions options;
+  options.base.fraction = 0.02;
+  options.maintain_reservoir = true;
+  EstimationEngine engine(*table, options);
+
+  // Before the first draw, a valid range is an accepted no-op.
+  EXPECT_TRUE(engine.NotifyAppend({900, 1000}).ok());
+  EXPECT_EQ(0u, engine.cache_stats().samples_drawn);
+
+  ASSERT_TRUE(engine.SampleTable().ok());
+  // Ranges past the table end, inverted, or non-contiguous are rejected.
+  EXPECT_FALSE(engine.NotifyAppend({1000, 1200}).ok());
+  EXPECT_FALSE(engine.NotifyAppend({900, 800}).ok());
+  EXPECT_TRUE(engine.NotifyAppend({1000, 1000}).ok());  // empty: no-op
+
+  // External-rng engines cannot maintain a reservoir.
+  Random rng(3);
+  EstimationEngineOptions bad = options;
+  bad.rng = &rng;
+  EstimationEngine external(*table, bad);
+  EXPECT_FALSE(external.SampleTable().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance (3): only affected sample indexes are invalidated
+// ---------------------------------------------------------------------------
+
+TEST(ServiceTest, NotifyAppendInvalidatesOnlyTheAffectedTable) {
+  auto catalog = TwoTableCatalog();
+  const std::vector<CandidateConfiguration> candidates = MixedCandidates();
+
+  CatalogEstimationServiceOptions options;
+  options.base.fraction = 0.02;
+  options.maintain_reservoirs = true;
+  CatalogEstimationService service(*catalog, options);
+  ASSERT_TRUE(service.EstimateAll(candidates).ok());
+
+  auto orders_engine = service.Engine("orders");
+  auto lineitem_engine = service.Engine("lineitem");
+  ASSERT_TRUE(orders_engine.ok());
+  ASSERT_TRUE(lineitem_engine.ok());
+  const auto orders_before = (*orders_engine)->cache_stats();
+  const auto lineitem_before = (*lineitem_engine)->cache_stats();
+  EXPECT_GT(orders_before.index_builds, 0u);
+  EXPECT_EQ(1u, orders_before.sample_version);
+  EXPECT_EQ(0u, orders_before.invalidations);
+
+  // Grow orders by 10% — comfortably enough that some appended row enters
+  // the reservoir (each of the 1200 rows enters with ~2% probability).
+  const Table* orders = *catalog->GetTable("orders");
+  auto range = catalog->AppendRows("orders", DeltaRows(*orders, 1200));
+  ASSERT_TRUE(range.ok());
+  ASSERT_TRUE(service.NotifyAppend("orders", *range).ok());
+
+  // Orders: its cached indexes were dropped, version bumped; the service
+  // aggregate counts exactly one effective refresh.
+  const auto orders_after = (*orders_engine)->cache_stats();
+  EXPECT_EQ(orders_before.index_builds, orders_after.invalidations);
+  EXPECT_EQ(2u, orders_after.sample_version);
+  EXPECT_EQ(1u, service.stats().refreshes);
+  EXPECT_EQ(orders_after.invalidations, service.stats().invalidations);
+
+  // Lineitem: untouched — same version, nothing invalidated.
+  const auto lineitem_after = (*lineitem_engine)->cache_stats();
+  EXPECT_EQ(0u, lineitem_after.invalidations);
+  EXPECT_EQ(1u, lineitem_after.sample_version);
+
+  // Re-estimating rebuilds only orders' indexes; lineitem is all hits.
+  ASSERT_TRUE(service.EstimateAll(candidates).ok());
+  const auto orders_rebuilt = (*orders_engine)->cache_stats();
+  const auto lineitem_rebuilt = (*lineitem_engine)->cache_stats();
+  EXPECT_EQ(orders_before.index_builds * 2, orders_rebuilt.index_builds);
+  EXPECT_EQ(lineitem_before.index_builds, lineitem_rebuilt.index_builds);
+  EXPECT_GT(lineitem_rebuilt.index_cache_hits,
+            lineitem_before.index_cache_hits);
+
+  // NotifyAppend for an unknown table is an error; for a table whose
+  // engine was never created it is a cheap no-op.
+  EXPECT_FALSE(service.NotifyAppend("supplier", *range).ok());
+}
+
+TEST(ReservoirEngineTest, RejectedAppendInvalidatesNothing) {
+  // Capacity 1 over a large base: a 1-row append enters the reservoir with
+  // probability 1/(n+1) — the pinned seed below is one where it does not.
+  auto table = OrdersTable(10000);
+  EstimationEngineOptions options;
+  options.base.fraction = 0.02;
+  options.maintain_reservoir = true;
+  options.reservoir_capacity = 1;
+  options.seed = 42;
+  EstimationEngine engine(*table, options);
+
+  const IndexDescriptor desc{"ix", {"status"}, false};
+  const CompressionScheme scheme =
+      CompressionScheme::Uniform(CompressionType::kRle);
+  ASSERT_TRUE(engine.EstimateCF(desc, scheme).ok());
+  const auto before = engine.cache_stats();
+  ASSERT_EQ(1u, before.sample_version);
+
+  auto decoded = table->DecodeRow(0);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_TRUE(table->AppendRow(*decoded).ok());
+  ASSERT_TRUE(engine.NotifyAppend({10000, 10001}).ok());
+
+  const auto after = engine.cache_stats();
+  EXPECT_EQ(1u, after.sample_version) << "appended row must not have entered "
+                                         "the capacity-1 reservoir under "
+                                         "seed 42";
+  EXPECT_EQ(0u, after.invalidations);
+
+  // The cached index is still served.
+  ASSERT_TRUE(engine.EstimateCF(desc, scheme).ok());
+  EXPECT_EQ(before.index_builds, engine.cache_stats().index_builds);
+  EXPECT_GT(engine.cache_stats().index_cache_hits, before.index_cache_hits);
+}
+
+}  // namespace
+}  // namespace cfest

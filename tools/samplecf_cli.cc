@@ -8,12 +8,21 @@
 //       Full build-and-compress ground truth (slow on big files).
 //   recommend <csv> <schema-spec> <key-cols> [fraction] [seed]
 //       Per-column best-scheme recommendation from one sample.
-//   batch     <csv> <schema-spec> --candidates <file> [fraction] [seed]
+//   batch     <csv> <schema-spec> --candidates <file> [--threads N]
+//             [fraction] [seed]
 //       Sizes every (key-columns, scheme) pair in <file> through the
 //       EstimationEngine in one invocation: one shared sample, one index
 //       build per distinct key set, and a comparison table at the end.
 //       Each line of <file> is "key-cols scheme [clustered]"; blank lines
 //       and lines starting with '#' are skipped.
+//   advise    --catalog <dir> --candidates <file> [--bound <bytes>]
+//             [--threads N] [fraction] [seed]
+//       Catalog-level what-if pass: loads every <name>.csv + <name>.schema
+//       pair in <dir> into a catalog and sizes a mixed-table candidate
+//       file in one CatalogEstimationService fan-out (one engine and one
+//       sample per table, shared thread pool). Each candidate line is
+//       "table key-cols scheme [clustered] [benefit]". With --bound, also
+//       prints the advisor's recommendation under the storage bound.
 //   analyze   <csv> <schema-spec>
 //       Per-column profile: distinct counts, length stats, heavy hitters,
 //       and closed-form NS / dictionary CF predictions.
@@ -28,21 +37,27 @@
 //   samplecf_cli estimate /tmp/tpch/lineitem.csv "$(cat /tmp/tpch/lineitem.schema)" \
 //       l_shipmode dictionary_page 0.01
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "advisor/advisor.h"
 #include "common/format.h"
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "datagen/tpch/tables.h"
 #include "estimator/column_profile.h"
 #include "estimator/compression_fraction.h"
 #include "estimator/engine.h"
 #include "estimator/sample_cf.h"
 #include "estimator/scheme_advisor.h"
+#include "estimator/service.h"
 #include "storage/csv.h"
 
 namespace cfest {
@@ -86,6 +101,24 @@ Result<std::unique_ptr<Table>> LoadTable(const std::string& csv_path,
   CFEST_ASSIGN_OR_RETURN(std::string content, ReadFile(csv_path));
   return LoadCsv(content, schema, /*has_header=*/true);
 }
+
+/// Strips "--flag <value>" from `args`; returns the value or `fallback`.
+Result<std::string> StripFlag(std::vector<std::string>* args,
+                              const std::string& flag,
+                              const std::string& fallback) {
+  for (size_t i = 0; i < args->size(); ++i) {
+    if ((*args)[i] != flag) continue;
+    if (i + 1 >= args->size()) {
+      return Status::InvalidArgument(flag + " needs a value");
+    }
+    const std::string value = (*args)[i + 1];
+    args->erase(args->begin() + static_cast<ptrdiff_t>(i),
+                args->begin() + static_cast<ptrdiff_t>(i) + 2);
+    return value;
+  }
+  return fallback;
+}
+
 
 int CmdEstimate(const std::vector<std::string>& args) {
   if (args.size() < 4) {
@@ -195,12 +228,15 @@ Result<CandidateConfiguration> ParseCandidateLine(const std::string& line,
   return c;
 }
 
-int CmdBatch(const std::vector<std::string>& args) {
-  // batch <csv> <schema-spec> --candidates <file> [fraction] [seed]
+int CmdBatch(std::vector<std::string> args) {
+  // batch <csv> <schema-spec> --candidates <file> [--threads N]
+  //       [fraction] [seed]
+  auto threads = StripFlag(&args, "--threads", "0");
+  if (!threads.ok()) return Fail(threads.status().ToString());
   if (args.size() < 4 || args[2] != "--candidates") {
     return Fail(
         "usage: batch <csv> <schema-spec> --candidates <file> "
-        "[fraction] [seed]");
+        "[--threads N] [fraction] [seed]");
   }
   auto table = LoadTable(args[0], args[1]);
   if (!table.ok()) return Fail(table.status().ToString());
@@ -226,6 +262,8 @@ int CmdBatch(const std::vector<std::string>& args) {
       args.size() > 4 ? std::atof(args[4].c_str()) : 0.01;
   options.seed =
       args.size() > 5 ? std::strtoull(args[5].c_str(), nullptr, 10) : 42;
+  options.num_threads =
+      static_cast<uint32_t>(std::strtoul(threads->c_str(), nullptr, 10));
   EstimationEngine engine(**table, options);
   auto sized = engine.EstimateAll(candidates);
   if (!sized.ok()) return Fail(sized.status().ToString());
@@ -253,12 +291,169 @@ int CmdBatch(const std::vector<std::string>& args) {
   const EstimationEngine::CacheStats stats = engine.cache_stats();
   std::printf(
       "\n%zu candidates sized from %llu sample draw(s), %llu index "
-      "build(s), %llu cache hit(s) (f = %.4f, seed %llu)\n",
+      "build(s), %llu cache hit(s) (f = %.4f, seed %llu, %u thread(s))\n",
       sized->size(), static_cast<unsigned long long>(stats.samples_drawn),
       static_cast<unsigned long long>(stats.index_builds),
       static_cast<unsigned long long>(stats.index_cache_hits),
       options.base.fraction,
-      static_cast<unsigned long long>(options.seed));
+      static_cast<unsigned long long>(options.seed),
+      ThreadPool::ResolveThreadCount(options.num_threads));
+  return 0;
+}
+
+/// Parses one "table key-cols scheme [clustered] [benefit]" line of an
+/// advise candidate file.
+Result<CandidateConfiguration> ParseCatalogCandidateLine(
+    const std::string& line, size_t line_number) {
+  std::istringstream in(line);
+  std::string table, rest;
+  in >> table;
+  std::getline(in, rest);
+  if (table.empty() || rest.empty()) {
+    return Status::InvalidArgument(
+        "candidates line " + std::to_string(line_number) +
+        ": expected \"table key-cols scheme [clustered] [benefit]\", got \"" +
+        line + "\"");
+  }
+  // The last token may be a numeric benefit weight.
+  std::istringstream rest_in(rest);
+  std::vector<std::string> tokens;
+  std::string token;
+  while (rest_in >> token) tokens.push_back(token);
+  double benefit = 1.0;
+  if (!tokens.empty()) {
+    char* end = nullptr;
+    const double parsed = std::strtod(tokens.back().c_str(), &end);
+    if (end != nullptr && *end == '\0' && end != tokens.back().c_str()) {
+      benefit = parsed;
+      tokens.pop_back();
+    }
+  }
+  std::string joined;
+  for (const std::string& t : tokens) {
+    if (!joined.empty()) joined += ' ';
+    joined += t;
+  }
+  CFEST_ASSIGN_OR_RETURN(CandidateConfiguration c,
+                         ParseCandidateLine(joined, line_number));
+  c.table_name = table;
+  c.index.name = table + "." + c.index.name;
+  c.benefit = benefit;
+  return c;
+}
+
+int CmdAdvise(std::vector<std::string> args) {
+  // advise --catalog <dir> --candidates <file> [--bound <bytes>]
+  //        [--threads N] [fraction] [seed]
+  auto threads = StripFlag(&args, "--threads", "0");
+  if (!threads.ok()) return Fail(threads.status().ToString());
+  auto catalog_dir = StripFlag(&args, "--catalog", "");
+  if (!catalog_dir.ok()) return Fail(catalog_dir.status().ToString());
+  auto candidates_path = StripFlag(&args, "--candidates", "");
+  if (!candidates_path.ok()) return Fail(candidates_path.status().ToString());
+  auto bound_text = StripFlag(&args, "--bound", "");
+  if (!bound_text.ok()) return Fail(bound_text.status().ToString());
+  if (catalog_dir->empty() || candidates_path->empty()) {
+    return Fail(
+        "usage: advise --catalog <dir> --candidates <file> "
+        "[--bound <bytes>] [--threads N] [fraction] [seed]");
+  }
+
+  // Every <name>.schema + <name>.csv pair in the directory becomes a
+  // catalog table (the layout gen-tpch writes).
+  Catalog catalog;
+  std::error_code ec;
+  std::vector<std::string> stems;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(*catalog_dir, ec)) {
+    if (entry.path().extension() == ".schema") {
+      stems.push_back(entry.path().stem().string());
+    }
+  }
+  if (ec) return Fail("cannot list " + *catalog_dir + ": " + ec.message());
+  if (stems.empty()) return Fail("no .schema files in " + *catalog_dir);
+  std::sort(stems.begin(), stems.end());
+  for (const std::string& stem : stems) {
+    auto spec = ReadFile(*catalog_dir + "/" + stem + ".schema");
+    if (!spec.ok()) return Fail(spec.status().ToString());
+    auto table = LoadTable(*catalog_dir + "/" + stem + ".csv", *spec);
+    if (!table.ok()) return Fail(table.status().ToString());
+    std::printf("loaded %-12s %8llu rows\n", stem.c_str(),
+                static_cast<unsigned long long>((*table)->num_rows()));
+    Status st = catalog.AddTable(stem, std::move(*table));
+    if (!st.ok()) return Fail(st.ToString());
+  }
+
+  auto spec = ReadFile(*candidates_path);
+  if (!spec.ok()) return Fail(spec.status().ToString());
+  std::vector<CandidateConfiguration> candidates;
+  std::istringstream lines(*spec);
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(lines, line)) {
+    ++line_number;
+    const size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos || line[start] == '#') continue;
+    auto candidate = ParseCatalogCandidateLine(line, line_number);
+    if (!candidate.ok()) return Fail(candidate.status().ToString());
+    candidates.push_back(std::move(*candidate));
+  }
+  if (candidates.empty()) return Fail("no candidates in " + *candidates_path);
+
+  CatalogEstimationServiceOptions options;
+  options.base.fraction = args.size() > 0 ? std::atof(args[0].c_str()) : 0.01;
+  options.seed =
+      args.size() > 1 ? std::strtoull(args[1].c_str(), nullptr, 10) : 42;
+  options.num_threads =
+      static_cast<uint32_t>(std::strtoul(threads->c_str(), nullptr, 10));
+  CatalogEstimationService service(catalog, options);
+  auto sized = service.EstimateAll(candidates);
+  if (!sized.ok()) return Fail(sized.status().ToString());
+
+  TablePrinter out({"table", "key columns", "scheme", "est. CF'",
+                    "est. size", "uncompressed"});
+  for (const SizedCandidate& s : *sized) {
+    std::string keys;
+    for (const std::string& k : s.config.index.key_columns) {
+      if (!keys.empty()) keys += ",";
+      keys += k;
+    }
+    if (s.config.index.clustered) keys += " (clustered)";
+    out.AddRow({s.config.table_name, keys, s.config.scheme.ToString(),
+                FormatDouble(s.estimated_cf), HumanBytes(s.estimated_bytes),
+                HumanBytes(s.uncompressed_bytes)});
+  }
+  out.Print();
+
+  const CatalogEstimationService::Stats stats = service.stats();
+  std::printf(
+      "\n%zu candidates across %llu table(s) sized from %llu sample "
+      "draw(s), %llu index build(s), %llu cache hit(s) (f = %.4f, seed "
+      "%llu, %u thread(s))\n",
+      sized->size(), static_cast<unsigned long long>(stats.engines_created),
+      static_cast<unsigned long long>(stats.samples_drawn),
+      static_cast<unsigned long long>(stats.index_builds),
+      static_cast<unsigned long long>(stats.index_cache_hits),
+      options.base.fraction, static_cast<unsigned long long>(options.seed),
+      ThreadPool::ResolveThreadCount(options.num_threads));
+
+  if (!bound_text->empty()) {
+    const uint64_t bound = std::strtoull(bound_text->c_str(), nullptr, 10);
+    auto rec = SelectConfigurations(*sized, bound);
+    if (!rec.ok()) return Fail(rec.status().ToString());
+    std::printf("\nrecommendation under %s:\n", HumanBytes(bound).c_str());
+    TablePrinter picks({"table", "index", "scheme", "est. size", "benefit"});
+    for (const SizedCandidate& s : rec->selected) {
+      picks.AddRow({s.config.table_name, s.config.index.name,
+                    s.config.scheme.ToString(),
+                    HumanBytes(s.estimated_bytes),
+                    FormatDouble(s.config.benefit)});
+    }
+    picks.Print();
+    std::printf("total %s of %s used, benefit %.2f\n",
+                HumanBytes(rec->total_bytes).c_str(),
+                HumanBytes(bound).c_str(), rec->total_benefit);
+  }
   return 0;
 }
 
@@ -314,10 +509,11 @@ int CmdGenTpch(const std::vector<std::string>& args) {
 
 int Main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(
-        stderr,
-        "usage: %s <estimate|exact|recommend|batch|analyze|gen-tpch> ...\n",
-        argv[0]);
+    std::fprintf(stderr,
+                 "usage: %s "
+                 "<estimate|exact|recommend|batch|advise|analyze|gen-tpch> "
+                 "...\n",
+                 argv[0]);
     return 1;
   }
   const std::string command = argv[1];
@@ -325,7 +521,8 @@ int Main(int argc, char** argv) {
   if (command == "estimate") return CmdEstimate(args);
   if (command == "exact") return CmdExact(args);
   if (command == "recommend") return CmdRecommend(args);
-  if (command == "batch") return CmdBatch(args);
+  if (command == "batch") return CmdBatch(std::move(args));
+  if (command == "advise") return CmdAdvise(std::move(args));
   if (command == "analyze") return CmdAnalyze(args);
   if (command == "gen-tpch") return CmdGenTpch(args);
   return Fail("unknown command: " + command);
