@@ -8,14 +8,13 @@
 #define CFEST_BENCH_BENCH_UTIL_H_
 
 #include <chrono>
-#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <utility>
-#include <vector>
 
 #include "common/format.h"
+#include "common/json_writer.h"
 #include "common/result.h"
 #include "common/status.h"
 
@@ -59,69 +58,10 @@ T CheckResult(Result<T> result, const char* what) {
   return std::move(result).ValueOrDie();
 }
 
-/// Machine-readable result line alongside the human tables: collects
-/// key/value pairs and prints one flat JSON object, so CI and notebooks can
-/// scrape bench output without parsing TablePrinter columns.
-class JsonEmitter {
- public:
-  explicit JsonEmitter(std::string experiment) {
-    AddString("experiment", std::move(experiment));
-  }
-
-  void AddString(const std::string& key, const std::string& value) {
-    fields_.emplace_back(key, "\"" + Escape(value) + "\"");
-  }
-  void AddDouble(const std::string& key, double value) {
-    if (!std::isfinite(value)) {
-      // JSON has no nan/inf literals; null keeps the line parseable.
-      fields_.emplace_back(key, "null");
-      return;
-    }
-    char buffer[64];
-    std::snprintf(buffer, sizeof(buffer), "%.6g", value);
-    fields_.emplace_back(key, buffer);
-  }
-  void AddInt(const std::string& key, int64_t value) {
-    fields_.emplace_back(key, std::to_string(value));
-  }
-  void AddBool(const std::string& key, bool value) {
-    fields_.emplace_back(key, value ? "true" : "false");
-  }
-
-  std::string ToString() const {
-    std::string out = "{";
-    for (size_t i = 0; i < fields_.size(); ++i) {
-      if (i > 0) out += ",";
-      out += "\"" + Escape(fields_[i].first) + "\":" + fields_[i].second;
-    }
-    out += "}";
-    return out;
-  }
-
-  /// Prints the object on its own line, prefixed so it is easy to grep.
-  void Print() const { std::printf("JSON %s\n", ToString().c_str()); }
-
- private:
-  static std::string Escape(const std::string& s) {
-    std::string out;
-    for (char c : s) {
-      const unsigned char u = static_cast<unsigned char>(c);
-      if (c == '"' || c == '\\') {
-        out += '\\';
-        out += c;
-      } else if (u < 0x20) {
-        char buffer[8];
-        std::snprintf(buffer, sizeof(buffer), "\\u%04x", u);
-        out += buffer;
-      } else {
-        out += c;
-      }
-    }
-    return out;
-  }
-
-  std::vector<std::pair<std::string, std::string>> fields_;
-};
+/// Machine-readable result line alongside the human tables — the shared
+/// one-object writer from common/json_writer.h under the name the bench
+/// binaries have always used.
+using JsonEmitter = ::cfest::JsonWriter;
 
 }  // namespace bench
 }  // namespace cfest

@@ -140,4 +140,46 @@ Result<AdvisorRecommendation> AdviseConfigurations(
   return SelectConfigurations(sized, storage_bound, strategy);
 }
 
+namespace {
+
+std::vector<SizedCandidate> SizedFromAdaptive(
+    const AdaptiveBatchResult& adaptive) {
+  std::vector<SizedCandidate> sized;
+  sized.reserve(adaptive.candidates.size());
+  for (const AdaptiveCandidateResult& r : adaptive.candidates) {
+    sized.push_back(r.sized);
+  }
+  return sized;
+}
+
+}  // namespace
+
+Result<AdvisorRecommendation> AdviseConfigurations(
+    EstimationEngine& engine,
+    std::span<const CandidateConfiguration> candidates,
+    uint64_t storage_bound, const PrecisionTarget& target,
+    AdvisorStrategy strategy, AdaptiveBatchResult* adaptive_out) {
+  CFEST_ASSIGN_OR_RETURN(AdaptiveBatchResult adaptive,
+                         EstimateAllAdaptive(engine, candidates, target));
+  Result<AdvisorRecommendation> rec =
+      SelectConfigurations(SizedFromAdaptive(adaptive), storage_bound,
+                           strategy);
+  if (adaptive_out != nullptr) *adaptive_out = std::move(adaptive);
+  return rec;
+}
+
+Result<AdvisorRecommendation> AdviseConfigurations(
+    CatalogEstimationService& service,
+    std::span<const CandidateConfiguration> candidates,
+    uint64_t storage_bound, const PrecisionTarget& target,
+    AdvisorStrategy strategy, AdaptiveBatchResult* adaptive_out) {
+  CFEST_ASSIGN_OR_RETURN(AdaptiveBatchResult adaptive,
+                         EstimateAllAdaptive(service, candidates, target));
+  Result<AdvisorRecommendation> rec =
+      SelectConfigurations(SizedFromAdaptive(adaptive), storage_bound,
+                           strategy);
+  if (adaptive_out != nullptr) *adaptive_out = std::move(adaptive);
+  return rec;
+}
+
 }  // namespace cfest

@@ -15,6 +15,7 @@
 
 #include "advisor/what_if.h"
 #include "common/result.h"
+#include "estimator/adaptive.h"
 #include "estimator/engine.h"
 #include "estimator/service.h"
 
@@ -63,6 +64,27 @@ Result<AdvisorRecommendation> AdviseConfigurations(
     std::span<const CandidateConfiguration> candidates,
     uint64_t storage_bound,
     AdvisorStrategy strategy = AdvisorStrategy::kGreedy);
+
+/// Precision-targeted advisor pass: candidates are sized through the
+/// adaptive flow (estimator/adaptive.h) — the engine's sample grows until
+/// every candidate's CF' interval meets `target` — before the same
+/// selection runs on the final estimates. `adaptive_out`, if non-null,
+/// receives the per-candidate intervals, rows sampled, and growth report.
+Result<AdvisorRecommendation> AdviseConfigurations(
+    EstimationEngine& engine,
+    std::span<const CandidateConfiguration> candidates,
+    uint64_t storage_bound, const PrecisionTarget& target,
+    AdvisorStrategy strategy = AdvisorStrategy::kGreedy,
+    AdaptiveBatchResult* adaptive_out = nullptr);
+
+/// Catalog-level precision-targeted pass: each table's engine grows
+/// independently toward the shared target (see EstimateAllAdaptive).
+Result<AdvisorRecommendation> AdviseConfigurations(
+    CatalogEstimationService& service,
+    std::span<const CandidateConfiguration> candidates,
+    uint64_t storage_bound, const PrecisionTarget& target,
+    AdvisorStrategy strategy = AdvisorStrategy::kGreedy,
+    AdaptiveBatchResult* adaptive_out = nullptr);
 
 }  // namespace cfest
 

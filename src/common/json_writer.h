@@ -1,0 +1,134 @@
+// Copyright (c) the samplecf authors. Licensed under the MIT license.
+//
+// A minimal one-object JSON writer: collects key/value pairs and renders
+// one flat (optionally nested) JSON object. Used for the machine-readable
+// result lines the bench binaries and samplecf_cli print next to their
+// human tables, so CI and notebooks can scrape output without parsing
+// TablePrinter columns. Escaping and number formatting live here, once.
+
+#ifndef CFEST_COMMON_JSON_WRITER_H_
+#define CFEST_COMMON_JSON_WRITER_H_
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cfest {
+
+/// \brief Incrementally built JSON object (insertion-ordered fields).
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+  /// Convenience for the bench convention of a leading "experiment" field.
+  explicit JsonWriter(std::string experiment) {
+    AddString("experiment", std::move(experiment));
+  }
+
+  void AddString(const std::string& key, const std::string& value) {
+    // Built with append rather than operator+ chains: GCC 12's -Wrestrict
+    // false-positives on `const char* + std::string&&` (PR105329).
+    std::string quoted;
+    quoted += '"';
+    quoted += Escape(value);
+    quoted += '"';
+    fields_.emplace_back(key, std::move(quoted));
+  }
+  void AddDouble(const std::string& key, double value) {
+    fields_.emplace_back(key, FormatJsonDouble(value));
+  }
+  void AddInt(const std::string& key, int64_t value) {
+    fields_.emplace_back(key, std::to_string(value));
+  }
+  void AddBool(const std::string& key, bool value) {
+    fields_.emplace_back(key, value ? "true" : "false");
+  }
+  /// Numeric arrays, for per-round / per-candidate series (e.g. rows
+  /// sampled per adaptive growth round).
+  void AddIntArray(const std::string& key, const std::vector<int64_t>& v) {
+    std::string out = "[";
+    for (size_t i = 0; i < v.size(); ++i) {
+      if (i > 0) out += ",";
+      out += std::to_string(v[i]);
+    }
+    out += "]";
+    fields_.emplace_back(key, std::move(out));
+  }
+  void AddDoubleArray(const std::string& key, const std::vector<double>& v) {
+    std::string out = "[";
+    for (size_t i = 0; i < v.size(); ++i) {
+      if (i > 0) out += ",";
+      out += FormatJsonDouble(v[i]);
+    }
+    out += "]";
+    fields_.emplace_back(key, std::move(out));
+  }
+  /// Nested object built with another writer.
+  void AddObject(const std::string& key, const JsonWriter& value) {
+    fields_.emplace_back(key, value.ToString());
+  }
+  /// Array of nested objects (e.g. one entry per candidate).
+  void AddObjectArray(const std::string& key,
+                      const std::vector<JsonWriter>& values) {
+    std::string out = "[";
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (i > 0) out += ",";
+      out += values[i].ToString();
+    }
+    out += "]";
+    fields_.emplace_back(key, std::move(out));
+  }
+
+  std::string ToString() const {
+    std::string out = "{";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) out += ",";
+      out += '"';
+      out += Escape(fields_[i].first);
+      out += "\":";
+      out += fields_[i].second;
+    }
+    out += "}";
+    return out;
+  }
+
+  /// Prints the object on its own line, prefixed so it is easy to grep.
+  void Print() const { std::printf("JSON %s\n", ToString().c_str()); }
+
+ private:
+  static std::string FormatJsonDouble(double value) {
+    if (!std::isfinite(value)) {
+      // JSON has no nan/inf literals; null keeps the line parseable.
+      return "null";
+    }
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+    return buffer;
+  }
+
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      const unsigned char u = static_cast<unsigned char>(c);
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (u < 0x20) {
+        char buffer[8];
+        std::snprintf(buffer, sizeof(buffer), "\\u%04x", u);
+        out += buffer;
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+}  // namespace cfest
+
+#endif  // CFEST_COMMON_JSON_WRITER_H_

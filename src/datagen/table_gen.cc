@@ -39,8 +39,11 @@ struct ColumnState {
     }
     if (spec.type.IsString()) {
       if (pool != nullptr) return Value::Str(pool->Get(v));
-      // Unique string from the row index.
-      std::string s = "v" + std::to_string(v);
+      // Unique string from the row index. Built with append rather than
+      // `const char* + std::string&&`: GCC 12's -Wrestrict false-positives
+      // on the operator+ overload (PR105329) and CI promotes to -Werror.
+      std::string s = "v";
+      s += std::to_string(v);
       if (s.size() > spec.type.length) {
         return Status::InvalidArgument(
             "column " + spec.name + ": row index " + std::to_string(v) +

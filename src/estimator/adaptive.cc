@@ -1,0 +1,538 @@
+#include "estimator/adaptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <future>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "common/stats.h"
+#include "index/index.h"
+#include "storage/table_view.h"
+
+namespace cfest {
+namespace {
+
+constexpr const char* kMethodExact = "exact";
+constexpr const char* kMethodTheorem1 = "theorem1";
+constexpr const char* kMethodGroups = "group_replicates";
+
+/// True when every column is null-suppressed — the case Theorem 1's
+/// distribution-free bound is stated for.
+bool IsUniformNullSuppression(const CompressionScheme& scheme) {
+  if (scheme.per_column.empty()) {
+    return scheme.default_type == CompressionType::kNullSuppression;
+  }
+  return std::all_of(scheme.per_column.begin(), scheme.per_column.end(),
+                     [](CompressionType t) {
+                       return t == CompressionType::kNullSuppression;
+                     });
+}
+
+Status ValidateTarget(const PrecisionTarget& target) {
+  if (!(target.rel_error > 0.0)) {
+    return Status::InvalidArgument("rel_error must be positive");
+  }
+  if (!(target.confidence > 0.0) || !(target.confidence < 1.0)) {
+    return Status::InvalidArgument("confidence must lie in (0, 1)");
+  }
+  if (!(target.max_fraction > 0.0) || target.max_fraction > 1.0) {
+    return Status::InvalidArgument("max_fraction must lie in (0, 1]");
+  }
+  if (!(target.growth_factor > 1.0)) {
+    return Status::InvalidArgument("growth_factor must be > 1");
+  }
+  if (!(target.cf_floor > 0.0)) {
+    return Status::InvalidArgument("cf_floor must be positive");
+  }
+  if (target.interval_groups < 2) {
+    return Status::InvalidArgument("interval_groups must be >= 2");
+  }
+  if (target.max_rounds == 0) {
+    return Status::InvalidArgument("max_rounds must be >= 1");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string FormatGrowthSchedule(const std::vector<uint64_t>& rows_per_round) {
+  std::string out;
+  for (uint64_t rows : rows_per_round) {
+    if (!out.empty()) out += " -> ";
+    out += std::to_string(rows);
+  }
+  return out;
+}
+
+Result<double> NumSigmasForConfidence(double confidence) {
+  if (!(confidence > 0.0) || !(confidence < 1.0)) {
+    return Status::InvalidArgument("confidence must lie in (0, 1), got " +
+                                   std::to_string(confidence));
+  }
+  // Two-sided normal coverage of +-z sigma is erf(z / sqrt(2)); invert by
+  // bisection (erf is monotone; 20 sigma covers any representable level).
+  double lo = 0.0, hi = 20.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = (lo + hi) / 2.0;
+    if (std::erf(mid / std::sqrt(2.0)) < confidence) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return (lo + hi) / 2.0;
+}
+
+uint64_t EstimateNeededSampleRows(double half_width_now, uint64_t rows_now,
+                                  double target_half_width) {
+  if (rows_now == 0) return 0;
+  if (!(target_half_width > 0.0)) return rows_now;
+  if (half_width_now <= target_half_width) return rows_now;
+  const double ratio = half_width_now / target_half_width;
+  const double needed = static_cast<double>(rows_now) * ratio * ratio;
+  if (needed >= 1e18) return ~0ull;  // caller clamps to its budget anyway
+  return static_cast<uint64_t>(std::ceil(needed));
+}
+
+namespace {
+
+/// Unseen-mass floor on a data-dependent half-width (rule of three,
+/// generalized): r draws with no rare deviant rows bound such rows'
+/// frequency only to -ln(1 - confidence)/r, and one deviant row shifts a
+/// bounded per-row contribution by up to 1 — so no data-dependent interval
+/// may claim a smaller half-width. Without this, a constant-looking column
+/// yields identical group estimates, zero spread, and a zero-width "95%"
+/// interval the data cannot support.
+double UnseenMassFloor(double num_sigmas, uint64_t rows) {
+  const double miss_prob =
+      std::erfc(num_sigmas / std::sqrt(2.0));  // two-sided tail mass
+  return -std::log(std::max(miss_prob, 1e-300)) /
+         static_cast<double>(rows);
+}
+
+/// The g sorted group indexes over contiguous draw-order slices of
+/// `sample` — the replicate builds behind the data-dependent interval.
+Result<std::vector<Index>> BuildGroupIndexes(const Table& sample,
+                                             const IndexDescriptor& descriptor,
+                                             uint32_t groups,
+                                             const IndexBuildOptions& build) {
+  const uint64_t rows = sample.num_rows();
+  std::vector<Index> indexes;
+  indexes.reserve(groups);
+  for (uint32_t j = 0; j < groups; ++j) {
+    const uint64_t begin = rows * j / groups;
+    const uint64_t end = rows * (j + 1) / groups;
+    std::vector<RowId> positions;
+    positions.reserve(static_cast<size_t>(end - begin));
+    for (uint64_t p = begin; p < end; ++p) positions.push_back(p);
+    CFEST_ASSIGN_OR_RETURN(std::unique_ptr<TableView> view,
+                           TableView::Make(sample, std::move(positions)));
+    CFEST_ASSIGN_OR_RETURN(Index index,
+                           Index::Build(*view, descriptor, build));
+    indexes.push_back(std::move(index));
+  }
+  return indexes;
+}
+
+/// Round-scoped cache of group index builds: the replicate indexes depend
+/// only on (key set, clustered, group count) and the current sample, so
+/// every scheme ranked on the same key set shares one set of builds —
+/// index builds dominate interval cost, exactly like the engine's
+/// sample-index cache on the estimate path. Thread-safe; concurrent first
+/// requests for a key are deduplicated with a shared future.
+class GroupIndexCache {
+ public:
+  Result<std::shared_ptr<const std::vector<Index>>> Get(
+      const Table& sample, const IndexDescriptor& descriptor,
+      uint32_t groups, const IndexBuildOptions& build) {
+    // Same key convention as the engine's sample-index cache, extended by
+    // the group count.
+    std::string key = SampleIndexCacheKey(descriptor);
+    key += ':';
+    key += std::to_string(groups);
+
+    std::shared_future<Entry> future;
+    bool builder = false;
+    std::promise<Entry> promise;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = entries_.find(key);
+      if (it != entries_.end()) {
+        future = it->second;
+      } else {
+        future = promise.get_future().share();
+        entries_.emplace(key, future);
+        builder = true;
+      }
+    }
+    if (builder) {
+      Entry entry;
+      Result<std::vector<Index>> built =
+          BuildGroupIndexes(sample, descriptor, groups, build);
+      if (built.ok()) {
+        entry.indexes = std::make_shared<const std::vector<Index>>(
+            std::move(built).ValueOrDie());
+      } else {
+        entry.status = built.status();
+      }
+      promise.set_value(std::move(entry));
+    }
+    const Entry& entry = future.get();
+    CFEST_RETURN_NOT_OK(entry.status);
+    return entry.indexes;
+  }
+
+ private:
+  struct Entry {
+    Status status = Status::OK();
+    std::shared_ptr<const std::vector<Index>> indexes;
+  };
+  std::mutex mu_;
+  std::unordered_map<std::string, std::shared_future<Entry>> entries_;
+};
+
+Result<ConfidenceInterval> EstimateCandidateIntervalImpl(
+    EstimationEngine& engine, const CandidateConfiguration& candidate,
+    double cf, double num_sigmas, uint32_t interval_groups,
+    std::string* method, GroupIndexCache* cache) {
+  if (IsUncompressedScheme(candidate.scheme)) {
+    if (method != nullptr) *method = kMethodExact;
+    return ConfidenceInterval{cf, cf, num_sigmas};
+  }
+  CFEST_ASSIGN_OR_RETURN(const Table* sample, engine.SampleTable());
+  const uint64_t rows = sample->num_rows();
+  const bool is_ns = IsUniformNullSuppression(candidate.scheme);
+
+  uint32_t groups = interval_groups;
+  if (rows < 2ull * groups) groups = static_cast<uint32_t>(rows / 2);
+  if (groups < 2) {
+    // Too few rows for replicates; use the worst-case bound (NS's hard
+    // guarantee, and conservative-by-construction for everything else on
+    // a handful of rows).
+    if (method != nullptr) *method = kMethodTheorem1;
+    return Theorem1ConfidenceInterval(cf, rows, num_sigmas);
+  }
+
+  // Data-dependent width in the style of EmpiricalNsConfidenceInterval:
+  // contiguous draw-order groups are i.i.d. replicates of the estimator at
+  // rows/g, whose width shrinks as 1/sqrt(r) (Theorems 1-3), so the group
+  // spread over sqrt(g) estimates the full-sample sigma. This is what
+  // distinguishes an easy (low-variance) column from a hard one — the
+  // whole point of adapting the sample size per candidate.
+  const SampleCFOptions& base = engine.options().base;
+  std::shared_ptr<const std::vector<Index>> shared_indexes;
+  std::vector<Index> own_indexes;
+  const std::vector<Index>* group_indexes = nullptr;
+  if (cache != nullptr) {
+    CFEST_ASSIGN_OR_RETURN(
+        shared_indexes,
+        cache->Get(*sample, candidate.index, groups, base.build));
+    group_indexes = shared_indexes.get();
+  } else {
+    CFEST_ASSIGN_OR_RETURN(
+        own_indexes,
+        BuildGroupIndexes(*sample, candidate.index, groups, base.build));
+    group_indexes = &own_indexes;
+  }
+  RunningStats group_cf;
+  for (const Index& index : *group_indexes) {
+    CFEST_ASSIGN_OR_RETURN(CompressedIndex compressed,
+                           index.Compress(candidate.scheme, base.build));
+    group_cf.Add(
+        MeasureCF(index.stats(), compressed.stats(), base.metric).value);
+  }
+  const double sigma =
+      group_cf.stddev() / std::sqrt(static_cast<double>(groups));
+  // Student-t widening for the small replicate count (first-order
+  // Cornish-Fisher: t_df(p) ~= z + (z^3 + z) / (4 df)) — g estimates of
+  // the spread are not a known sigma.
+  const double t_sigmas =
+      num_sigmas + (num_sigmas * num_sigmas * num_sigmas + num_sigmas) /
+                       (4.0 * static_cast<double>(groups - 1));
+  double half = t_sigmas * sigma;
+  half = std::max(half, UnseenMassFloor(num_sigmas, rows));
+  std::string picked = kMethodGroups;
+  if (is_ns) {
+    // Theorem 1 caps the NS estimator's sigma at 1/(2 sqrt(r)) regardless
+    // of the data — rare values included — so for NS the distribution-free
+    // bound overrides both the replicate width and the floor whenever it
+    // is narrower.
+    const double worst_case =
+        num_sigmas * Theorem1StdDevBound(rows);
+    if (worst_case < half) {
+      half = worst_case;
+      picked = kMethodTheorem1;
+    }
+  }
+  if (method != nullptr) *method = picked;
+  ConfidenceInterval ci;
+  ci.num_sigmas = num_sigmas;
+  ci.lower = cf - half < 0.0 ? 0.0 : cf - half;
+  ci.upper = cf + half;
+  return ci;
+}
+
+}  // namespace
+
+Result<std::vector<CandidateIntervalResult>> EstimateCandidateIntervals(
+    EstimationEngine& engine,
+    std::span<const CandidateConfiguration> candidates, double num_sigmas,
+    uint32_t interval_groups) {
+  GroupIndexCache cache;
+  std::vector<CandidateIntervalResult> results(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    CandidateIntervalResult& r = results[i];
+    if (IsUncompressedScheme(candidates[i].scheme)) {
+      r.cf = 1.0;
+      r.interval = ConfidenceInterval{1.0, 1.0, num_sigmas};
+      r.method = kMethodExact;
+      continue;
+    }
+    CFEST_ASSIGN_OR_RETURN(
+        SampleCFResult est,
+        engine.EstimateCF(candidates[i].index, candidates[i].scheme));
+    r.cf = est.cf.value;
+    CFEST_ASSIGN_OR_RETURN(
+        r.interval,
+        EstimateCandidateIntervalImpl(engine, candidates[i], r.cf,
+                                      num_sigmas, interval_groups, &r.method,
+                                      &cache));
+  }
+  return results;
+}
+
+AdaptiveEstimator::AdaptiveEstimator(EstimationEngine& engine,
+                                     PrecisionTarget target, ThreadPool* pool)
+    : engine_(engine), target_(std::move(target)), pool_(pool) {}
+
+Result<AdaptiveBatchResult> AdaptiveEstimator::EstimateAll(
+    std::span<const CandidateConfiguration> candidates) {
+  CFEST_RETURN_NOT_OK(ValidateTarget(target_));
+  CFEST_ASSIGN_OR_RETURN(const double z,
+                         NumSigmasForConfidence(target_.confidence));
+
+  AdaptiveBatchResult batch;
+  batch.candidates.resize(candidates.size());
+  AdaptiveTableReport report;
+  if (!candidates.empty()) report.table_name = candidates[0].table_name;
+
+  // Uncompressed candidates are exact — no sampling, converged at once.
+  std::vector<size_t> active;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (IsUncompressedScheme(candidates[i].scheme)) {
+      AdaptiveCandidateResult& r = batch.candidates[i];
+      CFEST_ASSIGN_OR_RETURN(r.sized, engine_.Estimate(candidates[i]));
+      r.cf = 1.0;
+      r.interval = ConfidenceInterval{1.0, 1.0, z};
+      r.interval_method = kMethodExact;
+      r.converged = true;
+    } else {
+      active.push_back(i);
+    }
+  }
+
+  const uint64_t n = engine_.table().num_rows();
+  uint64_t cap = std::max<uint64_t>(
+      1, static_cast<uint64_t>(
+             std::llround(target_.max_fraction * static_cast<double>(n))));
+  if (target_.row_budget > 0) cap = std::min(cap, target_.row_budget);
+
+  if (!active.empty()) {
+    // First round runs on the engine's base-fraction draw, floored at
+    // min_rows so the replicate intervals have something to work with.
+    CFEST_RETURN_NOT_OK(
+        engine_.GrowSample(std::min(cap, std::max<uint64_t>(1, target_.min_rows)))
+            .status());
+
+    while (true) {
+      ++report.rounds;
+      const uint64_t rows = engine_.sample_rows();
+      report.rows_per_round.push_back(rows);
+      const uint32_t round = report.rounds;
+      // Replicate index builds are shared across every scheme ranked on
+      // the same key set this round (the sample is fixed within a round).
+      GroupIndexCache group_cache;
+
+      CFEST_RETURN_NOT_OK(StatusParallelFor(
+          active.size() > 1 ? pool_ : nullptr, active.size(),
+          [&](uint64_t k) -> Status {
+            const size_t i = active[static_cast<size_t>(k)];
+            const CandidateConfiguration& c = candidates[i];
+            AdaptiveCandidateResult& r = batch.candidates[i];
+            // One cached-index build + compression yields both the
+            // base-metric CF' (controlled quantity) and the page-metric
+            // footprint (what EstimationEngine::Estimate reports).
+            CFEST_ASSIGN_OR_RETURN(SampleCFResult est,
+                                   engine_.EstimateCF(c.index, c.scheme));
+            CFEST_ASSIGN_OR_RETURN(
+                const uint64_t uncompressed,
+                EstimateUncompressedIndexBytes(
+                    engine_.table(), c.index,
+                    engine_.options().base.build.page_size));
+            const double page_cf =
+                MeasureCF(est.sample_uncompressed, est.sample_compressed,
+                          SizeMetric::kPageBytes)
+                    .value;
+            r.sized.config = c;
+            r.sized.estimated_cf = page_cf;
+            r.sized.uncompressed_bytes = uncompressed;
+            r.sized.estimated_bytes = static_cast<uint64_t>(std::llround(
+                page_cf * static_cast<double>(uncompressed)));
+            r.sized.sample_rows = est.sample_rows;
+            r.cf = est.cf.value;
+            r.rows_sampled = est.sample_rows;
+            r.rounds = round;
+            r.target_half_width =
+                target_.rel_error * std::max(r.cf, target_.cf_floor);
+            CFEST_ASSIGN_OR_RETURN(
+                r.interval,
+                EstimateCandidateIntervalImpl(engine_, c, r.cf, z,
+                                              target_.interval_groups,
+                                              &r.interval_method,
+                                              &group_cache));
+            return Status::OK();
+          }));
+
+      // Converged candidates drop out; the rest vote on the next size.
+      std::vector<size_t> still_active;
+      uint64_t max_needed = 0;
+      for (size_t i : active) {
+        AdaptiveCandidateResult& r = batch.candidates[i];
+        // The upper half-width: unlike (upper - lower) / 2 it is immune to
+        // the zero-clamping of the lower bound, which would otherwise
+        // understate the width for small-CF candidates and both converge
+        // them early and under-extrapolate the rows they need.
+        const double half = r.interval.upper - r.cf;
+        if (half <= r.target_half_width) {
+          r.converged = true;
+          continue;
+        }
+        uint64_t needed;
+        if (r.interval_method == kMethodTheorem1) {
+          needed = SampleSizeForHalfWidth(r.target_half_width, z);
+        } else if (half <= UnseenMassFloor(z, rows) * 1.000001) {
+          // Floor-bound interval: the unseen-mass floor shrinks as 1/r,
+          // not 1/sqrt(r), so extrapolate linearly — the quadratic law
+          // would overshoot the needed rows by half/target.
+          needed = static_cast<uint64_t>(std::ceil(
+              static_cast<double>(rows) * half / r.target_half_width));
+        } else {
+          needed = EstimateNeededSampleRows(half, rows, r.target_half_width);
+        }
+        max_needed = std::max(max_needed, needed);
+        still_active.push_back(i);
+      }
+      active = std::move(still_active);
+      if (active.empty()) break;
+      if (rows >= cap || report.rounds >= target_.max_rounds) {
+        report.budget_exhausted = true;
+        break;
+      }
+      // Geometric floor guarantees O(log) rounds; the extrapolated need
+      // may jump further in one step.
+      const uint64_t geometric = static_cast<uint64_t>(std::ceil(
+          static_cast<double>(rows) * target_.growth_factor));
+      const uint64_t next = std::min(cap, std::max(max_needed, geometric));
+      CFEST_ASSIGN_OR_RETURN(const uint64_t grown,
+                             engine_.GrowSample(next));
+      if (grown <= rows) {  // table exhausted below the nominal cap
+        report.budget_exhausted = true;
+        break;
+      }
+    }
+  }
+
+  report.final_sample_rows = engine_.sample_rows();
+  batch.total_sample_rows = report.final_sample_rows;
+  batch.rounds = report.rounds;
+  batch.budget_exhausted = report.budget_exhausted;
+  batch.tables.push_back(std::move(report));
+  return batch;
+}
+
+Result<AdaptiveBatchResult> EstimateAllAdaptive(
+    EstimationEngine& engine,
+    std::span<const CandidateConfiguration> candidates,
+    const PrecisionTarget& target) {
+  ThreadPool* pool = engine.options().num_threads != 1 && candidates.size() > 1
+                         ? engine.shared_pool()
+                         : nullptr;
+  AdaptiveEstimator estimator(engine, target, pool);
+  return estimator.EstimateAll(candidates);
+}
+
+Result<AdaptiveBatchResult> EstimateAllAdaptive(
+    CatalogEstimationService& service,
+    std::span<const CandidateConfiguration> candidates,
+    const PrecisionTarget& target) {
+  // Group by table, preserving first-appearance order.
+  std::vector<std::string> table_order;
+  std::vector<std::vector<size_t>> groups;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const std::string& name = candidates[i].table_name;
+    size_t g = 0;
+    for (; g < table_order.size(); ++g) {
+      if (table_order[g] == name) break;
+    }
+    if (g == table_order.size()) {
+      table_order.push_back(name);
+      groups.emplace_back();
+    }
+    groups[g].push_back(i);
+  }
+
+  // Resolve every engine up front (serial) so a missing table fails the
+  // whole batch before any estimation work starts.
+  std::vector<EstimationEngine*> engines(table_order.size(), nullptr);
+  for (size_t g = 0; g < table_order.size(); ++g) {
+    Result<EstimationEngine*> engine = service.Engine(table_order[g]);
+    if (!engine.ok()) {
+      return Status::NotFound(
+          "candidate " + std::to_string(groups[g][0]) + " (" +
+          candidates[groups[g][0]].index.name + "): " +
+          engine.status().message());
+    }
+    engines[g] = *engine;
+  }
+
+  // The per-table loops are fully independent (separate engines, separate
+  // samples), so with several tables the loops themselves fan across the
+  // shared pool, each running its candidates serially; a single-table
+  // batch instead keeps the fan-out inside that table's round loop. The
+  // pool is never nested either way.
+  ThreadPool* pool =
+      service.options().num_threads == 1 ? nullptr : service.shared_pool();
+  const bool fan_tables = table_order.size() > 1;
+  std::vector<AdaptiveBatchResult> subs(table_order.size());
+  CFEST_RETURN_NOT_OK(StatusParallelFor(
+      fan_tables ? pool : nullptr, table_order.size(),
+      [&](uint64_t g) -> Status {
+        std::vector<CandidateConfiguration> group;
+        group.reserve(groups[g].size());
+        for (size_t i : groups[g]) group.push_back(candidates[i]);
+        AdaptiveEstimator estimator(*engines[g], target,
+                                    fan_tables ? nullptr : pool);
+        CFEST_ASSIGN_OR_RETURN(subs[g], estimator.EstimateAll(group));
+        return Status::OK();
+      }));
+
+  AdaptiveBatchResult merged;
+  merged.candidates.resize(candidates.size());
+  for (size_t g = 0; g < table_order.size(); ++g) {
+    for (size_t k = 0; k < groups[g].size(); ++k) {
+      merged.candidates[groups[g][k]] = std::move(subs[g].candidates[k]);
+    }
+    AdaptiveTableReport report = std::move(subs[g].tables[0]);
+    report.table_name = table_order[g];
+    merged.total_sample_rows += report.final_sample_rows;
+    merged.rounds = std::max(merged.rounds, report.rounds);
+    merged.budget_exhausted =
+        merged.budget_exhausted || report.budget_exhausted;
+    merged.tables.push_back(std::move(report));
+  }
+  return merged;
+}
+
+}  // namespace cfest

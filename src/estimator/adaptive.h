@@ -1,0 +1,205 @@
+// Copyright (c) the samplecf authors. Licensed under the MIT license.
+//
+// AdaptiveEstimator — confidence-driven sample growth until CF' is tight.
+//
+// The paper sizes every candidate at one fixed sampling fraction f, but its
+// accuracy analysis says, per estimate, how many sample rows are actually
+// needed: Theorem 1 bounds the NS estimator's standard deviation by
+// 1/(2 sqrt(r)) regardless of the data, and the empirical variance of the
+// sample tells the same story, data-dependently, for every other scheme.
+// Easy columns need far fewer rows than any reasonable fixed f draws; hard
+// ones need more than it gives. The adaptive flow closes that loop:
+//
+//   1. Start from the engine's (small) base-fraction sample.
+//   2. Estimate every candidate and attach a confidence interval:
+//        - uncompressed candidates are exact (schema arithmetic);
+//        - uniform null-suppression uses the distribution-free Theorem 1
+//          bound;
+//        - everything else uses a data-dependent width in the style of
+//          EmpiricalNsConfidenceInterval: the sample is split into g
+//          contiguous draw-order groups (each an i.i.d. replicate at r/g
+//          rows), the scheme is run on each, and the spread of the group
+//          estimates scaled by 1/sqrt(g) estimates the full-sample sigma.
+//   3. Candidates whose interval half-width meets the relative-error
+//      target converge and drop out of later rounds.
+//   4. For the rest, EstimateNeededSampleRows extrapolates the required
+//      sample size via the 1/sqrt(r) law (Theorems 1-3); the engine's
+//      sample grows geometrically toward it — resuming the same RNG
+//      stream, so the grown sample is bit-identical to a fresh draw at the
+//      final fraction and cached sample indexes extend by sorted-run merge
+//      instead of rebuilding — until every candidate converges or the
+//      row budget / fraction cap is exhausted.
+//
+// Every intermediate sample is a prefix of the final one, so a candidate
+// that converged in round k reports exactly the estimate a fixed-fraction
+// run at (its rows / n) under the same seed would have produced
+// (bench/bench_adaptive.cc gates this equality on every run).
+
+#ifndef CFEST_ESTIMATOR_ADAPTIVE_H_
+#define CFEST_ESTIMATOR_ADAPTIVE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "estimator/analytic_model.h"
+#include "estimator/engine.h"
+#include "estimator/service.h"
+
+namespace cfest {
+
+/// \brief Caller-supplied precision contract for adaptive estimation.
+struct PrecisionTarget {
+  /// Target relative half-width: converge when the interval half-width is
+  /// <= rel_error * max(CF', cf_floor).
+  double rel_error = 0.05;
+  /// Two-sided confidence the interval is built for; mapped to a normal
+  /// sigma multiplier via NumSigmasForConfidence.
+  double confidence = 0.95;
+  /// Hard cap on the sample as a fraction of the table (growth never
+  /// exceeds round(max_fraction * n) rows).
+  double max_fraction = 0.5;
+  /// Absolute cap on sample rows; 0 = derive from max_fraction only.
+  uint64_t row_budget = 0;
+  /// Geometric growth per round (the floor; the extrapolated need may
+  /// jump further). Must be > 1.
+  double growth_factor = 2.0;
+  /// Denominator floor of the relative target, so near-zero CF' estimates
+  /// do not demand unbounded samples.
+  double cf_floor = 0.05;
+  /// Rows the first round is grown to if the engine's base-fraction draw
+  /// is smaller (intervals on a handful of rows are meaningless).
+  uint64_t min_rows = 64;
+  /// Replicate groups for the data-dependent interval (>= 2).
+  uint32_t interval_groups = 8;
+  /// Hard stop on growth rounds.
+  uint32_t max_rounds = 32;
+};
+
+/// Sigma multiplier z such that a normal +-z sigma interval has two-sided
+/// coverage `confidence` (e.g. 0.95 -> ~1.96). Requires 0 < confidence < 1.
+Result<double> NumSigmasForConfidence(double confidence);
+
+/// Extrapolates the sample size needed for `target_half_width` from an
+/// interval of `half_width_now` observed at `rows_now` rows, under the
+/// 1/sqrt(r) width law of Theorems 1-3: rows_now * (now / target)^2,
+/// rounded up. Returns rows_now when the target is already met.
+uint64_t EstimateNeededSampleRows(double half_width_now, uint64_t rows_now,
+                                  double target_half_width);
+
+/// \brief One candidate's adaptive outcome.
+struct AdaptiveCandidateResult {
+  /// Footprint sizing, identical to what EstimationEngine::Estimate would
+  /// return at this candidate's final fraction.
+  SizedCandidate sized;
+  /// CF' under the engine's base metric — the quantity the interval and
+  /// the convergence rule are about.
+  double cf = 1.0;
+  ConfidenceInterval interval;
+  /// The half-width the candidate had to reach: rel_error * max(cf, floor).
+  double target_half_width = 0.0;
+  /// Sample rows behind the final estimate (its fixed-f-equivalent draw).
+  uint64_t rows_sampled = 0;
+  /// Growth rounds this candidate participated in.
+  uint32_t rounds = 0;
+  bool converged = false;
+  /// "exact", "theorem1", or "group_replicates".
+  std::string interval_method;
+};
+
+/// \brief Per-table growth report.
+struct AdaptiveTableReport {
+  std::string table_name;
+  uint64_t final_sample_rows = 0;
+  uint32_t rounds = 0;
+  /// True if some candidate on this table hit the row budget, fraction
+  /// cap, or round cap before converging.
+  bool budget_exhausted = false;
+  /// Sample size at each round (the growth schedule actually taken).
+  std::vector<uint64_t> rows_per_round;
+};
+
+/// Human rendering of a growth schedule: "120 -> 720 -> 3934" (empty
+/// string for an empty schedule). Shared by the CLI and bench reports.
+std::string FormatGrowthSchedule(const std::vector<uint64_t>& rows_per_round);
+
+/// \brief Outcome of one adaptive batch.
+struct AdaptiveBatchResult {
+  /// Positionally aligned with the input candidates.
+  std::vector<AdaptiveCandidateResult> candidates;
+  std::vector<AdaptiveTableReport> tables;
+  /// Sum of final sample rows across tables.
+  uint64_t total_sample_rows = 0;
+  /// Max rounds over tables.
+  uint32_t rounds = 0;
+  /// Any table exhausted its budget with unconverged candidates.
+  bool budget_exhausted = false;
+};
+
+/// \brief One entry of EstimateCandidateIntervals.
+struct CandidateIntervalResult {
+  /// CF' at the engine's base metric (the interval's center).
+  double cf = 1.0;
+  ConfidenceInterval interval;
+  /// "exact", "theorem1", or "group_replicates".
+  std::string method;
+};
+
+/// Batch variant: computes each candidate's base-metric CF' through the
+/// engine's cached sample indexes and attaches its interval, sharing the
+/// replicate index builds across every scheme on the same key set — the
+/// same sharing one adaptive round does. Results align with `candidates`.
+Result<std::vector<CandidateIntervalResult>> EstimateCandidateIntervals(
+    EstimationEngine& engine,
+    std::span<const CandidateConfiguration> candidates, double num_sigmas,
+    uint32_t interval_groups = PrecisionTarget{}.interval_groups);
+
+/// \brief Drives one engine's sample growth until every candidate meets the
+/// precision target (or the budget runs out).
+///
+/// Uses the engine's estimate paths, which are thread-safe, but — like
+/// NotifyAppend — the growth step requires that no other thread runs
+/// estimates on this engine concurrently.
+class AdaptiveEstimator {
+ public:
+  /// `pool` fans per-round candidate work out (nullptr = serial). The
+  /// engine and pool must outlive the estimator.
+  AdaptiveEstimator(EstimationEngine& engine, PrecisionTarget target,
+                    ThreadPool* pool = nullptr);
+
+  const PrecisionTarget& target() const { return target_; }
+
+  /// Runs the grow-until-tight loop over the candidates; results are
+  /// positionally aligned. The engine's sample afterwards is the grown
+  /// (final-fraction) sample.
+  Result<AdaptiveBatchResult> EstimateAll(
+      std::span<const CandidateConfiguration> candidates);
+
+ private:
+  EstimationEngine& engine_;
+  PrecisionTarget target_;
+  ThreadPool* pool_;
+};
+
+/// Engine-level entry point: validates the target and runs an
+/// AdaptiveEstimator with a pool sized from the engine's options.
+Result<AdaptiveBatchResult> EstimateAllAdaptive(
+    EstimationEngine& engine,
+    std::span<const CandidateConfiguration> candidates,
+    const PrecisionTarget& target);
+
+/// Service-level entry point: groups candidates by table_name, grows each
+/// table's engine independently toward the shared target (per-round work
+/// fans across the service's shared pool), and merges the per-table
+/// results positionally.
+Result<AdaptiveBatchResult> EstimateAllAdaptive(
+    CatalogEstimationService& service,
+    std::span<const CandidateConfiguration> candidates,
+    const PrecisionTarget& target);
+
+}  // namespace cfest
+
+#endif  // CFEST_ESTIMATOR_ADAPTIVE_H_

@@ -31,9 +31,9 @@ Result<uint32_t> IndexRowWidth(const Table& table,
   return width;
 }
 
-/// Cache key for the sample index: schemes on the same key set share one
-/// build, so the descriptor's cosmetic name is deliberately excluded.
-std::string DescriptorKey(const IndexDescriptor& descriptor) {
+}  // namespace
+
+std::string SampleIndexCacheKey(const IndexDescriptor& descriptor) {
   std::string key = descriptor.clustered ? "c" : "n";
   for (const std::string& col : descriptor.key_columns) {
     key += '\x1f';
@@ -42,12 +42,10 @@ std::string DescriptorKey(const IndexDescriptor& descriptor) {
   return key;
 }
 
-bool IsUncompressed(const CompressionScheme& scheme) {
+bool IsUncompressedScheme(const CompressionScheme& scheme) {
   return scheme.per_column.empty() &&
          scheme.default_type == CompressionType::kNone;
 }
-
-}  // namespace
 
 Result<uint64_t> EstimateUncompressedIndexBytes(const Table& table,
                                                 const IndexDescriptor& index,
@@ -113,8 +111,8 @@ Status EstimationEngine::EnsureSample() {
     default_sampler = MakeUniformWithReplacementSampler();
     sampler = default_sampler.get();
   }
-  Random own_rng(options_.seed);
-  Random* rng = options_.rng != nullptr ? options_.rng : &own_rng;
+  draw_rng_.Seed(options_.seed);
+  Random* rng = options_.rng != nullptr ? options_.rng : &draw_rng_;
   CFEST_ASSIGN_OR_RETURN(
       sample_, sampler->SampleView(table_, options_.base.fraction, rng));
   ++stats_.samples_drawn;
@@ -178,10 +176,95 @@ Result<const Table*> EstimationEngine::SampleTable() {
   return static_cast<const Table*>(sample_.get());
 }
 
+uint64_t EstimationEngine::sample_rows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sample_ == nullptr ? 0 : sample_->num_rows();
+}
+
+Result<uint64_t> EstimationEngine::GrowSample(uint64_t target_rows) {
+  CFEST_RETURN_NOT_OK(EnsureSample());
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t current = sample_->num_rows();
+  // Fraction is capped at 1.0, so the largest comparable fixed-f draw is
+  // one id per table row; clamp instead of overshooting that contract.
+  const uint64_t target = std::min(target_rows, table_.num_rows());
+  if (target <= current) return current;
+
+  if (options_.maintain_reservoir) {
+    // Capacity growth is not stream-resumable (a larger reservoir fills
+    // longer before its first RNG draw), so replay the consumed row-id
+    // stream from the seed at the new capacity: O(items seen) RNG work,
+    // no row bytes touched, and the result *is* the fresh draw at the new
+    // capacity — NotifyAppend keeps resuming the replayed stream.
+    const uint64_t items_seen = reservoir_core_->items_seen();
+    reservoir_rng_.Seed(options_.seed);
+    reservoir_core_.emplace(target);
+    reservoir_ids_.clear();
+    OfferRowsToReservoir(0, items_seen);
+    CFEST_ASSIGN_OR_RETURN(
+        sample_, TableView::Make(table_, std::vector<RowId>(reservoir_ids_)));
+    stats_.invalidations += indexes_.size();
+    indexes_.clear();
+    ++stats_.sample_version;
+    return sample_->num_rows();
+  }
+
+  if (options_.rng != nullptr) {
+    return Status::InvalidArgument(
+        "GrowSample needs an engine-owned RNG stream (seed), not an "
+        "external rng");
+  }
+  if (options_.base.sampler != nullptr) {
+    return Status::InvalidArgument(
+        "GrowSample requires the default uniform-with-replacement sampler "
+        "(growth resumes its draw stream)");
+  }
+
+  // Resume the seed's with-replacement draw stream: ids [current, target)
+  // are exactly the ids a fresh draw of `target` rows would append after
+  // the first `current`, so the grown sample equals a fixed-fraction draw
+  // at target / num_rows under the same seed.
+  std::vector<RowId> delta_ids;
+  delta_ids.reserve(static_cast<size_t>(target - current));
+  for (uint64_t i = current; i < target; ++i) {
+    delta_ids.push_back(draw_rng_.NextBounded(table_.num_rows()));
+  }
+  std::vector<RowId> grown_ids = sample_->row_ids();
+  grown_ids.insert(grown_ids.end(), delta_ids.begin(), delta_ids.end());
+  CFEST_ASSIGN_OR_RETURN(std::unique_ptr<TableView> grown,
+                         TableView::Make(table_, std::move(grown_ids)));
+  CFEST_ASSIGN_OR_RETURN(std::unique_ptr<TableView> delta_view,
+                         TableView::Make(table_, std::move(delta_ids)));
+
+  // Growth is additive (the old sample is a prefix of the grown one), so
+  // every cached sorted build stays a valid sorted run — merge the delta
+  // rows in instead of rebuilding. Delta rows occupy view positions
+  // [current, target), which is what their __rid values must be.
+  std::unordered_map<std::string, std::shared_future<IndexEntry>> extended;
+  for (auto& [key, future] : indexes_) {
+    const IndexEntry& entry = future.get();  // quiesced: already ready
+    if (!entry.status.ok() || entry.index == nullptr) continue;  // rebuild lazily
+    Result<Index> merged =
+        entry.index->ExtendedWith(*delta_view, current, options_.base.build);
+    if (!merged.ok()) continue;  // drop: the next request rebuilds
+    IndexEntry new_entry;
+    new_entry.index =
+        std::make_shared<const Index>(std::move(merged).ValueOrDie());
+    std::promise<IndexEntry> promise;
+    promise.set_value(std::move(new_entry));
+    extended.emplace(key, promise.get_future().share());
+    ++stats_.index_extensions;
+  }
+  indexes_ = std::move(extended);
+  sample_ = std::move(grown);
+  ++stats_.sample_version;
+  return sample_->num_rows();
+}
+
 Result<std::shared_ptr<const Index>> EstimationEngine::SampleIndex(
     const IndexDescriptor& descriptor) {
   CFEST_RETURN_NOT_OK(EnsureSample());
-  const std::string key = DescriptorKey(descriptor);
+  const std::string key = SampleIndexCacheKey(descriptor);
 
   std::shared_future<IndexEntry> future;
   bool builder = false;
@@ -209,11 +292,15 @@ Result<std::shared_ptr<const Index>> EstimationEngine::SampleIndex(
     } else {
       entry.status = built.status();
     }
+    // Publish before touching mu_: GrowSample waits on this future while
+    // holding the lock, so the reverse order would turn a violated
+    // "quiesce before growing" precondition into a hard deadlock instead
+    // of a benign stats lag.
+    promise.set_value(std::move(entry));
     {
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.index_builds;
     }
-    promise.set_value(std::move(entry));
   }
 
   const IndexEntry& entry = future.get();
@@ -259,7 +346,7 @@ Result<SizedCandidate> EstimationEngine::Estimate(
       EstimateUncompressedIndexBytes(table_, candidate.index,
                                      options_.base.build.page_size));
 
-  if (IsUncompressed(candidate.scheme)) {
+  if (IsUncompressedScheme(candidate.scheme)) {
     sized.estimated_cf = 1.0;
     sized.estimated_bytes = sized.uncompressed_bytes;
     return sized;
@@ -273,6 +360,7 @@ Result<SizedCandidate> EstimationEngine::Estimate(
   sized.estimated_cf = result.cf.value;
   sized.estimated_bytes = static_cast<uint64_t>(std::llround(
       result.cf.value * static_cast<double>(sized.uncompressed_bytes)));
+  sized.sample_rows = result.sample_rows;
   return sized;
 }
 

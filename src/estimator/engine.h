@@ -74,7 +74,22 @@ struct SizedCandidate {
   uint64_t estimated_bytes = 0;
   /// Size the uncompressed index would have (page-granular).
   uint64_t uncompressed_bytes = 0;
+  /// Sample rows the estimate was computed from (0 for uncompressed
+  /// candidates, which are sized from schema arithmetic alone).
+  uint64_t sample_rows = 0;
 };
+
+/// True when `scheme` is an "uncompressed" candidate: no per-column
+/// overrides and default kNone. Such candidates are sized from schema
+/// arithmetic alone (no sampling). Shared with the adaptive layer so both
+/// classify candidates identically.
+bool IsUncompressedScheme(const CompressionScheme& scheme);
+
+/// The engine's sample-index cache key for `descriptor`: one build per
+/// distinct (key_columns, clustered) pair — the cosmetic name is excluded.
+/// Shared with the adaptive layer's replicate-index cache so the two key
+/// identically.
+std::string SampleIndexCacheKey(const IndexDescriptor& descriptor);
 
 /// Uncompressed full-index size (page-granular) from schema arithmetic
 /// alone — no build needed, mirroring how design tools size uncompressed
@@ -124,8 +139,36 @@ class EstimationEngine {
   const Table& table() const { return table_; }
   const EstimationEngineOptions& options() const { return options_; }
 
-  /// The shared sample (drawn on first use). Stable for the engine's life.
+  /// The shared sample (drawn on first use). Stable for the engine's life
+  /// unless grown (GrowSample) or refreshed (NotifyAppend).
   Result<const Table*> SampleTable();
+
+  /// Rows in the shared sample; 0 before the first draw.
+  uint64_t sample_rows() const;
+
+  /// Grows the shared sample in place to at least `target_rows` rows
+  /// (clamped to the table size — the fraction-1.0 draw), drawing it first
+  /// at the configured base fraction if needed. Returns the resulting
+  /// sample row count; a target at or below the current size is a no-op.
+  ///
+  /// Default (frozen-draw) engines must use the default uniform-with-
+  /// replacement sampler and an engine-owned RNG (no options.rng): growth
+  /// resumes the seed's draw stream, so the grown sample is bit-identical
+  /// to a fresh draw of target_rows ids under the same seed — every
+  /// estimate after growth equals a fixed-fraction run at
+  /// target_rows / num_rows. Growth is purely additive (the old sample is
+  /// a prefix), so cached sample indexes are *extended* by merging the new
+  /// rows into each sorted build (CacheStats.index_extensions) instead of
+  /// being rebuilt from scratch.
+  ///
+  /// maintain_reservoir engines grow by replaying Algorithm R at the larger
+  /// capacity over the already-consumed row-id stream (O(items seen) RNG
+  /// work, no row bytes touched). The result again equals a fresh draw at
+  /// the new capacity, and NotifyAppend keeps composing afterwards; cached
+  /// indexes are invalidated (reservoir growth shuffles contents).
+  ///
+  /// Like NotifyAppend, not safe to run concurrently with estimates.
+  Result<uint64_t> GrowSample(uint64_t target_rows);
 
   /// The sorted sample index for `descriptor`, built at most once per
   /// distinct (key_columns, clustered) pair.
@@ -174,6 +217,9 @@ class EstimationEngine {
     uint64_t samples_drawn = 0;
     uint64_t index_builds = 0;
     uint64_t index_cache_hits = 0;
+    /// Cached sample indexes extended in place by GrowSample (sorted-run
+    /// merges that avoided a from-scratch rebuild).
+    uint64_t index_extensions = 0;
     /// Cached sample-index entries dropped by reservoir refreshes.
     uint64_t invalidations = 0;
     /// Version of the sample contents: 1 after the initial draw, +1 per
@@ -182,6 +228,12 @@ class EstimationEngine {
     uint64_t sample_version = 0;
   };
   CacheStats cache_stats() const;
+
+  /// The engine's worker pool (created on first use, sized by
+  /// options.num_threads). Exposed so layered consumers — the adaptive
+  /// flow in estimator/adaptive.h — fan their per-round work across the
+  /// same workers instead of spinning a second pool per call.
+  ThreadPool* shared_pool() { return Pool(); }
 
  private:
   struct IndexEntry {
@@ -215,6 +267,10 @@ class EstimationEngine {
   std::optional<ReservoirSampler> reservoir_core_;
   Random reservoir_rng_{0};
   std::vector<RowId> reservoir_ids_;
+
+  /// The frozen-draw RNG stream (default mode, engine-owned seed only).
+  /// Kept alive past the initial draw so GrowSample can resume it.
+  Random draw_rng_{0};
 };
 
 }  // namespace cfest

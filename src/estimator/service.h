@@ -94,6 +94,12 @@ class CatalogEstimationService {
   Result<std::vector<SizedCandidate>> EstimateAll(
       std::span<const CandidateConfiguration> candidates);
 
+  /// The service's shared cross-table worker pool (created on first use).
+  /// Exposed so layered consumers — the adaptive estimation flow in
+  /// estimator/adaptive.h — fan their per-round candidate work across the
+  /// same workers instead of spinning a second pool.
+  ThreadPool* shared_pool() { return Pool(); }
+
   /// Forwards an append delta to the named table's engine (see
   /// EstimationEngine::NotifyAppend). A table whose engine has not been
   /// created yet is a no-op — its eventual first draw sees the grown

@@ -45,6 +45,26 @@ Status PlanIndexSchema(const Table& table, const IndexDescriptor& descriptor,
   return Status::OK();
 }
 
+/// Appends the projected index rows of `table` to `out`, numbering the
+/// synthetic __rid column (source SIZE_MAX) from `rid_base`.
+void AppendProjectedRows(const Table& table,
+                         const std::vector<size_t>& source_columns,
+                         uint64_t rid_base, std::string* out) {
+  for (RowId id = 0; id < table.num_rows(); ++id) {
+    for (size_t c = 0; c < source_columns.size(); ++c) {
+      if (source_columns[c] == SIZE_MAX) {
+        const uint64_t rid = rid_base + id;
+        for (int b = 0; b < 8; ++b) {
+          out->push_back(static_cast<char>((rid >> (8 * b)) & 0xFF));
+        }
+      } else {
+        Slice cell = table.cell(id, source_columns[c]);
+        out->append(cell.data(), cell.size());
+      }
+    }
+  }
+}
+
 }  // namespace
 
 uint64_t InternalPageCount(uint64_t leaf_pages, uint64_t fanout) {
@@ -84,19 +104,8 @@ Result<Index> Index::Build(const Table& table,
   // Materialize projected rows.
   index.sorted_rows_.reserve(static_cast<size_t>(table.num_rows()) *
                              index.row_width_);
-  for (RowId id = 0; id < table.num_rows(); ++id) {
-    for (size_t c = 0; c < source_columns.size(); ++c) {
-      if (source_columns[c] == SIZE_MAX) {
-        for (int b = 0; b < 8; ++b) {
-          index.sorted_rows_.push_back(
-              static_cast<char>((id >> (8 * b)) & 0xFF));
-        }
-      } else {
-        Slice cell = table.cell(id, source_columns[c]);
-        index.sorted_rows_.append(cell.data(), cell.size());
-      }
-    }
-  }
+  AppendProjectedRows(table, source_columns, /*rid_base=*/0,
+                      &index.sorted_rows_);
 
   // Sort by key via an offset permutation, then apply it.
   const uint32_t w = index.row_width_;
@@ -114,7 +123,12 @@ Result<Index> Index::Build(const Table& table,
   }
   index.sorted_rows_ = std::move(sorted);
 
-  // Pack leaf pages.
+  CFEST_RETURN_NOT_OK(index.PackLeafPages(options));
+  return index;
+}
+
+Status Index::PackLeafPages(const IndexBuildOptions& options) {
+  const uint32_t w = row_width_;
   if (w > PageBuilder::MaxRecordSize(options.page_size)) {
     return Status::InvalidArgument(
         "index row of " + std::to_string(w) +
@@ -125,22 +139,87 @@ Result<Index> Index::Build(const Table& table,
   PageBuilder builder(page_id, PageType::kDataLeaf, options.page_size);
   auto flush = [&](PageBuilder* b) {
     Page page = b->Finish();
-    index.stats_.leaf_used_bytes += page.used_bytes();
-    ++index.stats_.leaf_pages;
-    if (options.keep_pages) index.leaf_pages_.push_back(std::move(page));
+    stats_.leaf_used_bytes += page.used_bytes();
+    ++stats_.leaf_pages;
+    if (options.keep_pages) leaf_pages_.push_back(std::move(page));
   };
-  for (uint64_t i = 0; i < index.num_rows_; ++i) {
+  for (uint64_t i = 0; i < num_rows_; ++i) {
     if (!builder.Fits(w)) {
       flush(&builder);
       builder = PageBuilder(++page_id, PageType::kDataLeaf, options.page_size);
     }
-    CFEST_RETURN_NOT_OK(builder.Add(index.row(i)));
+    CFEST_RETURN_NOT_OK(builder.Add(row(i)));
   }
-  if (!builder.empty() || index.num_rows_ == 0) flush(&builder);
+  if (!builder.empty() || num_rows_ == 0) flush(&builder);
 
-  index.stats_.internal_pages =
-      InternalPageCount(index.stats_.leaf_pages, index.fanout());
-  return index;
+  stats_.internal_pages = InternalPageCount(stats_.leaf_pages, fanout());
+  return Status::OK();
+}
+
+Result<Index> Index::ExtendedWith(const Table& delta, uint64_t rid_base,
+                                  const IndexBuildOptions& options) const {
+  if (options.page_size != stats_.page_size) {
+    return Status::InvalidArgument(
+        "ExtendedWith page size " + std::to_string(options.page_size) +
+        " differs from the original build's " +
+        std::to_string(stats_.page_size));
+  }
+  Schema delta_schema;
+  std::vector<size_t> source_columns;
+  CFEST_RETURN_NOT_OK(
+      PlanIndexSchema(delta, descriptor_, &delta_schema, &source_columns));
+  if (!(delta_schema == schema_)) {
+    return Status::InvalidArgument(
+        "delta table schema does not project to this index's row schema");
+  }
+
+  // Project and stable-sort the delta on its own.
+  const uint32_t w = row_width_;
+  std::string delta_rows;
+  delta_rows.reserve(static_cast<size_t>(delta.num_rows()) * w);
+  AppendProjectedRows(delta, source_columns, rid_base, &delta_rows);
+  std::vector<uint64_t> perm(delta.num_rows());
+  std::iota(perm.begin(), perm.end(), 0);
+  RowComparator cmp(&schema_, descriptor_.key_columns.size());
+  const char* dbase = delta_rows.data();
+  std::stable_sort(perm.begin(), perm.end(), [&](uint64_t a, uint64_t b) {
+    return cmp.Compare(Slice(dbase + a * w, w), Slice(dbase + b * w, w)) < 0;
+  });
+
+  // Merge the two sorted runs, old rows first on ties: that is exactly the
+  // stable sort of [old source rows..., delta rows...], i.e. what Build()
+  // produces over the grown source.
+  Index merged;
+  merged.descriptor_ = descriptor_;
+  merged.schema_ = schema_;
+  merged.row_width_ = w;
+  merged.num_rows_ = num_rows_ + delta.num_rows();
+  merged.stats_.page_size = options.page_size;
+  merged.stats_.row_count = merged.num_rows_;
+  merged.stats_.row_data_bytes = merged.num_rows_ * w;
+  merged.sorted_rows_.reserve(static_cast<size_t>(merged.num_rows_) * w);
+  uint64_t old_i = 0;
+  size_t delta_i = 0;
+  while (old_i < num_rows_ && delta_i < perm.size()) {
+    const Slice old_row = row(old_i);
+    const Slice delta_row(dbase + perm[delta_i] * w, w);
+    if (cmp.Compare(old_row, delta_row) <= 0) {
+      merged.sorted_rows_.append(old_row.data(), w);
+      ++old_i;
+    } else {
+      merged.sorted_rows_.append(delta_row.data(), w);
+      ++delta_i;
+    }
+  }
+  for (; old_i < num_rows_; ++old_i) {
+    merged.sorted_rows_.append(row(old_i).data(), w);
+  }
+  for (; delta_i < perm.size(); ++delta_i) {
+    merged.sorted_rows_.append(dbase + perm[delta_i] * w, w);
+  }
+
+  CFEST_RETURN_NOT_OK(merged.PackLeafPages(options));
+  return merged;
 }
 
 Result<CompressedIndex> Index::Compress(const CompressionScheme& scheme,

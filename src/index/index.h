@@ -91,8 +91,27 @@ class Index {
   Result<CompressedIndex> Compress(const CompressionScheme& scheme,
                                    const IndexBuildOptions& options = {}) const;
 
+  /// Builds the index that Build() would produce over this index's source
+  /// rows followed by the rows of `delta`, without re-sorting the existing
+  /// rows: the delta is projected and sorted on its own, then merged into
+  /// the sorted run (old rows win ties, matching Build's stable sort over
+  /// the concatenation), and the leaf pages are repacked. Cost is
+  /// O(delta log delta + total) instead of O(total log total).
+  ///
+  /// For non-clustered indexes the synthetic "__rid" column numbers rows by
+  /// their position in the source table, so the delta's rids start at
+  /// `rid_base` — pass the row count of the table this index was built on
+  /// (i.e. the delta rows are rows [rid_base, rid_base + delta.num_rows())
+  /// of the grown table). `delta` must have the same schema as the original
+  /// source table, and `options` the same page size as the original build.
+  Result<Index> ExtendedWith(const Table& delta, uint64_t rid_base,
+                             const IndexBuildOptions& options = {}) const;
+
  private:
   Index() = default;
+
+  /// Packs sorted_rows_ into leaf pages and fills the page-level stats.
+  Status PackLeafPages(const IndexBuildOptions& options);
 
   IndexDescriptor descriptor_;
   Schema schema_;

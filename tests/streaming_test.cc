@@ -58,7 +58,9 @@ TEST(ReservoirCoreTest, FillsSequentiallyThenReplacesWithinCapacity) {
   // Beyond capacity, every assignment stays within [0, capacity) or skips.
   for (uint64_t i = 0; i < 1000; ++i) {
     const uint64_t slot = core.Offer(&rng);
-    if (slot != ReservoirSampler::kSkip) EXPECT_LT(slot, 4u);
+    if (slot != ReservoirSampler::kSkip) {
+      EXPECT_LT(slot, 4u);
+    }
   }
   EXPECT_EQ(1004u, core.items_seen());
   EXPECT_EQ(4u, core.size());

@@ -9,20 +9,29 @@
 //   recommend <csv> <schema-spec> <key-cols> [fraction] [seed]
 //       Per-column best-scheme recommendation from one sample.
 //   batch     <csv> <schema-spec> --candidates <file> [--threads N]
+//             [--target-rel-error E] [--confidence C] [--json]
 //             [fraction] [seed]
 //       Sizes every (key-columns, scheme) pair in <file> through the
 //       EstimationEngine in one invocation: one shared sample, one index
 //       build per distinct key set, and a comparison table at the end.
 //       Each line of <file> is "key-cols scheme [clustered]"; blank lines
-//       and lines starting with '#' are skipped.
+//       and lines starting with '#' are skipped. With --target-rel-error
+//       the sample grows adaptively (estimator/adaptive.h) until every
+//       candidate's CF' interval is within E relative at confidence C
+//       (default 0.95); [fraction] is then the starting fraction. --json
+//       additionally emits one "JSON {...}" line per candidate with
+//       rows_sampled and confidence-interval fields.
 //   advise    --catalog <dir> --candidates <file> [--bound <bytes>]
-//             [--threads N] [fraction] [seed]
+//             [--threads N] [--target-rel-error E] [--confidence C]
+//             [--json] [fraction] [seed]
 //       Catalog-level what-if pass: loads every <name>.csv + <name>.schema
 //       pair in <dir> into a catalog and sizes a mixed-table candidate
 //       file in one CatalogEstimationService fan-out (one engine and one
 //       sample per table, shared thread pool). Each candidate line is
 //       "table key-cols scheme [clustered] [benefit]". With --bound, also
 //       prints the advisor's recommendation under the storage bound.
+//       --target-rel-error / --confidence / --json as in batch (each
+//       table's sample grows independently toward the shared target).
 //   analyze   <csv> <schema-spec>
 //       Per-column profile: distinct counts, length stats, heavy hitters,
 //       and closed-form NS / dictionary CF predictions.
@@ -34,14 +43,16 @@
 //
 // Example:
 //   samplecf_cli gen-tpch 0.01 /tmp/tpch
-//   samplecf_cli estimate /tmp/tpch/lineitem.csv "$(cat /tmp/tpch/lineitem.schema)" \
-//       l_shipmode dictionary_page 0.01
+//   samplecf_cli estimate /tmp/tpch/lineitem.csv
+//       "$(cat /tmp/tpch/lineitem.schema)" l_shipmode dictionary_page 0.01
+//   (one shell line; wrap with a backslash continuation in practice)
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -49,9 +60,11 @@
 
 #include "advisor/advisor.h"
 #include "common/format.h"
+#include "common/json_writer.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
 #include "datagen/tpch/tables.h"
+#include "estimator/adaptive.h"
 #include "estimator/column_profile.h"
 #include "estimator/compression_fraction.h"
 #include "estimator/engine.h"
@@ -119,6 +132,104 @@ Result<std::string> StripFlag(std::vector<std::string>* args,
   return fallback;
 }
 
+/// Strips a value-less "--flag" from `args`; returns whether it was present.
+bool StripBoolFlag(std::vector<std::string>* args, const std::string& flag) {
+  for (size_t i = 0; i < args->size(); ++i) {
+    if ((*args)[i] != flag) continue;
+    args->erase(args->begin() + static_cast<ptrdiff_t>(i));
+    return true;
+  }
+  return false;
+}
+
+/// Precision / reporting flags shared by batch and advise.
+struct PrecisionCliOptions {
+  bool adaptive = false;  // --target-rel-error given
+  bool json = false;
+  PrecisionTarget target;
+};
+
+Result<PrecisionCliOptions> StripPrecisionFlags(
+    std::vector<std::string>* args) {
+  PrecisionCliOptions out;
+  CFEST_ASSIGN_OR_RETURN(std::string rel,
+                         StripFlag(args, "--target-rel-error", ""));
+  CFEST_ASSIGN_OR_RETURN(std::string confidence,
+                         StripFlag(args, "--confidence", ""));
+  out.json = StripBoolFlag(args, "--json");
+  if (!rel.empty()) {
+    out.adaptive = true;
+    out.target.rel_error = std::atof(rel.c_str());
+  }
+  if (!confidence.empty()) {
+    out.target.confidence = std::atof(confidence.c_str());
+  }
+  return out;
+}
+
+std::string JoinKeys(const IndexDescriptor& index) {
+  std::string keys;
+  for (const std::string& k : index.key_columns) {
+    if (!keys.empty()) keys += ",";
+    keys += k;
+  }
+  return keys;
+}
+
+/// One "JSON {...}" line per candidate, so precision is scrapeable without
+/// the bench harness. `adaptive` is null for fixed-fraction runs (the
+/// interval then comes from EstimateCandidateInterval around `ci_cf`).
+void PrintCandidateJson(const SizedCandidate& sized, double ci_cf,
+                        const ConfidenceInterval& interval,
+                        const std::string& method, SizeMetric ci_metric,
+                        double confidence,
+                        const AdaptiveCandidateResult* adaptive) {
+  JsonWriter json;
+  json.AddString("index", sized.config.index.name);
+  if (!sized.config.table_name.empty()) {
+    json.AddString("table", sized.config.table_name);
+  }
+  json.AddString("keys", JoinKeys(sized.config.index));
+  json.AddString("scheme", sized.config.scheme.ToString());
+  json.AddBool("clustered", sized.config.index.clustered);
+  json.AddDouble("cf", sized.estimated_cf);
+  json.AddInt("est_bytes", static_cast<int64_t>(sized.estimated_bytes));
+  json.AddInt("uncompressed_bytes",
+              static_cast<int64_t>(sized.uncompressed_bytes));
+  json.AddInt("rows_sampled", static_cast<int64_t>(sized.sample_rows));
+  json.AddDouble("ci_cf", ci_cf);
+  json.AddDouble("ci_lower", interval.lower);
+  json.AddDouble("ci_upper", interval.upper);
+  json.AddString("ci_metric", SizeMetricName(ci_metric));
+  json.AddString("ci_method", method);
+  json.AddDouble("confidence", confidence);
+  if (adaptive != nullptr) {
+    json.AddBool("converged", adaptive->converged);
+    json.AddInt("rounds", adaptive->rounds);
+    json.AddDouble("target_half_width", adaptive->target_half_width);
+  }
+  json.Print();
+}
+
+/// Fixed-fraction JSON path: batch-computes the base-metric CF' estimates
+/// and their intervals (replicate index builds shared per key set, exactly
+/// like one adaptive round) and prints one line per candidate.
+Status PrintFixedCandidatesJson(EstimationEngine& engine,
+                                const std::vector<SizedCandidate>& sized,
+                                double confidence) {
+  CFEST_ASSIGN_OR_RETURN(const double z, NumSigmasForConfidence(confidence));
+  std::vector<CandidateConfiguration> configs;
+  configs.reserve(sized.size());
+  for (const SizedCandidate& s : sized) configs.push_back(s.config);
+  CFEST_ASSIGN_OR_RETURN(std::vector<CandidateIntervalResult> intervals,
+                         EstimateCandidateIntervals(engine, configs, z));
+  for (size_t i = 0; i < sized.size(); ++i) {
+    PrintCandidateJson(sized[i], intervals[i].cf, intervals[i].interval,
+                       intervals[i].method, engine.options().base.metric,
+                       confidence, nullptr);
+  }
+  return Status::OK();
+}
 
 int CmdEstimate(const std::vector<std::string>& args) {
   if (args.size() < 4) {
@@ -230,13 +341,17 @@ Result<CandidateConfiguration> ParseCandidateLine(const std::string& line,
 
 int CmdBatch(std::vector<std::string> args) {
   // batch <csv> <schema-spec> --candidates <file> [--threads N]
+  //       [--target-rel-error E] [--confidence C] [--json]
   //       [fraction] [seed]
   auto threads = StripFlag(&args, "--threads", "0");
   if (!threads.ok()) return Fail(threads.status().ToString());
+  auto precision = StripPrecisionFlags(&args);
+  if (!precision.ok()) return Fail(precision.status().ToString());
   if (args.size() < 4 || args[2] != "--candidates") {
     return Fail(
         "usage: batch <csv> <schema-spec> --candidates <file> "
-        "[--threads N] [fraction] [seed]");
+        "[--threads N] [--target-rel-error E] [--confidence C] [--json] "
+        "[fraction] [seed]");
   }
   auto table = LoadTable(args[0], args[1]);
   if (!table.ok()) return Fail(table.status().ToString());
@@ -265,6 +380,46 @@ int CmdBatch(std::vector<std::string> args) {
   options.num_threads =
       static_cast<uint32_t>(std::strtoul(threads->c_str(), nullptr, 10));
   EstimationEngine engine(**table, options);
+
+  if (precision->adaptive) {
+    auto adaptive = EstimateAllAdaptive(engine, candidates, precision->target);
+    if (!adaptive.ok()) return Fail(adaptive.status().ToString());
+    TablePrinter out({"key columns", "scheme", "est. CF'", "est. size",
+                      "rows", "CF' interval", "ok"});
+    for (const AdaptiveCandidateResult& r : adaptive->candidates) {
+      std::string keys = JoinKeys(r.sized.config.index);
+      if (r.sized.config.index.clustered) keys += " (clustered)";
+      out.AddRow({keys, r.sized.config.scheme.ToString(),
+                  FormatDouble(r.sized.estimated_cf),
+                  HumanBytes(r.sized.estimated_bytes),
+                  std::to_string(r.rows_sampled),
+                  "[" + FormatDouble(r.interval.lower) + ", " +
+                      FormatDouble(r.interval.upper) + "]",
+                  r.converged ? "yes" : "NO"});
+    }
+    out.Print();
+    const AdaptiveTableReport& report = adaptive->tables[0];
+    const std::string schedule = FormatGrowthSchedule(report.rows_per_round);
+    const EstimationEngine::CacheStats stats = engine.cache_stats();
+    std::printf(
+        "\n%zu candidates; rel. error target %.3g at %.3g confidence; %u "
+        "growth round(s): %s rows%s; %llu index extension(s), %llu cache "
+        "hit(s)\n",
+        adaptive->candidates.size(), precision->target.rel_error,
+        precision->target.confidence, report.rounds, schedule.c_str(),
+        report.budget_exhausted ? " (budget exhausted)" : "",
+        static_cast<unsigned long long>(stats.index_extensions),
+        static_cast<unsigned long long>(stats.index_cache_hits));
+    if (precision->json) {
+      for (const AdaptiveCandidateResult& r : adaptive->candidates) {
+        PrintCandidateJson(r.sized, r.cf, r.interval, r.interval_method,
+                           engine.options().base.metric,
+                           precision->target.confidence, &r);
+      }
+    }
+    return 0;
+  }
+
   auto sized = engine.EstimateAll(candidates);
   if (!sized.ok()) return Fail(sized.status().ToString());
 
@@ -298,6 +453,11 @@ int CmdBatch(std::vector<std::string> args) {
       options.base.fraction,
       static_cast<unsigned long long>(options.seed),
       ThreadPool::ResolveThreadCount(options.num_threads));
+  if (precision->json) {
+    Status st =
+        PrintFixedCandidatesJson(engine, *sized, precision->target.confidence);
+    if (!st.ok()) return Fail(st.ToString());
+  }
   return 0;
 }
 
@@ -344,7 +504,8 @@ Result<CandidateConfiguration> ParseCatalogCandidateLine(
 
 int CmdAdvise(std::vector<std::string> args) {
   // advise --catalog <dir> --candidates <file> [--bound <bytes>]
-  //        [--threads N] [fraction] [seed]
+  //        [--threads N] [--target-rel-error E] [--confidence C] [--json]
+  //        [fraction] [seed]
   auto threads = StripFlag(&args, "--threads", "0");
   if (!threads.ok()) return Fail(threads.status().ToString());
   auto catalog_dir = StripFlag(&args, "--catalog", "");
@@ -353,10 +514,13 @@ int CmdAdvise(std::vector<std::string> args) {
   if (!candidates_path.ok()) return Fail(candidates_path.status().ToString());
   auto bound_text = StripFlag(&args, "--bound", "");
   if (!bound_text.ok()) return Fail(bound_text.status().ToString());
+  auto precision = StripPrecisionFlags(&args);
+  if (!precision.ok()) return Fail(precision.status().ToString());
   if (catalog_dir->empty() || candidates_path->empty()) {
     return Fail(
         "usage: advise --catalog <dir> --candidates <file> "
-        "[--bound <bytes>] [--threads N] [fraction] [seed]");
+        "[--bound <bytes>] [--threads N] [--target-rel-error E] "
+        "[--confidence C] [--json] [fraction] [seed]");
   }
 
   // Every <name>.schema + <name>.csv pair in the directory becomes a
@@ -407,39 +571,104 @@ int CmdAdvise(std::vector<std::string> args) {
   options.num_threads =
       static_cast<uint32_t>(std::strtoul(threads->c_str(), nullptr, 10));
   CatalogEstimationService service(catalog, options);
-  auto sized = service.EstimateAll(candidates);
-  if (!sized.ok()) return Fail(sized.status().ToString());
-
-  TablePrinter out({"table", "key columns", "scheme", "est. CF'",
-                    "est. size", "uncompressed"});
-  for (const SizedCandidate& s : *sized) {
-    std::string keys;
-    for (const std::string& k : s.config.index.key_columns) {
-      if (!keys.empty()) keys += ",";
-      keys += k;
+  std::vector<SizedCandidate> sized_candidates;
+  if (precision->adaptive) {
+    auto adaptive =
+        EstimateAllAdaptive(service, candidates, precision->target);
+    if (!adaptive.ok()) return Fail(adaptive.status().ToString());
+    TablePrinter out({"table", "key columns", "scheme", "est. CF'",
+                      "est. size", "rows", "CF' interval", "ok"});
+    for (const AdaptiveCandidateResult& r : adaptive->candidates) {
+      std::string keys = JoinKeys(r.sized.config.index);
+      if (r.sized.config.index.clustered) keys += " (clustered)";
+      out.AddRow({r.sized.config.table_name, keys,
+                  r.sized.config.scheme.ToString(),
+                  FormatDouble(r.sized.estimated_cf),
+                  HumanBytes(r.sized.estimated_bytes),
+                  std::to_string(r.rows_sampled),
+                  "[" + FormatDouble(r.interval.lower) + ", " +
+                      FormatDouble(r.interval.upper) + "]",
+                  r.converged ? "yes" : "NO"});
+      sized_candidates.push_back(r.sized);
     }
-    if (s.config.index.clustered) keys += " (clustered)";
-    out.AddRow({s.config.table_name, keys, s.config.scheme.ToString(),
-                FormatDouble(s.estimated_cf), HumanBytes(s.estimated_bytes),
-                HumanBytes(s.uncompressed_bytes)});
-  }
-  out.Print();
+    out.Print();
+    std::printf("\nrel. error target %.3g at %.3g confidence; per-table "
+                "growth:\n",
+                precision->target.rel_error, precision->target.confidence);
+    for (const AdaptiveTableReport& report : adaptive->tables) {
+      std::printf("  %-12s %u round(s): %s rows%s\n",
+                  report.table_name.c_str(), report.rounds,
+                  FormatGrowthSchedule(report.rows_per_round).c_str(),
+                  report.budget_exhausted ? " (budget exhausted)" : "");
+    }
+    if (precision->json) {
+      for (const AdaptiveCandidateResult& r : adaptive->candidates) {
+        PrintCandidateJson(r.sized, r.cf, r.interval, r.interval_method,
+                           options.base.metric,
+                           precision->target.confidence, &r);
+      }
+    }
+  } else {
+    auto sized = service.EstimateAll(candidates);
+    if (!sized.ok()) return Fail(sized.status().ToString());
+    sized_candidates = std::move(*sized);
 
-  const CatalogEstimationService::Stats stats = service.stats();
-  std::printf(
-      "\n%zu candidates across %llu table(s) sized from %llu sample "
-      "draw(s), %llu index build(s), %llu cache hit(s) (f = %.4f, seed "
-      "%llu, %u thread(s))\n",
-      sized->size(), static_cast<unsigned long long>(stats.engines_created),
-      static_cast<unsigned long long>(stats.samples_drawn),
-      static_cast<unsigned long long>(stats.index_builds),
-      static_cast<unsigned long long>(stats.index_cache_hits),
-      options.base.fraction, static_cast<unsigned long long>(options.seed),
-      ThreadPool::ResolveThreadCount(options.num_threads));
+    TablePrinter out({"table", "key columns", "scheme", "est. CF'",
+                      "est. size", "uncompressed"});
+    for (const SizedCandidate& s : sized_candidates) {
+      std::string keys = JoinKeys(s.config.index);
+      if (s.config.index.clustered) keys += " (clustered)";
+      out.AddRow({s.config.table_name, keys, s.config.scheme.ToString(),
+                  FormatDouble(s.estimated_cf), HumanBytes(s.estimated_bytes),
+                  HumanBytes(s.uncompressed_bytes)});
+    }
+    out.Print();
+
+    const CatalogEstimationService::Stats stats = service.stats();
+    std::printf(
+        "\n%zu candidates across %llu table(s) sized from %llu sample "
+        "draw(s), %llu index build(s), %llu cache hit(s) (f = %.4f, seed "
+        "%llu, %u thread(s))\n",
+        sized_candidates.size(),
+        static_cast<unsigned long long>(stats.engines_created),
+        static_cast<unsigned long long>(stats.samples_drawn),
+        static_cast<unsigned long long>(stats.index_builds),
+        static_cast<unsigned long long>(stats.index_cache_hits),
+        options.base.fraction, static_cast<unsigned long long>(options.seed),
+        ThreadPool::ResolveThreadCount(options.num_threads));
+    if (precision->json) {
+      // Per-table batches (sharing replicate builds per key set), printed
+      // back in input order.
+      auto z = NumSigmasForConfidence(precision->target.confidence);
+      if (!z.ok()) return Fail(z.status().ToString());
+      std::map<std::string, std::vector<size_t>> by_table;
+      for (size_t i = 0; i < sized_candidates.size(); ++i) {
+        by_table[sized_candidates[i].config.table_name].push_back(i);
+      }
+      std::vector<CandidateIntervalResult> all(sized_candidates.size());
+      for (const auto& [name, idxs] : by_table) {
+        auto engine = service.Engine(name);
+        if (!engine.ok()) return Fail(engine.status().ToString());
+        std::vector<CandidateConfiguration> configs;
+        configs.reserve(idxs.size());
+        for (size_t i : idxs) configs.push_back(sized_candidates[i].config);
+        auto intervals = EstimateCandidateIntervals(**engine, configs, *z);
+        if (!intervals.ok()) return Fail(intervals.status().ToString());
+        for (size_t k = 0; k < idxs.size(); ++k) {
+          all[idxs[k]] = std::move((*intervals)[k]);
+        }
+      }
+      for (size_t i = 0; i < sized_candidates.size(); ++i) {
+        PrintCandidateJson(sized_candidates[i], all[i].cf, all[i].interval,
+                           all[i].method, options.base.metric,
+                           precision->target.confidence, nullptr);
+      }
+    }
+  }
 
   if (!bound_text->empty()) {
     const uint64_t bound = std::strtoull(bound_text->c_str(), nullptr, 10);
-    auto rec = SelectConfigurations(*sized, bound);
+    auto rec = SelectConfigurations(sized_candidates, bound);
     if (!rec.ok()) return Fail(rec.status().ToString());
     std::printf("\nrecommendation under %s:\n", HumanBytes(bound).c_str());
     TablePrinter picks({"table", "index", "scheme", "est. size", "benefit"});
