@@ -22,13 +22,26 @@
 namespace cfest {
 
 /// \brief Selection strategy.
+///
+/// Rule of thumb: kGreedy for huge candidate sets where a heuristic is
+/// acceptable; kOptimal as the exact reference on small (<= 24) sets;
+/// kLazy for exact selections at any scale — and, through
+/// AdviseConfigurationsLazy (advisor/search.h), for skipping most of the
+/// sizing work too.
 enum class AdvisorStrategy {
   /// Benefit-per-byte greedy (the classic knapsack heuristic used by
   /// physical design tools).
   kGreedy,
-  /// Exact branch-and-bound over the candidate set (exponential; intended
-  /// for <= ~24 candidates).
+  /// Exact branch-and-bound over the candidate set with the simple
+  /// suffix-benefit pruning bound (exponential; intended for <= ~24
+  /// candidates — the reference implementation the lazy search is
+  /// cross-checked against).
   kOptimal,
+  /// Exact branch-and-bound with the fractional-knapsack pruning bound
+  /// (advisor/search.h). Same selections as kOptimal, no candidate cap;
+  /// on pre-sized candidates this is the point-interval degenerate case
+  /// of the engine-aware lazy advisor (AdviseConfigurationsLazy).
+  kLazy,
 };
 
 /// \brief The advisor's chosen configuration set.
@@ -39,8 +52,23 @@ struct AdvisorRecommendation {
   uint64_t storage_bound = 0;
 };
 
+/// Collision-free key of the at-most-one-configuration-per-index rule:
+/// encodes the (table_name, index name) pair unambiguously (length-prefixed,
+/// so table "a.b" + index "c" never collides with table "a" + index "b.c").
+/// Shared by every selection strategy and the lazy search.
+std::string CandidateSelectionKey(const CandidateConfiguration& config);
+
+/// The strategy-shared candidate ordering: indices into `candidates`,
+/// stable-sorted by benefit density (benefit per estimated byte)
+/// descending, ties broken by selection key then input position — so
+/// selections are deterministic across platforms and STLs — with exact
+/// duplicates (same key, scheme, benefit, and sizes) dropped. Greedy scans
+/// this order; both exact searches branch in it.
+std::vector<size_t> OrderCandidatesForSelection(
+    const std::vector<SizedCandidate>& candidates);
+
 /// Picks a subset of sized candidates under `storage_bound` bytes, at most
-/// one per index name.
+/// one per (table, index) pair.
 Result<AdvisorRecommendation> SelectConfigurations(
     const std::vector<SizedCandidate>& candidates, uint64_t storage_bound,
     AdvisorStrategy strategy = AdvisorStrategy::kGreedy);

@@ -1,0 +1,612 @@
+#include "advisor/search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+
+namespace cfest {
+namespace {
+
+/// One candidate in the search: its latest point estimate plus certain
+/// byte bounds. `bytes_low == bytes_high == estimated_bytes` once the
+/// candidate is point-valued (exact, converged, or budget-exhausted).
+struct SearchItem {
+  SizedCandidate sized;
+  std::string key;
+  size_t input_index = 0;
+  /// Base-metric CF' behind the interval (diagnostics).
+  double cf = 1.0;
+  uint64_t bytes_low = 0;
+  uint64_t bytes_high = 0;
+  /// Sample rows behind the current estimate (0 for exact uncompressed).
+  uint64_t rows_sampled = 0;
+  /// Sample rows the page-metric footprint needs to be meaningful (the
+  /// page-coverage floor); convergence below it does not make the item
+  /// point-valued.
+  uint64_t sizing_floor = 0;
+  /// Point-valued: further refinement cannot move the decision.
+  bool refined = false;
+  /// Received at least one targeted refinement (stats).
+  bool was_refined = false;
+};
+
+/// Pages the *compressed* sample must span before a page-granular
+/// footprint estimate is trusted as a point value: with fewer, the sample
+/// compresses into a handful of pages and rounding dominates (a 100-row
+/// sample reports page CF 1.0 for everything), and for context-dependent
+/// schemes the small-sample bias is still steep.
+constexpr double kMinSizingPages = 16.0;
+
+/// Rows at which `engine`'s sample of this index compresses into about
+/// kMinSizingPages pages: rows * (uncompressed_bytes / n) * cf >=
+/// pages * page_size. `cf_estimate` is the current (coarse) CF' — a biased
+/// early estimate only moves the floor, and the candidate's own
+/// convergence requirement still applies on top.
+uint64_t SizingFloorRows(const EstimationEngine& engine,
+                         uint64_t uncompressed_bytes, double cf_estimate) {
+  if (uncompressed_bytes == 0) return 0;
+  const double bytes_per_row =
+      static_cast<double>(uncompressed_bytes) /
+      static_cast<double>(std::max<uint64_t>(1, engine.table().num_rows()));
+  const double page_size =
+      static_cast<double>(engine.options().base.build.page_size);
+  const double cf = std::min(1.0, std::max(0.05, cf_estimate));
+  return static_cast<uint64_t>(
+      std::ceil(kMinSizingPages * page_size / (bytes_per_row * cf)));
+}
+
+/// Allowance for what the CF interval cannot see when its data-metric
+/// bounds are mapped onto the page-metric footprint the selection uses:
+/// page-granular rounding of the converged index (a coarse sample spans
+/// few pages, so its own page CF is biased high and useless as a center —
+/// the interval bounds, not the coarse point estimate, carry the
+/// information).
+constexpr double kPageQuantizationSlack = 0.05;
+
+/// How far below its coarse interval's lower bound a context-dependent
+/// scheme's converged footprint is allowed to land (the small-sample bias
+/// allowance; see ApplyEstimate).
+constexpr double kBiasedSchemeLowFraction = 0.4;
+
+/// Maps an adaptive estimate onto an item's certain byte bounds.
+///
+/// Trust is scheme-keyed: for per-row-local schemes (uniform NS) the
+/// estimator is unbiased at any sample size, so the data-CF interval
+/// brackets the converged footprint up to page-quantization slack. For
+/// context-dependent schemes (dictionaries, RLE, prefix, ...) SampleCF
+/// carries a small-sample bias the replicate interval cannot see
+/// (estimator/README.md), so only the trivial bounds are safe — which
+/// makes such candidates straddle any decision they materially affect and
+/// routes them into targeted refinement, exactly where the precise
+/// estimate is actually needed.
+void ApplyEstimate(const AdaptiveCandidateResult& r, bool point_valued,
+                   SearchItem* item) {
+  item->sized = r.sized;
+  item->cf = r.cf;
+  item->rows_sampled = r.rows_sampled;
+  item->refined = point_valued;
+  if (point_valued) {
+    item->bytes_low = item->bytes_high = r.sized.estimated_bytes;
+    return;
+  }
+  const double unc = static_cast<double>(r.sized.uncompressed_bytes);
+  if (IsUniformNullSuppressionScheme(r.sized.config.scheme)) {
+    item->bytes_low = static_cast<uint64_t>(std::llround(
+        std::max(0.0, r.interval.lower - kPageQuantizationSlack) * unc));
+    item->bytes_high = static_cast<uint64_t>(std::llround(
+        (r.interval.upper + kPageQuantizationSlack) * unc));
+    return;
+  }
+  // Context-dependent schemes' small-sample bias is upward (a sorted
+  // sample packs fewer rows behind each page's dictionary/run/prefix
+  // context than the full index does), so the interval's lower bound is
+  // not a safe optimistic footprint on its own: the converged estimate
+  // may undershoot it. Allow a generous bias factor below it — still a
+  // real weight for the fractional pruning bound, unlike a trivial zero —
+  // and let gate (a) of bench_advisor_lazy check the allowance against
+  // the eager reference on every run.
+  item->bytes_low = static_cast<uint64_t>(
+      std::llround(kBiasedSchemeLowFraction * r.interval.lower * unc));
+  item->bytes_high = static_cast<uint64_t>(std::llround(
+      std::max(std::max(1.0, r.sized.estimated_cf),
+               r.interval.upper + kPageQuantizationSlack) *
+      unc));
+}
+
+/// Resolves a straddling interval for the search: refines `item` until
+/// `done` accepts its trial bounds or the candidate turns point-valued.
+class ItemRefinery {
+ public:
+  /// `refiner_for` maps a candidate's table name to its table's refiner.
+  ItemRefinery(std::function<CandidateRefiner*(const std::string&)>
+                   refiner_for,
+               LazyAdvisorStats* stats)
+      : refiner_for_(std::move(refiner_for)), stats_(stats) {}
+
+  Status Refine(SearchItem* item,
+                const std::function<bool(const SearchItem&)>& done) {
+    CandidateRefiner* refiner =
+        refiner_for_(item->sized.config.table_name);
+    if (refiner == nullptr) {
+      return Status::InvalidArgument(
+          "no refiner for table \"" + item->sized.config.table_name + "\"");
+    }
+    const uint32_t rounds_before = refiner->rounds();
+    const uint64_t floor = item->sizing_floor;
+    bool accepted = false;
+    auto adaptor = [&](const AdaptiveCandidateResult& r) {
+      SearchItem probe = *item;
+      ApplyEstimate(r, r.converged && r.rows_sampled >= floor, &probe);
+      if (done(probe)) {
+        accepted = true;
+        return true;
+      }
+      return false;
+    };
+    CFEST_ASSIGN_OR_RETURN(
+        AdaptiveCandidateResult r,
+        refiner->RefineUntil(item->sized.config, adaptor, floor));
+    // Point-valued when converged at the sizing floor or the budget ran
+    // out (RefineUntil returned a result neither converged-at-floor nor
+    // accepted by `done`).
+    ApplyEstimate(r, (r.converged && r.rows_sampled >= floor) || !accepted,
+                  item);
+    if (!item->was_refined) {
+      item->was_refined = true;
+      ++stats_->refined;
+    }
+    stats_->refine_rounds += refiner->rounds() - rounds_before;
+    return Status::OK();
+  }
+
+ private:
+  std::function<CandidateRefiner*(const std::string&)> refiner_for_;
+  LazyAdvisorStats* stats_;
+};
+
+/// Depth-first branch-and-bound over items in the strategy-shared order,
+/// take-first branching, greedy incumbent, fractional-knapsack pruning
+/// bound on optimistic sizes. Benefits are exact inputs, so only
+/// feasibility decisions can straddle an interval; those trigger targeted
+/// refinement through `refinery` (null = all items point-valued).
+class LazySearch {
+ public:
+  LazySearch(std::vector<SearchItem> items, uint64_t bound,
+             ItemRefinery* refinery, LazyAdvisorStats* stats)
+      : items_(std::move(items)),
+        bound_(bound),
+        refinery_(refinery),
+        stats_(stats) {}
+
+  Result<AdvisorRecommendation> Run() {
+    RebuildDensityOrder();
+    SeedGreedyIncumbent();
+    CFEST_RETURN_NOT_OK(Dfs(0));
+    AdvisorRecommendation rec;
+    rec.storage_bound = bound_;
+    for (size_t i : best_) {
+      // A never-refined candidate's coarse point estimate is known-biased
+      // (page CF ~1.0 on a tiny sample) and can exceed the interval bound
+      // its take decision was justified by; report it clamped into the
+      // certain bounds, so the recommendation's totals respect the
+      // storage bound the search enforced (every take guaranteed the
+      // pessimistic sum fits).
+      SizedCandidate sized = items_[i].sized;
+      const uint64_t bytes =
+          std::min(std::max(sized.estimated_bytes, items_[i].bytes_low),
+                   items_[i].bytes_high);
+      if (bytes != sized.estimated_bytes) {
+        sized.estimated_bytes = bytes;
+        if (sized.uncompressed_bytes > 0) {
+          sized.estimated_cf = static_cast<double>(bytes) /
+                               static_cast<double>(sized.uncompressed_bytes);
+        }
+      }
+      rec.selected.push_back(std::move(sized));
+      rec.total_benefit += items_[i].sized.config.benefit;
+      rec.total_bytes += bytes;
+    }
+    return rec;
+  }
+
+  const std::vector<SearchItem>& items() const { return items_; }
+
+ private:
+  uint64_t SumLow() const {
+    uint64_t sum = 0;
+    for (size_t i : current_) sum += items_[i].bytes_low;
+    return sum;
+  }
+  uint64_t SumHigh() const {
+    uint64_t sum = 0;
+    for (size_t i : current_) sum += items_[i].bytes_high;
+    return sum;
+  }
+
+  /// Optimistic sizes in exact density order make the greedy fractional
+  /// fill the LP optimum over the remaining candidates — an upper bound on
+  /// any completion of the current prefix (the dedup rule only tightens
+  /// reality further).
+  void RebuildDensityOrder() {
+    density_order_.clear();
+    density_order_.reserve(items_.size());
+    for (size_t i = 0; i < items_.size(); ++i) density_order_.push_back(i);
+    std::stable_sort(
+        density_order_.begin(), density_order_.end(),
+        [&](size_t a, size_t b) {
+          // benefit_a / w_a > benefit_b / w_b by cross-multiplication,
+          // exact for w = 0 (infinite density first).
+          const double da = items_[a].sized.config.benefit *
+                            static_cast<double>(items_[b].bytes_low);
+          const double db = items_[b].sized.config.benefit *
+                            static_cast<double>(items_[a].bytes_low);
+          if (da != db) return da > db;
+          if (items_[a].key != items_[b].key)
+            return items_[a].key < items_[b].key;
+          return a < b;
+        });
+  }
+
+  /// Certainly feasible greedy (pessimistic sizes) over the shared order:
+  /// benefits are exact, so any feasible set lower-bounds the optimum and
+  /// primes the pruning bound from the first node.
+  void SeedGreedyIncumbent() {
+    uint64_t bytes_high = 0;
+    std::set<std::string> taken;
+    best_.clear();
+    best_benefit_ = 0.0;
+    for (size_t i = 0; i < items_.size(); ++i) {
+      const SearchItem& it = items_[i];
+      if (it.sized.config.benefit <= 0.0) continue;
+      if (bytes_high + it.bytes_high > bound_) continue;
+      if (!taken.insert(it.key).second) continue;
+      best_.push_back(i);
+      best_benefit_ += it.sized.config.benefit;
+      bytes_high += it.bytes_high;
+    }
+  }
+
+  double FractionalBound(size_t i) const {
+    const uint64_t low = SumLow();
+    if (low > bound_) return 0.0;
+    uint64_t cap = bound_ - low;
+    double bound_benefit = 0.0;
+    for (size_t j : density_order_) {
+      if (j < i) continue;
+      const SearchItem& it = items_[j];
+      const double benefit = it.sized.config.benefit;
+      if (benefit <= 0.0) continue;
+      if (taken_keys_.find(it.key) != taken_keys_.end()) continue;
+      const uint64_t w = it.bytes_low;
+      if (w == 0 || w <= cap) {
+        bound_benefit += benefit;
+        cap -= std::min(cap, w);
+      } else {
+        bound_benefit +=
+            benefit * (static_cast<double>(cap) / static_cast<double>(w));
+        break;
+      }
+    }
+    return bound_benefit;
+  }
+
+  /// Commits a take/skip feasibility decision for item `i` against the
+  /// taken prefix, refining straddling intervals — the current item
+  /// first, then taken-but-unresolved items in take order — until the
+  /// decision resolves or everything relevant is point-valued.
+  Result<bool> DecideFit(size_t i) {
+    while (true) {
+      const uint64_t low = SumLow();
+      const uint64_t high = SumHigh();
+      SearchItem& item = items_[i];
+      if (high + item.bytes_high <= bound_) return true;   // certainly fits
+      if (low + item.bytes_low > bound_) return false;     // certainly not
+      SearchItem* to_refine = nullptr;
+      if (!item.refined) {
+        to_refine = &item;
+      } else {
+        for (size_t t : current_) {
+          if (!items_[t].refined) {
+            to_refine = &items_[t];
+            break;
+          }
+        }
+      }
+      if (to_refine == nullptr || refinery_ == nullptr) {
+        // Everything point-valued: low == high, decided above — this is
+        // only reachable if an interval cannot be refined further.
+        return high + item.bytes_high <= bound_;
+      }
+      SearchItem* target = to_refine;
+      auto done = [this, i, target](const SearchItem& probe) {
+        uint64_t probe_low = 0;
+        uint64_t probe_high = 0;
+        for (size_t t : current_) {
+          const SearchItem& it =
+              (&items_[t] == target) ? probe : items_[t];
+          probe_low += it.bytes_low;
+          probe_high += it.bytes_high;
+        }
+        const SearchItem& cand = (&items_[i] == target) ? probe : items_[i];
+        probe_low += cand.bytes_low;
+        probe_high += cand.bytes_high;
+        return probe_high <= bound_ || probe_low > bound_;
+      };
+      CFEST_RETURN_NOT_OK(refinery_->Refine(target, done));
+      RebuildDensityOrder();  // optimistic sizes moved
+    }
+  }
+
+  /// The skip chain is a loop, so recursion depth tracks the number of
+  /// *taken* candidates on the current path — bounded by the distinct
+  /// candidate keys that fit the storage bound together (a realistic
+  /// physical design selects hundreds of indexes, not tens of
+  /// thousands), rather than by the raw candidate count, which kLazy
+  /// deliberately does not cap. A degenerate instance whose optimum
+  /// takes ~100k candidates would still recurse that deep; see
+  /// ROADMAP.md for the fully-iterative follow-up.
+  Status Dfs(size_t i) {
+    for (;; ++i) {
+      ++stats_->nodes_visited;
+      if (current_benefit_ > best_benefit_) {
+        best_benefit_ = current_benefit_;
+        best_ = current_;
+      }
+      if (i >= items_.size()) return Status::OK();
+      if (current_benefit_ + FractionalBound(i) <= best_benefit_) {
+        ++stats_->nodes_pruned;
+        return Status::OK();
+      }
+      SearchItem& item = items_[i];
+      if (item.sized.config.benefit > 0.0 &&
+          taken_keys_.find(item.key) == taken_keys_.end()) {
+        CFEST_ASSIGN_OR_RETURN(const bool fits, DecideFit(i));
+        if (fits) {
+          taken_keys_.insert(item.key);
+          current_.push_back(i);
+          current_benefit_ += item.sized.config.benefit;
+          CFEST_RETURN_NOT_OK(Dfs(i + 1));
+          current_benefit_ -= item.sized.config.benefit;
+          current_.pop_back();
+          taken_keys_.erase(item.key);
+        }
+      }
+    }
+  }
+
+  std::vector<SearchItem> items_;
+  uint64_t bound_ = 0;
+  ItemRefinery* refinery_;
+  LazyAdvisorStats* stats_;
+
+  std::vector<size_t> density_order_;
+  std::vector<size_t> current_;
+  std::set<std::string> taken_keys_;
+  double current_benefit_ = 0.0;
+  std::vector<size_t> best_;
+  double best_benefit_ = 0.0;
+};
+
+/// Builds the deduped, ordered item list from per-candidate coarse
+/// estimates (`coarse` and `floors` positionally aligned with
+/// `candidates`). Exact uncompressed candidates are point-valued at once;
+/// a compressed candidate converged at the coarse sample is only
+/// point-valued if that sample already meets its sizing floor.
+std::vector<SearchItem> BuildItems(
+    std::span<const CandidateConfiguration> candidates,
+    const std::vector<AdaptiveCandidateResult>& coarse,
+    const std::vector<uint64_t>& floors) {
+  std::vector<SizedCandidate> sized;
+  sized.reserve(coarse.size());
+  for (const AdaptiveCandidateResult& r : coarse) sized.push_back(r.sized);
+  const std::vector<size_t> order = OrderCandidatesForSelection(sized);
+  std::vector<SearchItem> items;
+  items.reserve(order.size());
+  for (size_t i : order) {
+    SearchItem item;
+    item.input_index = i;
+    item.key = CandidateSelectionKey(candidates[i]);
+    item.sizing_floor = floors[i];
+    const bool exact = IsUncompressedScheme(candidates[i].scheme);
+    ApplyEstimate(coarse[i],
+                  exact || (coarse[i].converged &&
+                            coarse[i].rows_sampled >= floors[i]),
+                  &item);
+    items.push_back(std::move(item));
+  }
+  return items;
+}
+
+/// The shared lazy pass: one (engine, candidate-index group) per table.
+/// `pool` fans the coarse estimates out — across tables when there are
+/// several groups, across candidates inside a single group otherwise
+/// (never nested, mirroring EstimateAllAdaptive).
+Result<AdvisorRecommendation> LazyAdviseImpl(
+    std::vector<std::pair<EstimationEngine*, std::vector<size_t>>> groups,
+    std::span<const CandidateConfiguration> candidates,
+    uint64_t storage_bound, const PrecisionTarget& target, ThreadPool* pool,
+    LazyAdvisorStats* stats_out) {
+  LazyAdvisorStats stats;
+
+  // One refiner per table engine (validates the target once per table).
+  std::map<std::string, CandidateRefiner> refiners;
+  for (const auto& [engine, members] : groups) {
+    const std::string& name = candidates[members[0]].table_name;
+    CFEST_ASSIGN_OR_RETURN(CandidateRefiner refiner,
+                           CandidateRefiner::Make(*engine, target));
+    refiners.emplace(name, std::move(refiner));
+  }
+  auto refiner_for = [&](const std::string& table) -> CandidateRefiner* {
+    auto it = refiners.find(table);
+    if (it != refiners.end()) return &it->second;
+    // Single-engine pass: every candidate shares the one refiner
+    // regardless of its (reporting-only) table name.
+    return refiners.size() == 1 ? &refiners.begin()->second : nullptr;
+  };
+
+  // Coarse pass: grow each table's sample to the first-round floor
+  // (serial — growth mutates the engine), then estimate every candidate
+  // once at that coarse sample.
+  for (const auto& [engine, members] : groups) {
+    CandidateRefiner* refiner = refiner_for(candidates[members[0]].table_name);
+    CFEST_RETURN_NOT_OK(
+        engine
+            ->GrowSample(std::min(refiner->row_cap(),
+                                  std::max<uint64_t>(1, target.min_rows)))
+            .status());
+    stats.coarse_rows += engine->sample_rows();
+  }
+  std::vector<AdaptiveCandidateResult> coarse(candidates.size());
+  std::vector<uint64_t> floors(candidates.size(), 0);
+  const bool fan_tables = groups.size() > 1;
+  CFEST_RETURN_NOT_OK(StatusParallelFor(
+      fan_tables ? pool : nullptr, groups.size(), [&](uint64_t g) -> Status {
+        const auto& [engine, members] = groups[static_cast<size_t>(g)];
+        CandidateRefiner* refiner =
+            refiner_for(candidates[members[0]].table_name);
+        return StatusParallelFor(
+            fan_tables ? nullptr : pool, members.size(),
+            [&](uint64_t k) -> Status {
+              const size_t i = members[static_cast<size_t>(k)];
+              CFEST_ASSIGN_OR_RETURN(
+                  coarse[i], refiner->EstimateAtCurrentSample(candidates[i]));
+              floors[i] = SizingFloorRows(
+                  *engine, coarse[i].sized.uncompressed_bytes, coarse[i].cf);
+              return Status::OK();
+            });
+      }));
+
+  // Search with targeted refinement.
+  ItemRefinery refinery(refiner_for, &stats);
+  LazySearch search(BuildItems(candidates, coarse, floors), storage_bound,
+                    &refinery, &stats);
+  stats.candidates = search.items().size();
+  Result<AdvisorRecommendation> rec = search.Run();
+  for (const SearchItem& item : search.items()) {
+    stats.total_rows_sized += item.rows_sampled;
+  }
+  if (rec.ok() && rec->total_bytes > storage_bound) {
+    // Mid-search refinement can move an already-taken candidate's bounds
+    // above what its take decision was committed against (the coarse
+    // interval missed). Rare — but the advisor contract is a hard storage
+    // bound, so re-select exactly over the final (clamped) point
+    // estimates; no further sampling happens, and the result is optimal
+    // for those estimates by construction.
+    std::vector<SizedCandidate> final_sized;
+    final_sized.reserve(search.items().size());
+    for (const SearchItem& item : search.items()) {
+      SizedCandidate sized = item.sized;
+      sized.estimated_bytes =
+          std::min(std::max(sized.estimated_bytes, item.bytes_low),
+                   item.bytes_high);
+      final_sized.push_back(std::move(sized));
+    }
+    rec = SearchSizedCandidates(final_sized,
+                                OrderCandidatesForSelection(final_sized),
+                                storage_bound);
+  }
+  if (stats_out != nullptr) *stats_out = stats;
+  return rec;
+}
+
+}  // namespace
+
+Result<AdvisorRecommendation> AdviseConfigurationsLazy(
+    EstimationEngine& engine,
+    std::span<const CandidateConfiguration> candidates,
+    uint64_t storage_bound, const PrecisionTarget& target,
+    LazyAdvisorStats* stats) {
+  if (candidates.empty()) {
+    if (stats != nullptr) *stats = LazyAdvisorStats{};
+    AdvisorRecommendation rec;
+    rec.storage_bound = storage_bound;
+    return rec;
+  }
+  std::vector<size_t> members;
+  members.reserve(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) members.push_back(i);
+  std::vector<std::pair<EstimationEngine*, std::vector<size_t>>> groups;
+  groups.emplace_back(&engine, std::move(members));
+  ThreadPool* pool =
+      engine.options().num_threads != 1 && candidates.size() > 1
+          ? engine.shared_pool()
+          : nullptr;
+  return LazyAdviseImpl(std::move(groups), candidates, storage_bound, target,
+                        pool, stats);
+}
+
+Result<AdvisorRecommendation> AdviseConfigurationsLazy(
+    CatalogEstimationService& service,
+    std::span<const CandidateConfiguration> candidates,
+    uint64_t storage_bound, const PrecisionTarget& target,
+    LazyAdvisorStats* stats) {
+  if (candidates.empty()) {
+    if (stats != nullptr) *stats = LazyAdvisorStats{};
+    AdvisorRecommendation rec;
+    rec.storage_bound = storage_bound;
+    return rec;
+  }
+  // Group by table, preserving first-appearance order; resolve every
+  // engine up front so a missing table fails before any estimation work.
+  std::vector<std::string> table_order;
+  std::vector<std::vector<size_t>> members;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const std::string& name = candidates[i].table_name;
+    size_t g = 0;
+    for (; g < table_order.size(); ++g) {
+      if (table_order[g] == name) break;
+    }
+    if (g == table_order.size()) {
+      table_order.push_back(name);
+      members.emplace_back();
+    }
+    members[g].push_back(i);
+  }
+  std::vector<std::pair<EstimationEngine*, std::vector<size_t>>> groups;
+  groups.reserve(table_order.size());
+  for (size_t g = 0; g < table_order.size(); ++g) {
+    Result<EstimationEngine*> engine = service.Engine(table_order[g]);
+    if (!engine.ok()) {
+      return Status::NotFound(
+          "candidate " + std::to_string(members[g][0]) + " (" +
+          candidates[members[g][0]].index.name + "): " +
+          engine.status().message());
+    }
+    groups.emplace_back(*engine, std::move(members[g]));
+  }
+  ThreadPool* pool =
+      service.options().num_threads == 1 ? nullptr : service.shared_pool();
+  return LazyAdviseImpl(std::move(groups), candidates, storage_bound, target,
+                        pool, stats);
+}
+
+AdvisorRecommendation SearchSizedCandidates(
+    const std::vector<SizedCandidate>& candidates,
+    const std::vector<size_t>& order, uint64_t storage_bound,
+    LazyAdvisorStats* stats) {
+  LazyAdvisorStats local;
+  std::vector<SearchItem> items;
+  items.reserve(order.size());
+  for (size_t i : order) {
+    SearchItem item;
+    item.input_index = i;
+    item.key = CandidateSelectionKey(candidates[i].config);
+    item.sized = candidates[i];
+    item.bytes_low = item.bytes_high = candidates[i].estimated_bytes;
+    item.rows_sampled = candidates[i].sample_rows;
+    item.refined = true;
+    items.push_back(std::move(item));
+  }
+  LazySearch search(std::move(items), storage_bound, nullptr, &local);
+  local.candidates = search.items().size();
+  // All items are point-valued: the search cannot fail.
+  AdvisorRecommendation rec = search.Run().ValueOrDie();
+  if (stats != nullptr) *stats = local;
+  return rec;
+}
+
+}  // namespace cfest

@@ -1,10 +1,62 @@
 #include "common/format.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 namespace cfest {
+
+Result<uint64_t> ParseUint64(const std::string& text) {
+  if (text.empty()) return Status::InvalidArgument("empty number");
+  // strtoull accepts leading whitespace, signs, and "0x"; reject anything
+  // but plain decimal digits up front so "-1" cannot wrap around and " 1"
+  // cannot hide in a flag value.
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("\"" + text +
+                                     "\" is not an unsigned integer");
+    }
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (errno == ERANGE) {
+    return Status::InvalidArgument("\"" + text + "\" overflows uint64");
+  }
+  if (end != text.c_str() + text.size()) {
+    return Status::InvalidArgument("\"" + text +
+                                   "\" is not an unsigned integer");
+  }
+  return static_cast<uint64_t>(value);
+}
+
+Result<double> ParseDouble(const std::string& text) {
+  if (text.empty()) return Status::InvalidArgument("empty number");
+  // Restrict to plain decimal/scientific notation before handing to
+  // strtod, which would otherwise also accept leading whitespace,
+  // "inf"/"nan", and C99 hex floats ("0x10" parsing as 16 is exactly the
+  // silent-garbage class these parsers exist to reject).
+  for (char c : text) {
+    if ((c < '0' || c > '9') && c != '.' && c != 'e' && c != 'E' &&
+        c != '+' && c != '-') {
+      return Status::InvalidArgument("\"" + text + "\" is not a number");
+    }
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size() || end == text.c_str()) {
+    return Status::InvalidArgument("\"" + text + "\" is not a number");
+  }
+  if (errno == ERANGE || !std::isfinite(value)) {
+    return Status::InvalidArgument("\"" + text +
+                                   "\" is out of range for double");
+  }
+  return value;
+}
 
 std::string HumanBytes(uint64_t bytes) {
   static const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};

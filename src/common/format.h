@@ -10,10 +10,22 @@
 #include <string>
 #include <vector>
 
+#include "common/result.h"
+
 namespace cfest {
 
 /// "1.2 KiB", "3.4 MiB", ... (binary units).
 std::string HumanBytes(uint64_t bytes);
+
+/// Strict decimal parse of an unsigned integer argument: the whole string
+/// must be consumed and fit in uint64 (no sign, no suffix — "10GB" and
+/// "junk" are errors, not 10 and 0 as bare strtoull would yield).
+Result<uint64_t> ParseUint64(const std::string& text);
+
+/// Strict parse of a floating-point argument: the whole string must be
+/// consumed and the value finite ("0.05x" and "nanx" are errors, not 0.05
+/// and 0 as bare atof would yield).
+Result<double> ParseDouble(const std::string& text);
 
 /// Fixed-precision double ("0.4213").
 std::string FormatDouble(double v, int precision = 4);

@@ -18,18 +18,6 @@ constexpr const char* kMethodExact = "exact";
 constexpr const char* kMethodTheorem1 = "theorem1";
 constexpr const char* kMethodGroups = "group_replicates";
 
-/// True when every column is null-suppressed — the case Theorem 1's
-/// distribution-free bound is stated for.
-bool IsUniformNullSuppression(const CompressionScheme& scheme) {
-  if (scheme.per_column.empty()) {
-    return scheme.default_type == CompressionType::kNullSuppression;
-  }
-  return std::all_of(scheme.per_column.begin(), scheme.per_column.end(),
-                     [](CompressionType t) {
-                       return t == CompressionType::kNullSuppression;
-                     });
-}
-
 Status ValidateTarget(const PrecisionTarget& target) {
   if (!(target.rel_error > 0.0)) {
     return Status::InvalidArgument("rel_error must be positive");
@@ -56,6 +44,16 @@ Status ValidateTarget(const PrecisionTarget& target) {
 }
 
 }  // namespace
+
+bool IsUniformNullSuppressionScheme(const CompressionScheme& scheme) {
+  if (scheme.per_column.empty()) {
+    return scheme.default_type == CompressionType::kNullSuppression;
+  }
+  return std::all_of(scheme.per_column.begin(), scheme.per_column.end(),
+                     [](CompressionType t) {
+                       return t == CompressionType::kNullSuppression;
+                     });
+}
 
 std::string FormatGrowthSchedule(const std::vector<uint64_t>& rows_per_round) {
   std::string out;
@@ -111,6 +109,10 @@ double UnseenMassFloor(double num_sigmas, uint64_t rows) {
   return -std::log(std::max(miss_prob, 1e-300)) /
          static_cast<double>(rows);
 }
+
+}  // namespace
+
+namespace internal {
 
 /// The g sorted group indexes over contiguous draw-order slices of
 /// `sample` — the replicate builds behind the data-dependent interval.
@@ -193,6 +195,13 @@ class GroupIndexCache {
   std::unordered_map<std::string, std::shared_future<Entry>> entries_;
 };
 
+}  // namespace internal
+
+namespace {
+
+using internal::BuildGroupIndexes;
+using internal::GroupIndexCache;
+
 Result<ConfidenceInterval> EstimateCandidateIntervalImpl(
     EstimationEngine& engine, const CandidateConfiguration& candidate,
     double cf, double num_sigmas, uint32_t interval_groups,
@@ -203,7 +212,7 @@ Result<ConfidenceInterval> EstimateCandidateIntervalImpl(
   }
   CFEST_ASSIGN_OR_RETURN(const Table* sample, engine.SampleTable());
   const uint64_t rows = sample->num_rows();
-  const bool is_ns = IsUniformNullSuppression(candidate.scheme);
+  const bool is_ns = IsUniformNullSuppressionScheme(candidate.scheme);
 
   uint32_t groups = interval_groups;
   if (rows < 2ull * groups) groups = static_cast<uint32_t>(rows / 2);
@@ -274,32 +283,107 @@ Result<ConfidenceInterval> EstimateCandidateIntervalImpl(
   return ci;
 }
 
+/// The sample-row cap the target imposes over an n-row table.
+uint64_t RowCapForTarget(const PrecisionTarget& target, uint64_t n) {
+  uint64_t cap = std::max<uint64_t>(
+      1, static_cast<uint64_t>(
+             std::llround(target.max_fraction * static_cast<double>(n))));
+  if (target.row_budget > 0) cap = std::min(cap, target.row_budget);
+  return cap;
+}
+
+/// One candidate's full estimate on the engine's current sample: footprint
+/// sizing (page metric), base-metric CF', interval, and target half-width —
+/// the body of one adaptive round for one candidate, shared by the round
+/// loop and CandidateRefiner. Leaves `rounds`/`converged` to the caller.
+Status EstimateCandidateNow(EstimationEngine& engine,
+                            const CandidateConfiguration& c, double z,
+                            const PrecisionTarget& target,
+                            GroupIndexCache* cache,
+                            AdaptiveCandidateResult* r) {
+  // One cached-index build + compression yields both the base-metric CF'
+  // (controlled quantity) and the page-metric footprint (what
+  // EstimationEngine::Estimate reports).
+  CFEST_ASSIGN_OR_RETURN(SampleCFResult est,
+                         engine.EstimateCF(c.index, c.scheme));
+  CFEST_ASSIGN_OR_RETURN(
+      const uint64_t uncompressed,
+      EstimateUncompressedIndexBytes(engine.table(), c.index,
+                                     engine.options().base.build.page_size));
+  const double page_cf =
+      MeasureCF(est.sample_uncompressed, est.sample_compressed,
+                SizeMetric::kPageBytes)
+          .value;
+  r->sized.config = c;
+  r->sized.estimated_cf = page_cf;
+  r->sized.uncompressed_bytes = uncompressed;
+  r->sized.estimated_bytes = static_cast<uint64_t>(
+      std::llround(page_cf * static_cast<double>(uncompressed)));
+  r->sized.sample_rows = est.sample_rows;
+  r->cf = est.cf.value;
+  r->rows_sampled = est.sample_rows;
+  r->target_half_width = target.rel_error * std::max(r->cf, target.cf_floor);
+  CFEST_ASSIGN_OR_RETURN(
+      r->interval,
+      EstimateCandidateIntervalImpl(engine, c, r->cf, z,
+                                    target.interval_groups,
+                                    &r->interval_method, cache));
+  return Status::OK();
+}
+
+/// Rows the candidate's interval says it needs for its target half-width,
+/// by the interval's own shrinkage law: Theorem-1 closed form for the
+/// distribution-free bound, linear extrapolation when the unseen-mass
+/// floor (1/r) binds, 1/sqrt(r) otherwise.
+uint64_t NeededRowsFor(const AdaptiveCandidateResult& r, uint64_t rows,
+                       double z) {
+  // The upper half-width: unlike (upper - lower) / 2 it is immune to the
+  // zero-clamping of the lower bound, which would otherwise understate the
+  // width for small-CF candidates and both converge them early and
+  // under-extrapolate the rows they need.
+  const double half = r.interval.upper - r.cf;
+  if (r.interval_method == kMethodTheorem1) {
+    return SampleSizeForHalfWidth(r.target_half_width, z);
+  }
+  if (half <= UnseenMassFloor(z, rows) * 1.000001) {
+    // Floor-bound interval: the unseen-mass floor shrinks as 1/r, not
+    // 1/sqrt(r), so extrapolate linearly — the quadratic law would
+    // overshoot the needed rows by half/target.
+    return static_cast<uint64_t>(std::ceil(
+        static_cast<double>(rows) * half / r.target_half_width));
+  }
+  return EstimateNeededSampleRows(half, rows, r.target_half_width);
+}
+
 }  // namespace
 
 Result<std::vector<CandidateIntervalResult>> EstimateCandidateIntervals(
     EstimationEngine& engine,
     std::span<const CandidateConfiguration> candidates, double num_sigmas,
-    uint32_t interval_groups) {
+    uint32_t interval_groups, ThreadPool* pool) {
   GroupIndexCache cache;
   std::vector<CandidateIntervalResult> results(candidates.size());
-  for (size_t i = 0; i < candidates.size(); ++i) {
-    CandidateIntervalResult& r = results[i];
-    if (IsUncompressedScheme(candidates[i].scheme)) {
-      r.cf = 1.0;
-      r.interval = ConfidenceInterval{1.0, 1.0, num_sigmas};
-      r.method = kMethodExact;
-      continue;
-    }
-    CFEST_ASSIGN_OR_RETURN(
-        SampleCFResult est,
-        engine.EstimateCF(candidates[i].index, candidates[i].scheme));
-    r.cf = est.cf.value;
-    CFEST_ASSIGN_OR_RETURN(
-        r.interval,
-        EstimateCandidateIntervalImpl(engine, candidates[i], r.cf,
-                                      num_sigmas, interval_groups, &r.method,
-                                      &cache));
-  }
+  CFEST_RETURN_NOT_OK(StatusParallelFor(
+      candidates.size() > 1 ? pool : nullptr, candidates.size(),
+      [&](uint64_t i) -> Status {
+        CandidateIntervalResult& r = results[i];
+        if (IsUncompressedScheme(candidates[i].scheme)) {
+          r.cf = 1.0;
+          r.interval = ConfidenceInterval{1.0, 1.0, num_sigmas};
+          r.method = kMethodExact;
+          return Status::OK();
+        }
+        CFEST_ASSIGN_OR_RETURN(
+            SampleCFResult est,
+            engine.EstimateCF(candidates[i].index, candidates[i].scheme));
+        r.cf = est.cf.value;
+        CFEST_ASSIGN_OR_RETURN(
+            r.interval,
+            EstimateCandidateIntervalImpl(engine, candidates[i], r.cf,
+                                          num_sigmas, interval_groups,
+                                          &r.method, &cache));
+        return Status::OK();
+      }));
   return results;
 }
 
@@ -333,11 +417,8 @@ Result<AdaptiveBatchResult> AdaptiveEstimator::EstimateAll(
     }
   }
 
-  const uint64_t n = engine_.table().num_rows();
-  uint64_t cap = std::max<uint64_t>(
-      1, static_cast<uint64_t>(
-             std::llround(target_.max_fraction * static_cast<double>(n))));
-  if (target_.row_budget > 0) cap = std::min(cap, target_.row_budget);
+  const uint64_t cap =
+      RowCapForTarget(target_, engine_.table().num_rows());
 
   if (!active.empty()) {
     // First round runs on the engine's base-fraction draw, floored at
@@ -359,39 +440,10 @@ Result<AdaptiveBatchResult> AdaptiveEstimator::EstimateAll(
           active.size() > 1 ? pool_ : nullptr, active.size(),
           [&](uint64_t k) -> Status {
             const size_t i = active[static_cast<size_t>(k)];
-            const CandidateConfiguration& c = candidates[i];
             AdaptiveCandidateResult& r = batch.candidates[i];
-            // One cached-index build + compression yields both the
-            // base-metric CF' (controlled quantity) and the page-metric
-            // footprint (what EstimationEngine::Estimate reports).
-            CFEST_ASSIGN_OR_RETURN(SampleCFResult est,
-                                   engine_.EstimateCF(c.index, c.scheme));
-            CFEST_ASSIGN_OR_RETURN(
-                const uint64_t uncompressed,
-                EstimateUncompressedIndexBytes(
-                    engine_.table(), c.index,
-                    engine_.options().base.build.page_size));
-            const double page_cf =
-                MeasureCF(est.sample_uncompressed, est.sample_compressed,
-                          SizeMetric::kPageBytes)
-                    .value;
-            r.sized.config = c;
-            r.sized.estimated_cf = page_cf;
-            r.sized.uncompressed_bytes = uncompressed;
-            r.sized.estimated_bytes = static_cast<uint64_t>(std::llround(
-                page_cf * static_cast<double>(uncompressed)));
-            r.sized.sample_rows = est.sample_rows;
-            r.cf = est.cf.value;
-            r.rows_sampled = est.sample_rows;
+            CFEST_RETURN_NOT_OK(EstimateCandidateNow(
+                engine_, candidates[i], z, target_, &group_cache, &r));
             r.rounds = round;
-            r.target_half_width =
-                target_.rel_error * std::max(r.cf, target_.cf_floor);
-            CFEST_ASSIGN_OR_RETURN(
-                r.interval,
-                EstimateCandidateIntervalImpl(engine_, c, r.cf, z,
-                                              target_.interval_groups,
-                                              &r.interval_method,
-                                              &group_cache));
             return Status::OK();
           }));
 
@@ -400,28 +452,11 @@ Result<AdaptiveBatchResult> AdaptiveEstimator::EstimateAll(
       uint64_t max_needed = 0;
       for (size_t i : active) {
         AdaptiveCandidateResult& r = batch.candidates[i];
-        // The upper half-width: unlike (upper - lower) / 2 it is immune to
-        // the zero-clamping of the lower bound, which would otherwise
-        // understate the width for small-CF candidates and both converge
-        // them early and under-extrapolate the rows they need.
-        const double half = r.interval.upper - r.cf;
-        if (half <= r.target_half_width) {
+        if (r.interval.upper - r.cf <= r.target_half_width) {
           r.converged = true;
           continue;
         }
-        uint64_t needed;
-        if (r.interval_method == kMethodTheorem1) {
-          needed = SampleSizeForHalfWidth(r.target_half_width, z);
-        } else if (half <= UnseenMassFloor(z, rows) * 1.000001) {
-          // Floor-bound interval: the unseen-mass floor shrinks as 1/r,
-          // not 1/sqrt(r), so extrapolate linearly — the quadratic law
-          // would overshoot the needed rows by half/target.
-          needed = static_cast<uint64_t>(std::ceil(
-              static_cast<double>(rows) * half / r.target_half_width));
-        } else {
-          needed = EstimateNeededSampleRows(half, rows, r.target_half_width);
-        }
-        max_needed = std::max(max_needed, needed);
+        max_needed = std::max(max_needed, NeededRowsFor(r, rows, z));
         still_active.push_back(i);
       }
       active = std::move(still_active);
@@ -450,6 +485,108 @@ Result<AdaptiveBatchResult> AdaptiveEstimator::EstimateAll(
   batch.budget_exhausted = report.budget_exhausted;
   batch.tables.push_back(std::move(report));
   return batch;
+}
+
+CandidateRefiner::CandidateRefiner(EstimationEngine& engine,
+                                   PrecisionTarget target, double num_sigmas)
+    : engine_(&engine),
+      target_(std::move(target)),
+      num_sigmas_(num_sigmas),
+      cap_(RowCapForTarget(target_, engine.table().num_rows())) {}
+
+CandidateRefiner::CandidateRefiner(CandidateRefiner&& other) noexcept
+    : engine_(other.engine_),
+      target_(std::move(other.target_)),
+      num_sigmas_(other.num_sigmas_),
+      cap_(other.cap_),
+      rounds_(other.rounds_),
+      cache_version_(other.cache_version_),
+      cache_(std::move(other.cache_)) {}
+
+CandidateRefiner& CandidateRefiner::operator=(
+    CandidateRefiner&& other) noexcept {
+  engine_ = other.engine_;
+  target_ = std::move(other.target_);
+  num_sigmas_ = other.num_sigmas_;
+  cap_ = other.cap_;
+  rounds_ = other.rounds_;
+  cache_version_ = other.cache_version_;
+  cache_ = std::move(other.cache_);
+  return *this;
+}
+
+CandidateRefiner::~CandidateRefiner() = default;
+
+Result<CandidateRefiner> CandidateRefiner::Make(EstimationEngine& engine,
+                                                PrecisionTarget target) {
+  CFEST_RETURN_NOT_OK(ValidateTarget(target));
+  CFEST_ASSIGN_OR_RETURN(const double z,
+                         NumSigmasForConfidence(target.confidence));
+  return CandidateRefiner(engine, std::move(target), z);
+}
+
+Result<std::shared_ptr<internal::GroupIndexCache>>
+CandidateRefiner::CurrentCache() {
+  // Ensure the sample is drawn first, so the version below identifies the
+  // sample the cache entries are built on.
+  CFEST_RETURN_NOT_OK(engine_->SampleTable().status());
+  const uint64_t version = engine_->cache_stats().sample_version;
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  if (cache_ == nullptr || version != cache_version_) {
+    cache_ = std::make_shared<internal::GroupIndexCache>();
+    cache_version_ = version;
+  }
+  return cache_;
+}
+
+Result<AdaptiveCandidateResult> CandidateRefiner::EstimateAtCurrentSample(
+    const CandidateConfiguration& candidate) {
+  AdaptiveCandidateResult r;
+  if (IsUncompressedScheme(candidate.scheme)) {
+    CFEST_ASSIGN_OR_RETURN(r.sized, engine_->Estimate(candidate));
+    r.cf = 1.0;
+    r.interval = ConfidenceInterval{1.0, 1.0, num_sigmas_};
+    r.interval_method = kMethodExact;
+    r.converged = true;
+    return r;
+  }
+  CFEST_ASSIGN_OR_RETURN(std::shared_ptr<internal::GroupIndexCache> cache,
+                         CurrentCache());
+  CFEST_RETURN_NOT_OK(EstimateCandidateNow(*engine_, candidate, num_sigmas_,
+                                           target_, cache.get(), &r));
+  r.rounds = rounds_;
+  r.converged = r.interval.upper - r.cf <= r.target_half_width;
+  return r;
+}
+
+Result<AdaptiveCandidateResult> CandidateRefiner::RefineUntil(
+    const CandidateConfiguration& candidate,
+    const std::function<bool(const AdaptiveCandidateResult&)>& done,
+    uint64_t min_rows) {
+  if (IsUncompressedScheme(candidate.scheme)) {
+    return EstimateAtCurrentSample(candidate);  // exact, no sampling
+  }
+  while (true) {
+    CFEST_ASSIGN_OR_RETURN(AdaptiveCandidateResult r,
+                           EstimateAtCurrentSample(candidate));
+    const uint64_t rows = r.rows_sampled;
+    if (r.converged && rows >= min_rows) return r;
+    if (done != nullptr && done(r)) return r;
+    if (rows >= cap_ || rounds_ >= target_.max_rounds) return r;  // budget
+    // Geometric floor guarantees O(log) rounds; the extrapolated need may
+    // jump further in one step — the round loop's schedule with this
+    // candidate as the only voter. A converged-but-below-floor candidate
+    // grows straight to the floor.
+    const uint64_t geometric = static_cast<uint64_t>(std::ceil(
+        static_cast<double>(rows) * target_.growth_factor));
+    const uint64_t needed =
+        r.converged ? min_rows
+                    : std::max(NeededRowsFor(r, rows, num_sigmas_), min_rows);
+    const uint64_t next = std::min(cap_, std::max(needed, geometric));
+    CFEST_ASSIGN_OR_RETURN(const uint64_t grown, engine_->GrowSample(next));
+    ++rounds_;
+    if (grown <= rows) return r;  // table exhausted below the nominal cap
+  }
 }
 
 Result<AdaptiveBatchResult> EstimateAllAdaptive(

@@ -39,6 +39,9 @@
 #define CFEST_ESTIMATOR_ADAPTIVE_H_
 
 #include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -50,6 +53,10 @@
 #include "estimator/service.h"
 
 namespace cfest {
+
+namespace internal {
+class GroupIndexCache;
+}  // namespace internal
 
 /// \brief Caller-supplied precision contract for adaptive estimation.
 struct PrecisionTarget {
@@ -78,6 +85,14 @@ struct PrecisionTarget {
   /// Hard stop on growth rounds.
   uint32_t max_rounds = 32;
 };
+
+/// True when every column of `scheme` is null-suppressed — the per-row-
+/// local case Theorem 1's distribution-free bound is stated for, and the
+/// only case whose confidence interval also bounds the error against the
+/// true CF (the estimator is unbiased; context-dependent schemes carry a
+/// small-sample bias the replicate interval cannot see). The lazy advisor
+/// keys its trust in coarse interval bounds on this.
+bool IsUniformNullSuppressionScheme(const CompressionScheme& scheme);
 
 /// Sigma multiplier z such that a normal +-z sigma interval has two-sided
 /// coverage `confidence` (e.g. 0.95 -> ~1.96). Requires 0 < confidence < 1.
@@ -152,10 +167,97 @@ struct CandidateIntervalResult {
 /// engine's cached sample indexes and attaches its interval, sharing the
 /// replicate index builds across every scheme on the same key set — the
 /// same sharing one adaptive round does. Results align with `candidates`.
+/// `pool` fans the per-candidate work out (nullptr = serial); pass the
+/// engine's or service's shared pool — the CLI's fixed-fraction --json
+/// paths do — instead of spinning a second pool. (The lazy advisor's
+/// coarse pass fans out the same way, but through
+/// CandidateRefiner::EstimateAtCurrentSample so refinement can reuse the
+/// replicate-build cache.)
 Result<std::vector<CandidateIntervalResult>> EstimateCandidateIntervals(
     EstimationEngine& engine,
     std::span<const CandidateConfiguration> candidates, double num_sigmas,
-    uint32_t interval_groups = PrecisionTarget{}.interval_groups);
+    uint32_t interval_groups = PrecisionTarget{}.interval_groups,
+    ThreadPool* pool = nullptr);
+
+/// \brief Per-candidate incremental refinement — the lazy advisor's
+/// (advisor/search.h) entry point into the adaptive flow.
+///
+/// Where AdaptiveEstimator drives *all* candidates through a shared round
+/// loop, a refiner estimates and grows for one candidate at a time: the
+/// branch-and-bound search refines only candidates whose intervals
+/// straddle a take/skip or feasibility decision, so most candidates never
+/// pay for a converged estimate. Growth goes through the same GrowSample
+/// stream as the round loop, so the prefix property is preserved: every
+/// estimate still equals a fixed-fraction run at its rows / n under the
+/// engine seed.
+///
+/// EstimateAtCurrentSample calls may run concurrently with each other
+/// (the coarse pass fans them across the shared pool); RefineUntil grows
+/// the engine's sample and must not run concurrently with any estimate on
+/// the same engine.
+class CandidateRefiner {
+ public:
+  /// Validates `target` and derives the row cap from it and the engine's
+  /// table size. The engine must outlive the refiner.
+  static Result<CandidateRefiner> Make(EstimationEngine& engine,
+                                       PrecisionTarget target);
+  CandidateRefiner(CandidateRefiner&&) noexcept;
+  CandidateRefiner& operator=(CandidateRefiner&&) noexcept;
+  ~CandidateRefiner();
+
+  /// Estimates `candidate` on the engine's current sample (no growth) and
+  /// attaches its interval, target half-width, and convergence flag.
+  /// Replicate index builds are cached across calls until the sample
+  /// changes; uncompressed candidates are exact and always converged.
+  Result<AdaptiveCandidateResult> EstimateAtCurrentSample(
+      const CandidateConfiguration& candidate);
+
+  /// Grows the engine's sample — geometric floor plus the 1/sqrt(r)
+  /// extrapolation, the same schedule the round loop takes when this
+  /// candidate votes alone — until the candidate converges to the
+  /// precision target, `done` returns true, or the row budget / fraction
+  /// cap / round cap is exhausted. `done` may be null (refine to
+  /// convergence) and is consulted every round, so it can stop the loop
+  /// before convergence. `min_rows` keeps convergence from being accepted
+  /// below a caller-imposed sample-size floor (the lazy advisor uses a
+  /// page-coverage floor: a CF' interval can be tight on a sample too
+  /// small for the page-granular footprint to be meaningful). A result
+  /// that is neither converged-at-floor nor accepted by `done` means the
+  /// budget ran out.
+  Result<AdaptiveCandidateResult> RefineUntil(
+      const CandidateConfiguration& candidate,
+      const std::function<bool(const AdaptiveCandidateResult&)>& done,
+      uint64_t min_rows = 0);
+
+  /// Row cap derived from target.max_fraction / row_budget over this
+  /// engine's table.
+  uint64_t row_cap() const { return cap_; }
+  /// Growth rounds performed through this refiner so far.
+  uint32_t rounds() const { return rounds_; }
+  const PrecisionTarget& target() const { return target_; }
+  /// The engine the refiner grows (layered consumers derive sizing floors
+  /// from its table size and page size).
+  EstimationEngine& engine() const { return *engine_; }
+
+ private:
+  CandidateRefiner(EstimationEngine& engine, PrecisionTarget target,
+                   double num_sigmas);
+  /// The replicate-index cache for the engine's current sample (dropped
+  /// and rebuilt whenever the sample version moves).
+  Result<std::shared_ptr<internal::GroupIndexCache>> CurrentCache();
+
+  EstimationEngine* engine_;
+  PrecisionTarget target_;
+  double num_sigmas_ = 0.0;
+  uint64_t cap_ = 0;
+  uint32_t rounds_ = 0;
+  /// Guards the (cache_version_, cache_) pair against concurrent
+  /// EstimateAtCurrentSample calls; the GroupIndexCache itself is
+  /// thread-safe.
+  mutable std::mutex cache_mu_;
+  uint64_t cache_version_ = 0;
+  std::shared_ptr<internal::GroupIndexCache> cache_;
+};
 
 /// \brief Drives one engine's sample growth until every candidate meets the
 /// precision target (or the budget runs out).

@@ -492,6 +492,96 @@ TEST(AdaptiveEstimatorTest, PrecisionTargetedAdvisorSelectsUnderBound) {
   EXPECT_FALSE(adaptive.budget_exhausted);
 }
 
+// ---------------------------------------------------------------------------
+// CandidateRefiner — the lazy advisor's per-candidate entry point
+// ---------------------------------------------------------------------------
+
+TEST(CandidateRefinerTest, RefinesToConvergenceAndMatchesFixedFraction) {
+  auto table = WorkloadTable();
+  EstimationEngineOptions options;
+  options.base.fraction = 0.002;
+  options.seed = 42;
+  options.num_threads = 1;
+  EstimationEngine engine(*table, options);
+
+  PrecisionTarget target;
+  target.rel_error = 0.05;
+  auto refiner = CandidateRefiner::Make(engine, target);
+  ASSERT_TRUE(refiner.ok());
+
+  const CandidateConfiguration c =
+      Candidate("status", CompressionType::kNullSuppression);
+  auto refined = refiner->RefineUntil(c, nullptr);
+  ASSERT_TRUE(refined.ok());
+  EXPECT_TRUE(refined->converged);
+  EXPECT_LE(refined->interval.upper - refined->cf,
+            refined->target_half_width);
+  EXPECT_EQ(refined->rows_sampled, engine.sample_rows());
+
+  // Prefix property: the refined estimate equals a fixed-fraction engine
+  // run at the final fraction under the same seed.
+  EstimationEngineOptions fixed_options = options;
+  fixed_options.base.fraction = static_cast<double>(refined->rows_sampled) /
+                                static_cast<double>(table->num_rows());
+  EstimationEngine fixed(*table, fixed_options);
+  auto fixed_estimate = fixed.EstimateCF(c.index, c.scheme);
+  ASSERT_TRUE(fixed_estimate.ok());
+  EXPECT_EQ(fixed_estimate->cf.value, refined->cf);
+  EXPECT_EQ(fixed_estimate->sample_rows, refined->rows_sampled);
+}
+
+TEST(CandidateRefinerTest, DonePredicateStopsBeforeConvergence) {
+  auto table = WorkloadTable();
+  EstimationEngineOptions options;
+  options.base.fraction = 0.002;
+  options.seed = 42;
+  options.num_threads = 1;
+  EstimationEngine engine(*table, options);
+
+  PrecisionTarget target;
+  target.rel_error = 0.001;  // far beyond what the base sample gives
+  auto refiner = CandidateRefiner::Make(engine, target);
+  ASSERT_TRUE(refiner.ok());
+
+  const CandidateConfiguration c =
+      Candidate("city", CompressionType::kDictionaryPage);
+  const uint64_t rows_before = [&] {
+    auto current = refiner->EstimateAtCurrentSample(c);
+    EXPECT_TRUE(current.ok());
+    return current->rows_sampled;
+  }();
+  // A done-predicate that accepts immediately must not grow the sample.
+  auto accepted = refiner->RefineUntil(
+      c, [](const AdaptiveCandidateResult&) { return true; });
+  ASSERT_TRUE(accepted.ok());
+  EXPECT_FALSE(accepted->converged);
+  EXPECT_EQ(accepted->rows_sampled, rows_before);
+  EXPECT_EQ(refiner->rounds(), 0u);
+
+  // Without it the refiner grows (until the tiny target exhausts the
+  // budget), strictly past the coarse sample.
+  auto refined = refiner->RefineUntil(c, nullptr);
+  ASSERT_TRUE(refined.ok());
+  EXPECT_GT(refined->rows_sampled, rows_before);
+  EXPECT_GT(refiner->rounds(), 0u);
+}
+
+TEST(CandidateRefinerTest, UncompressedCandidatesAreExact) {
+  auto table = WorkloadTable();
+  EstimationEngine engine(*table);
+  auto refiner = CandidateRefiner::Make(engine, PrecisionTarget{});
+  ASSERT_TRUE(refiner.ok());
+  const CandidateConfiguration c =
+      Candidate("status", CompressionType::kNone);
+  auto result = refiner->RefineUntil(c, nullptr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged);
+  EXPECT_EQ(result->rows_sampled, 0u);
+  EXPECT_DOUBLE_EQ(result->cf, 1.0);
+  EXPECT_EQ(result->sized.estimated_bytes, result->sized.uncompressed_bytes);
+  EXPECT_EQ(engine.sample_rows(), 0u);  // no draw needed
+}
+
 TEST(EstimateAllTest, PopulatesSampleRows) {
   auto table = WorkloadTable();
   EstimationEngineOptions options;

@@ -452,5 +452,45 @@ TEST(FormatTest, TablePrinterHandlesShortRows) {
   EXPECT_NE(out.find("| 1 "), std::string::npos);
 }
 
+// Regression for the CLI numeric-flag parsing: bare strtoull silently
+// turned "--bound 10GB" into 10 bytes and "--bound junk" into 0. The
+// strict parsers must consume the whole string or fail.
+TEST(FormatTest, ParseUint64RejectsPartialAndGarbageInput) {
+  ASSERT_TRUE(ParseUint64("0").ok());
+  EXPECT_EQ(*ParseUint64("0"), 0u);
+  EXPECT_EQ(*ParseUint64("10737418240"), 10737418240ull);
+  EXPECT_EQ(*ParseUint64("18446744073709551615"), ~0ull);
+
+  EXPECT_FALSE(ParseUint64("10GB").ok());
+  EXPECT_FALSE(ParseUint64("junk").ok());
+  EXPECT_FALSE(ParseUint64("").ok());
+  EXPECT_FALSE(ParseUint64("-1").ok());
+  EXPECT_FALSE(ParseUint64("+1").ok());
+  EXPECT_FALSE(ParseUint64(" 1").ok());
+  EXPECT_FALSE(ParseUint64("1 ").ok());
+  EXPECT_FALSE(ParseUint64("1.5").ok());
+  EXPECT_FALSE(ParseUint64("0x10").ok());
+  EXPECT_FALSE(ParseUint64("18446744073709551616").ok());  // 2^64
+  EXPECT_FALSE(ParseUint64("99999999999999999999999").ok());
+}
+
+TEST(FormatTest, ParseDoubleRejectsPartialAndGarbageInput) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("0.05"), 0.05);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-1.25e2"), -125.0);
+  EXPECT_DOUBLE_EQ(*ParseDouble("42"), 42.0);
+
+  EXPECT_FALSE(ParseDouble("0.05x").ok());
+  EXPECT_FALSE(ParseDouble("junk").ok());
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble(" 0.5").ok());
+  EXPECT_FALSE(ParseDouble("0.5 ").ok());
+  EXPECT_FALSE(ParseDouble("inf").ok());
+  EXPECT_FALSE(ParseDouble("nan").ok());
+  EXPECT_FALSE(ParseDouble("1e999").ok());
+  // strtod would accept C99 hex floats; the strict parser must not.
+  EXPECT_FALSE(ParseDouble("0x10").ok());
+  EXPECT_FALSE(ParseDouble("0x1p-3").ok());
+}
+
 }  // namespace
 }  // namespace cfest

@@ -22,15 +22,22 @@
 //       additionally emits one "JSON {...}" line per candidate with
 //       rows_sampled and confidence-interval fields.
 //   advise    --catalog <dir> --candidates <file> [--bound <bytes>]
-//             [--threads N] [--target-rel-error E] [--confidence C]
-//             [--json] [fraction] [seed]
+//             [--strategy greedy|optimal|lazy] [--threads N]
+//             [--target-rel-error E] [--confidence C] [--json]
+//             [fraction] [seed]
 //       Catalog-level what-if pass: loads every <name>.csv + <name>.schema
 //       pair in <dir> into a catalog and sizes a mixed-table candidate
 //       file in one CatalogEstimationService fan-out (one engine and one
 //       sample per table, shared thread pool). Each candidate line is
 //       "table key-cols scheme [clustered] [benefit]". With --bound, also
-//       prints the advisor's recommendation under the storage bound.
-//       --target-rel-error / --confidence / --json as in batch (each
+//       prints the advisor's recommendation under the storage bound:
+//       greedy (default) is the benefit-density heuristic, optimal the
+//       exact search (<= 24 candidates), and lazy the interval-driven
+//       branch-and-bound (advisor/search.h) that sizes candidates only as
+//       precisely as its decisions need — it requires --bound, has no
+//       candidate cap, and honors --target-rel-error / --confidence as
+//       the refinement precision. For greedy/optimal,
+//       --target-rel-error / --confidence / --json work as in batch (each
 //       table's sample grows independently toward the shared target).
 //   analyze   <csv> <schema-spec>
 //       Per-column profile: distinct counts, length stats, heavy hitters,
@@ -59,6 +66,7 @@
 #include <vector>
 
 #include "advisor/advisor.h"
+#include "advisor/search.h"
 #include "common/format.h"
 #include "common/json_writer.h"
 #include "common/random.h"
@@ -142,6 +150,38 @@ bool StripBoolFlag(std::vector<std::string>* args, const std::string& flag) {
   return false;
 }
 
+/// Strict numeric argument parsing (common/format.h), naming the flag in
+/// the failure: "--bound 10GB" must fail with a usage message, not
+/// silently become 10 bytes the way bare strtoull would parse it.
+Result<uint64_t> ParseUint64Arg(const std::string& text, const char* what) {
+  Result<uint64_t> value = ParseUint64(text);
+  if (!value.ok()) {
+    return Status::InvalidArgument(std::string(what) + ": " +
+                                   value.status().message());
+  }
+  return value;
+}
+
+Result<double> ParseDoubleArg(const std::string& text, const char* what) {
+  Result<double> value = ParseDouble(text);
+  if (!value.ok()) {
+    return Status::InvalidArgument(std::string(what) + ": " +
+                                   value.status().message());
+  }
+  return value;
+}
+
+/// `--threads` must also fit a uint32.
+Result<uint32_t> ParseThreadsArg(const std::string& text) {
+  CFEST_ASSIGN_OR_RETURN(const uint64_t value,
+                         ParseUint64Arg(text, "--threads"));
+  if (value > 0xffffffffull) {
+    return Status::InvalidArgument("--threads: \"" + text +
+                                   "\" is out of range");
+  }
+  return static_cast<uint32_t>(value);
+}
+
 /// Precision / reporting flags shared by batch and advise.
 struct PrecisionCliOptions {
   bool adaptive = false;  // --target-rel-error given
@@ -159,10 +199,12 @@ Result<PrecisionCliOptions> StripPrecisionFlags(
   out.json = StripBoolFlag(args, "--json");
   if (!rel.empty()) {
     out.adaptive = true;
-    out.target.rel_error = std::atof(rel.c_str());
+    CFEST_ASSIGN_OR_RETURN(out.target.rel_error,
+                           ParseDoubleArg(rel, "--target-rel-error"));
   }
   if (!confidence.empty()) {
-    out.target.confidence = std::atof(confidence.c_str());
+    CFEST_ASSIGN_OR_RETURN(out.target.confidence,
+                           ParseDoubleArg(confidence, "--confidence"));
   }
   return out;
 }
@@ -221,8 +263,12 @@ Status PrintFixedCandidatesJson(EstimationEngine& engine,
   std::vector<CandidateConfiguration> configs;
   configs.reserve(sized.size());
   for (const SizedCandidate& s : sized) configs.push_back(s.config);
-  CFEST_ASSIGN_OR_RETURN(std::vector<CandidateIntervalResult> intervals,
-                         EstimateCandidateIntervals(engine, configs, z));
+  ThreadPool* pool =
+      engine.options().num_threads != 1 ? engine.shared_pool() : nullptr;
+  CFEST_ASSIGN_OR_RETURN(
+      std::vector<CandidateIntervalResult> intervals,
+      EstimateCandidateIntervals(engine, configs, z,
+                                 PrecisionTarget{}.interval_groups, pool));
   for (size_t i = 0; i < sized.size(); ++i) {
     PrintCandidateJson(sized[i], intervals[i].cf, intervals[i].interval,
                        intervals[i].method, engine.options().base.metric,
@@ -242,9 +288,18 @@ int CmdEstimate(const std::vector<std::string>& args) {
   auto scheme_type = CompressionTypeFromName(args[3]);
   if (!scheme_type.ok()) return Fail(scheme_type.status().ToString());
   SampleCFOptions options;
-  options.fraction = args.size() > 4 ? std::atof(args[4].c_str()) : 0.01;
-  const uint64_t seed =
-      args.size() > 5 ? std::strtoull(args[5].c_str(), nullptr, 10) : 42;
+  options.fraction = 0.01;
+  uint64_t seed = 42;
+  if (args.size() > 4) {
+    auto fraction = ParseDoubleArg(args[4], "fraction");
+    if (!fraction.ok()) return Fail(fraction.status().ToString());
+    options.fraction = *fraction;
+  }
+  if (args.size() > 5) {
+    auto parsed = ParseUint64Arg(args[5], "seed");
+    if (!parsed.ok()) return Fail(parsed.status().ToString());
+    seed = *parsed;
+  }
   Random rng(seed);
   IndexDescriptor index{"ix", SplitCommas(args[2]), /*clustered=*/false};
   auto result = SampleCF(**table, index, CompressionScheme::Uniform(*scheme_type),
@@ -288,9 +343,18 @@ int CmdRecommend(const std::vector<std::string>& args) {
   auto table = LoadTable(args[0], args[1]);
   if (!table.ok()) return Fail(table.status().ToString());
   SampleCFOptions options;
-  options.fraction = args.size() > 3 ? std::atof(args[3].c_str()) : 0.01;
-  const uint64_t seed =
-      args.size() > 4 ? std::strtoull(args[4].c_str(), nullptr, 10) : 42;
+  options.fraction = 0.01;
+  uint64_t seed = 42;
+  if (args.size() > 3) {
+    auto fraction = ParseDoubleArg(args[3], "fraction");
+    if (!fraction.ok()) return Fail(fraction.status().ToString());
+    options.fraction = *fraction;
+  }
+  if (args.size() > 4) {
+    auto parsed = ParseUint64Arg(args[4], "seed");
+    if (!parsed.ok()) return Fail(parsed.status().ToString());
+    seed = *parsed;
+  }
   Random rng(seed);
   IndexDescriptor index{"ix", SplitCommas(args[2]), /*clustered=*/true};
   auto rec = RecommendScheme(**table, index, {}, options, &rng);
@@ -373,12 +437,21 @@ int CmdBatch(std::vector<std::string> args) {
   if (candidates.empty()) return Fail("no candidates in " + args[3]);
 
   EstimationEngineOptions options;
-  options.base.fraction =
-      args.size() > 4 ? std::atof(args[4].c_str()) : 0.01;
-  options.seed =
-      args.size() > 5 ? std::strtoull(args[5].c_str(), nullptr, 10) : 42;
-  options.num_threads =
-      static_cast<uint32_t>(std::strtoul(threads->c_str(), nullptr, 10));
+  options.base.fraction = 0.01;
+  options.seed = 42;
+  if (args.size() > 4) {
+    auto fraction = ParseDoubleArg(args[4], "fraction");
+    if (!fraction.ok()) return Fail(fraction.status().ToString());
+    options.base.fraction = *fraction;
+  }
+  if (args.size() > 5) {
+    auto seed = ParseUint64Arg(args[5], "seed");
+    if (!seed.ok()) return Fail(seed.status().ToString());
+    options.seed = *seed;
+  }
+  auto num_threads = ParseThreadsArg(*threads);
+  if (!num_threads.ok()) return Fail(num_threads.status().ToString());
+  options.num_threads = *num_threads;
   EstimationEngine engine(**table, options);
 
   if (precision->adaptive) {
@@ -504,8 +577,13 @@ Result<CandidateConfiguration> ParseCatalogCandidateLine(
 
 int CmdAdvise(std::vector<std::string> args) {
   // advise --catalog <dir> --candidates <file> [--bound <bytes>]
-  //        [--threads N] [--target-rel-error E] [--confidence C] [--json]
+  //        [--strategy greedy|optimal|lazy] [--threads N]
+  //        [--target-rel-error E] [--confidence C] [--json]
   //        [fraction] [seed]
+  constexpr const char* kUsage =
+      "usage: advise --catalog <dir> --candidates <file> "
+      "[--bound <bytes>] [--strategy greedy|optimal|lazy] [--threads N] "
+      "[--target-rel-error E] [--confidence C] [--json] [fraction] [seed]";
   auto threads = StripFlag(&args, "--threads", "0");
   if (!threads.ok()) return Fail(threads.status().ToString());
   auto catalog_dir = StripFlag(&args, "--catalog", "");
@@ -514,13 +592,36 @@ int CmdAdvise(std::vector<std::string> args) {
   if (!candidates_path.ok()) return Fail(candidates_path.status().ToString());
   auto bound_text = StripFlag(&args, "--bound", "");
   if (!bound_text.ok()) return Fail(bound_text.status().ToString());
+  auto strategy_text = StripFlag(&args, "--strategy", "greedy");
+  if (!strategy_text.ok()) return Fail(strategy_text.status().ToString());
   auto precision = StripPrecisionFlags(&args);
   if (!precision.ok()) return Fail(precision.status().ToString());
   if (catalog_dir->empty() || candidates_path->empty()) {
-    return Fail(
-        "usage: advise --catalog <dir> --candidates <file> "
-        "[--bound <bytes>] [--threads N] [--target-rel-error E] "
-        "[--confidence C] [--json] [fraction] [seed]");
+    return Fail(kUsage);
+  }
+  AdvisorStrategy strategy = AdvisorStrategy::kGreedy;
+  bool lazy = false;
+  if (*strategy_text == "greedy") {
+    strategy = AdvisorStrategy::kGreedy;
+  } else if (*strategy_text == "optimal") {
+    strategy = AdvisorStrategy::kOptimal;
+  } else if (*strategy_text == "lazy") {
+    lazy = true;
+  } else {
+    return Fail("--strategy must be greedy, optimal, or lazy (got \"" +
+                *strategy_text + "\")\n" + kUsage);
+  }
+  uint64_t bound = 0;
+  if (!bound_text->empty()) {
+    auto parsed = ParseUint64Arg(*bound_text, "--bound");
+    if (!parsed.ok()) {
+      return Fail(parsed.status().ToString() + "\n" + kUsage);
+    }
+    bound = *parsed;
+  } else if (lazy) {
+    return Fail("--strategy lazy needs --bound (the search is driven by "
+                "the storage bound)\n" +
+                std::string(kUsage));
   }
 
   // Every <name>.schema + <name>.csv pair in the directory becomes a
@@ -565,12 +666,72 @@ int CmdAdvise(std::vector<std::string> args) {
   if (candidates.empty()) return Fail("no candidates in " + *candidates_path);
 
   CatalogEstimationServiceOptions options;
-  options.base.fraction = args.size() > 0 ? std::atof(args[0].c_str()) : 0.01;
-  options.seed =
-      args.size() > 1 ? std::strtoull(args[1].c_str(), nullptr, 10) : 42;
-  options.num_threads =
-      static_cast<uint32_t>(std::strtoul(threads->c_str(), nullptr, 10));
+  options.base.fraction = 0.01;
+  options.seed = 42;
+  if (args.size() > 0) {
+    auto fraction = ParseDoubleArg(args[0], "fraction");
+    if (!fraction.ok()) return Fail(fraction.status().ToString());
+    options.base.fraction = *fraction;
+  }
+  if (args.size() > 1) {
+    auto seed = ParseUint64Arg(args[1], "seed");
+    if (!seed.ok()) return Fail(seed.status().ToString());
+    options.seed = *seed;
+  }
+  auto num_threads = ParseThreadsArg(*threads);
+  if (!num_threads.ok()) return Fail(num_threads.status().ToString());
+  options.num_threads = *num_threads;
   CatalogEstimationService service(catalog, options);
+
+  if (lazy) {
+    // Interval-driven branch-and-bound: candidates are sized only as
+    // precisely as the search's take/skip decisions require, so there is
+    // no per-candidate sizing table — most candidates never get a
+    // converged estimate. No candidate cap (unlike --strategy optimal).
+    LazyAdvisorStats stats;
+    auto rec = AdviseConfigurationsLazy(service, candidates, bound,
+                                        precision->target, &stats);
+    if (!rec.ok()) return Fail(rec.status().ToString());
+    std::printf("lazy recommendation under %s:\n", HumanBytes(bound).c_str());
+    TablePrinter picks({"table", "index", "scheme", "est. size", "benefit"});
+    for (const SizedCandidate& s : rec->selected) {
+      picks.AddRow({s.config.table_name, s.config.index.name,
+                    s.config.scheme.ToString(), HumanBytes(s.estimated_bytes),
+                    FormatDouble(s.config.benefit)});
+    }
+    picks.Print();
+    std::printf(
+        "total %s of %s used, benefit %.2f\n"
+        "%zu candidate(s): %zu refined (%llu growth round(s)), rest "
+        "decided at coarse intervals; %llu rows sized (%llu coarse), "
+        "%llu node(s), %llu pruned\n",
+        HumanBytes(rec->total_bytes).c_str(), HumanBytes(bound).c_str(),
+        rec->total_benefit, stats.candidates, stats.refined,
+        static_cast<unsigned long long>(stats.refine_rounds),
+        static_cast<unsigned long long>(stats.total_rows_sized),
+        static_cast<unsigned long long>(stats.coarse_rows),
+        static_cast<unsigned long long>(stats.nodes_visited),
+        static_cast<unsigned long long>(stats.nodes_pruned));
+    if (precision->json) {
+      JsonWriter json;
+      json.AddInt("candidates", static_cast<int64_t>(stats.candidates));
+      json.AddInt("selected", static_cast<int64_t>(rec->selected.size()));
+      json.AddDouble("total_benefit", rec->total_benefit);
+      json.AddInt("total_bytes", static_cast<int64_t>(rec->total_bytes));
+      json.AddInt("refined", static_cast<int64_t>(stats.refined));
+      json.AddInt("refine_rounds",
+                  static_cast<int64_t>(stats.refine_rounds));
+      json.AddInt("total_rows_sized",
+                  static_cast<int64_t>(stats.total_rows_sized));
+      json.AddInt("coarse_rows", static_cast<int64_t>(stats.coarse_rows));
+      json.AddInt("nodes_visited",
+                  static_cast<int64_t>(stats.nodes_visited));
+      json.AddInt("nodes_pruned", static_cast<int64_t>(stats.nodes_pruned));
+      json.Print();
+    }
+    return 0;
+  }
+
   std::vector<SizedCandidate> sized_candidates;
   if (precision->adaptive) {
     auto adaptive =
@@ -652,7 +813,9 @@ int CmdAdvise(std::vector<std::string> args) {
         std::vector<CandidateConfiguration> configs;
         configs.reserve(idxs.size());
         for (size_t i : idxs) configs.push_back(sized_candidates[i].config);
-        auto intervals = EstimateCandidateIntervals(**engine, configs, *z);
+        auto intervals = EstimateCandidateIntervals(
+            **engine, configs, *z, PrecisionTarget{}.interval_groups,
+            options.num_threads != 1 ? service.shared_pool() : nullptr);
         if (!intervals.ok()) return Fail(intervals.status().ToString());
         for (size_t k = 0; k < idxs.size(); ++k) {
           all[idxs[k]] = std::move((*intervals)[k]);
@@ -667,8 +830,7 @@ int CmdAdvise(std::vector<std::string> args) {
   }
 
   if (!bound_text->empty()) {
-    const uint64_t bound = std::strtoull(bound_text->c_str(), nullptr, 10);
-    auto rec = SelectConfigurations(sized_candidates, bound);
+    auto rec = SelectConfigurations(sized_candidates, bound, strategy);
     if (!rec.ok()) return Fail(rec.status().ToString());
     std::printf("\nrecommendation under %s:\n", HumanBytes(bound).c_str());
     TablePrinter picks({"table", "index", "scheme", "est. size", "benefit"});
@@ -718,7 +880,9 @@ int CmdAnalyze(const std::vector<std::string>& args) {
 int CmdGenTpch(const std::vector<std::string>& args) {
   if (args.size() < 2) return Fail("usage: gen-tpch <scale-factor> <outdir>");
   tpch::TpchOptions options;
-  options.scale_factor = std::atof(args[0].c_str());
+  auto scale = ParseDoubleArg(args[0], "scale-factor");
+  if (!scale.ok()) return Fail(scale.status().ToString());
+  options.scale_factor = *scale;
   if (options.scale_factor <= 0) return Fail("scale factor must be positive");
   const std::string dir = args[1];
   auto catalog = tpch::GenerateCatalog(options);
