@@ -4,8 +4,8 @@
 #include <cmath>
 #include <functional>
 #include <map>
-#include <set>
 #include <string>
+#include <unordered_map>
 #include <utility>
 
 namespace cfest {
@@ -176,11 +176,29 @@ class ItemRefinery {
 class LazySearch {
  public:
   LazySearch(std::vector<SearchItem> items, uint64_t bound,
-             ItemRefinery* refinery, LazyAdvisorStats* stats)
+             ItemRefinery* refinery, LazyAdvisorStats* stats,
+             bool incremental_bound = true)
       : items_(std::move(items)),
         bound_(bound),
         refinery_(refinery),
-        stats_(stats) {}
+        stats_(stats),
+        incremental_bound_(incremental_bound) {
+    // Intern candidate keys to dense ids so hot-path membership (the taken
+    // set, the bound's key exclusions) is a flat bitmap instead of a
+    // std::set of strings.
+    kid_.resize(items_.size());
+    std::unordered_map<std::string, uint32_t> ids;
+    ids.reserve(items_.size());
+    for (size_t j = 0; j < items_.size(); ++j) {
+      const auto [it, inserted] =
+          ids.emplace(items_[j].key, static_cast<uint32_t>(key_items_.size()));
+      if (inserted) key_items_.emplace_back();
+      kid_[j] = it->second;
+      key_items_[it->second].push_back(static_cast<uint32_t>(j));
+    }
+    key_taken_.assign(key_items_.size(), 0);
+    index_dead_.assign(items_.size(), 0);
+  }
 
   Result<AdvisorRecommendation> Run() {
     RebuildDensityOrder();
@@ -216,15 +234,59 @@ class LazySearch {
   const std::vector<SearchItem>& items() const { return items_; }
 
  private:
-  uint64_t SumLow() const {
-    uint64_t sum = 0;
-    for (size_t i : current_) sum += items_[i].bytes_low;
-    return sum;
+  // Running sums over the taken prefix, updated on take/untake and
+  // recomputed after a refinement moves a taken item's bounds.
+  uint64_t SumLow() const { return current_low_; }
+  uint64_t SumHigh() const { return current_high_; }
+
+  void RecomputeCurrentSums() {
+    current_low_ = 0;
+    current_high_ = 0;
+    for (size_t i : current_) {
+      current_low_ += items_[i].bytes_low;
+      current_high_ += items_[i].bytes_high;
+    }
   }
-  uint64_t SumHigh() const {
-    uint64_t sum = 0;
-    for (size_t i : current_) sum += items_[i].bytes_high;
-    return sum;
+
+  /// Contributes to the pruning bound: positive benefit, not behind the
+  /// DFS frontier, key not taken on the current path.
+  bool ItemEligible(size_t j) const {
+    return items_[j].sized.config.benefit > 0.0 && index_dead_[j] == 0 &&
+           key_taken_[kid_[j]] == 0;
+  }
+
+  /// Adds (sign +1) or removes (sign -1) item j's (weight, benefit) at its
+  /// density-order position in the Fenwick prefix sums.
+  void FenwickToggle(size_t j, int sign) {
+    const uint64_t w = items_[j].bytes_low;
+    const double b = items_[j].sized.config.benefit;
+    for (size_t p = pos_of_item_[j]; p <= density_order_.size();
+         p += p & (~p + 1)) {
+      fen_w_[p] = sign > 0 ? fen_w_[p] + w : fen_w_[p] - w;
+      fen_b_[p] += sign > 0 ? b : -b;
+    }
+  }
+
+  /// Marks every item sharing key id `k` as taken (or untaken), keeping the
+  /// Fenwick sums in sync with eligibility.
+  void SetKeyTaken(uint32_t k, bool taken) {
+    if (incremental_bound_) {
+      for (const uint32_t j : key_items_[k]) {
+        if (items_[j].sized.config.benefit > 0.0 && index_dead_[j] == 0) {
+          FenwickToggle(j, taken ? -1 : +1);
+        }
+      }
+    }
+    key_taken_[k] = taken ? 1 : 0;
+  }
+
+  /// Marks item `i` as passed by the DFS frontier for the rest of the
+  /// current Dfs frame (and its subtree), logging the flip for rollback.
+  void PassIndex(size_t i) {
+    if (!incremental_bound_) return;
+    if (ItemEligible(i)) FenwickToggle(i, -1);
+    index_dead_[i] = 1;
+    dead_log_.push_back(static_cast<uint32_t>(i));
   }
 
   /// Optimistic sizes in exact density order make the greedy fractional
@@ -249,6 +311,21 @@ class LazySearch {
             return items_[a].key < items_[b].key;
           return a < b;
         });
+    if (!incremental_bound_) return;
+    // Rebuild the Fenwick prefix sums over the (possibly re-sorted) density
+    // positions from the current eligibility flags. Rebuilds happen once at
+    // Run() and after each (rare) refinement; every node in between updates
+    // the tree incrementally.
+    const size_t n = density_order_.size();
+    pos_of_item_.assign(items_.size(), 0);
+    for (size_t p = 0; p < n; ++p) pos_of_item_[density_order_[p]] = p + 1;
+    fen_w_.assign(n + 1, 0);
+    fen_b_.assign(n + 1, 0.0);
+    fen_top_ = 1;
+    while (fen_top_ * 2 <= n) fen_top_ *= 2;
+    for (size_t j = 0; j < items_.size(); ++j) {
+      if (ItemEligible(j)) FenwickToggle(j, +1);
+    }
   }
 
   /// Certainly feasible greedy (pessimistic sizes) over the shared order:
@@ -256,14 +333,15 @@ class LazySearch {
   /// primes the pruning bound from the first node.
   void SeedGreedyIncumbent() {
     uint64_t bytes_high = 0;
-    std::set<std::string> taken;
+    std::vector<uint8_t> taken(key_items_.size(), 0);
     best_.clear();
     best_benefit_ = 0.0;
     for (size_t i = 0; i < items_.size(); ++i) {
       const SearchItem& it = items_[i];
       if (it.sized.config.benefit <= 0.0) continue;
       if (bytes_high + it.bytes_high > bound_) continue;
-      if (!taken.insert(it.key).second) continue;
+      if (taken[kid_[i]] != 0) continue;
+      taken[kid_[i]] = 1;
       best_.push_back(i);
       best_benefit_ += it.sized.config.benefit;
       bytes_high += it.bytes_high;
@@ -274,13 +352,43 @@ class LazySearch {
     const uint64_t low = SumLow();
     if (low > bound_) return 0.0;
     uint64_t cap = bound_ - low;
+    if (incremental_bound_) {
+      // Fenwick descent: the largest density-order prefix whose eligible
+      // weight fits `cap`, accumulating its benefit along the way. The DFS
+      // frontier (`j < i` below) is encoded in the eligibility flags, so
+      // `i` itself is implicit. O(log n) against the legacy path's O(n)
+      // rescan of the density order per node.
+      size_t p = 0;
+      uint64_t acc_w = 0;
+      double acc_b = 0.0;
+      const size_t n = density_order_.size();
+      for (size_t step = fen_top_; step > 0; step >>= 1) {
+        const size_t next = p + step;
+        if (next <= n && acc_w + fen_w_[next] <= cap) {
+          p = next;
+          acc_w += fen_w_[next];
+          acc_b += fen_b_[next];
+        }
+      }
+      if (p < n) {
+        // Maximality of the prefix means position p+1 carries weight
+        // strictly greater than the remaining capacity — in particular
+        // non-zero, so the item there is eligible and the greedy fill
+        // breaks exactly here with a fractional share.
+        const SearchItem& it = items_[density_order_[p]];
+        acc_b += it.sized.config.benefit *
+                 (static_cast<double>(cap - acc_w) /
+                  static_cast<double>(it.bytes_low));
+      }
+      return acc_b;
+    }
     double bound_benefit = 0.0;
     for (size_t j : density_order_) {
       if (j < i) continue;
       const SearchItem& it = items_[j];
       const double benefit = it.sized.config.benefit;
       if (benefit <= 0.0) continue;
-      if (taken_keys_.find(it.key) != taken_keys_.end()) continue;
+      if (key_taken_[kid_[j]] != 0) continue;
       const uint64_t w = it.bytes_low;
       if (w == 0 || w <= cap) {
         bound_benefit += benefit;
@@ -337,55 +445,120 @@ class LazySearch {
         return probe_high <= bound_ || probe_low > bound_;
       };
       CFEST_RETURN_NOT_OK(refinery_->Refine(target, done));
-      RebuildDensityOrder();  // optimistic sizes moved
+      RebuildDensityOrder();   // optimistic sizes moved
+      RecomputeCurrentSums();  // the refined item may be on the taken path
     }
   }
 
-  /// The skip chain is a loop, so recursion depth tracks the number of
-  /// *taken* candidates on the current path — bounded by the distinct
-  /// candidate keys that fit the storage bound together (a realistic
-  /// physical design selects hundreds of indexes, not tens of
-  /// thousands), rather than by the raw candidate count, which kLazy
-  /// deliberately does not cap. A degenerate instance whose optimum
-  /// takes ~100k candidates would still recurse that deep; see
-  /// ROADMAP.md for the fully-iterative follow-up.
-  Status Dfs(size_t i) {
-    for (;; ++i) {
-      ++stats_->nodes_visited;
-      if (current_benefit_ > best_benefit_) {
-        best_benefit_ = current_benefit_;
-        best_ = current_;
-      }
-      if (i >= items_.size()) return Status::OK();
-      if (current_benefit_ + FractionalBound(i) <= best_benefit_) {
-        ++stats_->nodes_pruned;
-        return Status::OK();
-      }
-      SearchItem& item = items_[i];
-      if (item.sized.config.benefit > 0.0 &&
-          taken_keys_.find(item.key) == taken_keys_.end()) {
-        CFEST_ASSIGN_OR_RETURN(const bool fits, DecideFit(i));
-        if (fits) {
-          taken_keys_.insert(item.key);
-          current_.push_back(i);
-          current_benefit_ += item.sized.config.benefit;
-          CFEST_RETURN_NOT_OK(Dfs(i + 1));
-          current_benefit_ -= item.sized.config.benefit;
-          current_.pop_back();
-          taken_keys_.erase(item.key);
+  /// Rolls the DFS frontier back to a dead-log watermark (frame exit).
+  void UnwindDeadLog(size_t mark) {
+    while (dead_log_.size() > mark) {
+      const uint32_t j = dead_log_.back();
+      dead_log_.pop_back();
+      index_dead_[j] = 0;
+      if (ItemEligible(j)) FenwickToggle(j, +1);
+    }
+  }
+
+  /// Fully-iterative DFS over the skip chain: an explicit frame stack —
+  /// one frame per *taken* candidate on the current path — replaces
+  /// recursion, so path depth is bounded by heap, not the thread stack
+  /// (kLazy deliberately does not cap the candidate count, and a
+  /// scarce-bound 100k-candidate instance legitimately takes thousands).
+  /// Items a frame's loop passes go behind the DFS frontier for the whole
+  /// subtree; the dead log rolls them back when the frame unwinds, so
+  /// frontier maintenance costs O(1) amortized Fenwick updates per node.
+  Status Dfs(size_t start) {
+    struct Frame {
+      size_t i;          // loop position: next to visit, or (while a child
+                         // frame is open) the position taken to enter it
+      size_t undo_mark;  // dead-log watermark restored on frame exit
+    };
+    std::vector<Frame> stack;
+    stack.push_back({start, dead_log_.size()});
+    const size_t root_mark = dead_log_.size();
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      bool descended = false;
+      for (size_t i = frame.i;; ++i) {
+        ++stats_->nodes_visited;
+        if (current_benefit_ > best_benefit_) {
+          best_benefit_ = current_benefit_;
+          best_ = current_;
         }
+        if (i >= items_.size()) break;
+        if (current_benefit_ + FractionalBound(i) <= best_benefit_) {
+          ++stats_->nodes_pruned;
+          break;
+        }
+        SearchItem& item = items_[i];
+        if (item.sized.config.benefit > 0.0 && key_taken_[kid_[i]] == 0) {
+          const Result<bool> fits = DecideFit(i);
+          if (!fits.ok()) {
+            UnwindDeadLog(root_mark);
+            return fits.status();
+          }
+          if (*fits) {
+            SetKeyTaken(kid_[i], true);
+            current_.push_back(i);
+            current_benefit_ += item.sized.config.benefit;
+            current_low_ += item.bytes_low;
+            current_high_ += item.bytes_high;
+            frame.i = i;  // resume here to untake once the subtree is done
+            stack.push_back({i + 1, dead_log_.size()});
+            descended = true;
+            break;
+          }
+        }
+        PassIndex(i);
+      }
+      if (descended) continue;
+      // Frame exhausted (end of chain or pruned): restore the frontier,
+      // then untake the item whose take opened this frame and resume its
+      // parent right after that position.
+      UnwindDeadLog(frame.undo_mark);
+      stack.pop_back();
+      if (!stack.empty()) {
+        const size_t i = stack.back().i;
+        SearchItem& item = items_[i];
+        current_benefit_ -= item.sized.config.benefit;
+        current_low_ -= item.bytes_low;
+        current_high_ -= item.bytes_high;
+        current_.pop_back();
+        SetKeyTaken(kid_[i], false);
+        PassIndex(i);
+        stack.back().i = i + 1;
       }
     }
+    return Status::OK();
   }
 
   std::vector<SearchItem> items_;
   uint64_t bound_ = 0;
   ItemRefinery* refinery_;
   LazyAdvisorStats* stats_;
+  bool incremental_bound_ = true;
+
+  // Key interning: item -> dense key id, key id -> member items, and the
+  // taken bitmap replacing the old std::set<std::string>.
+  std::vector<uint32_t> kid_;
+  std::vector<std::vector<uint32_t>> key_items_;
+  std::vector<uint8_t> key_taken_;
+
+  // Incremental-bound state: DFS-frontier flags with their undo log, and
+  // Fenwick prefix sums of eligible (weight, benefit) over density-order
+  // positions (1-based; index 0 unused).
+  std::vector<uint8_t> index_dead_;
+  std::vector<uint32_t> dead_log_;
+  std::vector<size_t> pos_of_item_;
+  std::vector<uint64_t> fen_w_;
+  std::vector<double> fen_b_;
+  size_t fen_top_ = 1;
 
   std::vector<size_t> density_order_;
   std::vector<size_t> current_;
-  std::set<std::string> taken_keys_;
+  uint64_t current_low_ = 0;
+  uint64_t current_high_ = 0;
   double current_benefit_ = 0.0;
   std::vector<size_t> best_;
   double best_benefit_ = 0.0;
@@ -587,7 +760,7 @@ Result<AdvisorRecommendation> AdviseConfigurationsLazy(
 AdvisorRecommendation SearchSizedCandidates(
     const std::vector<SizedCandidate>& candidates,
     const std::vector<size_t>& order, uint64_t storage_bound,
-    LazyAdvisorStats* stats) {
+    LazyAdvisorStats* stats, bool incremental_bound) {
   LazyAdvisorStats local;
   std::vector<SearchItem> items;
   items.reserve(order.size());
@@ -601,7 +774,8 @@ AdvisorRecommendation SearchSizedCandidates(
     item.refined = true;
     items.push_back(std::move(item));
   }
-  LazySearch search(std::move(items), storage_bound, nullptr, &local);
+  LazySearch search(std::move(items), storage_bound, nullptr, &local,
+                    incremental_bound);
   local.candidates = search.items().size();
   // All items are point-valued: the search cannot fail.
   AdvisorRecommendation rec = search.Run().ValueOrDie();

@@ -1,0 +1,99 @@
+// Copyright (c) the samplecf authors. Licensed under the MIT license.
+//
+// A bump allocator for per-candidate scratch. The estimation fan-out sizes
+// hundreds of candidates, and each candidate's compress pass needs
+// short-lived buffers (column transposes, decoded integer slices, NS length
+// arrays) whose lifetimes all end together — exactly the arena pattern.
+// Allocate() is a pointer bump; Reset() recycles every block for the next
+// batch without returning memory to the global allocator, so the steady
+// state of a sizing loop performs no heap traffic at all.
+
+#ifndef CFEST_COMMON_ARENA_H_
+#define CFEST_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace cfest {
+
+/// \brief Block-chained bump allocator. Not thread-safe; one per owner.
+class Arena {
+ public:
+  explicit Arena(size_t min_block_bytes = 1 << 16)
+      : min_block_bytes_(min_block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of uninitialized storage aligned to `align` (a power
+  /// of two). The pointer stays valid until Reset() or destruction.
+  char* Allocate(size_t bytes, size_t align = 16) {
+    size_t pos = (pos_ + (align - 1)) & ~(align - 1);
+    if (block_ >= blocks_.size() || pos + bytes > blocks_[block_].size) {
+      NextBlock(bytes + align);
+      pos = (pos_ + (align - 1)) & ~(align - 1);
+    }
+    char* out = blocks_[block_].data.get() + pos;
+    pos_ = pos + bytes;
+    bytes_allocated_ += bytes;
+    return out;
+  }
+
+  /// Typed convenience: `count` default-aligned elements of T.
+  template <typename T>
+  T* AllocateArray(size_t count) {
+    return reinterpret_cast<T*>(Allocate(count * sizeof(T), alignof(T)));
+  }
+
+  /// Makes every block available again. Previously returned pointers are
+  /// invalidated; no memory is released.
+  void Reset() {
+    block_ = 0;
+    pos_ = 0;
+    bytes_allocated_ = 0;
+  }
+
+  /// Live bytes handed out since the last Reset().
+  size_t bytes_allocated() const { return bytes_allocated_; }
+
+  /// Total bytes reserved from the global allocator over the arena's life.
+  size_t bytes_reserved() const {
+    size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t size = 0;
+  };
+
+  /// Advances to a block with at least `need` free bytes, allocating one
+  /// (geometrically grown) if no retained block is large enough.
+  void NextBlock(size_t need) {
+    while (block_ + 1 < blocks_.size()) {
+      ++block_;
+      pos_ = 0;
+      if (blocks_[block_].size >= need) return;
+    }
+    size_t size = min_block_bytes_;
+    if (!blocks_.empty()) size = blocks_.back().size * 2;
+    if (size < need) size = need;
+    blocks_.push_back(Block{std::unique_ptr<char[]>(new char[size]), size});
+    block_ = blocks_.size() - 1;
+    pos_ = 0;
+  }
+
+  size_t min_block_bytes_;
+  std::vector<Block> blocks_;
+  size_t block_ = 0;  // current block index (valid if blocks_ non-empty)
+  size_t pos_ = 0;    // bump offset within the current block
+  size_t bytes_allocated_ = 0;
+};
+
+}  // namespace cfest
+
+#endif  // CFEST_COMMON_ARENA_H_

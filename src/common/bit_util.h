@@ -40,14 +40,28 @@ class BitWriter {
   /// Appends the low `width` bits of value (LSB first). width in [0, 64].
   void Put(uint64_t value, int width) {
     assert(width >= 0 && width <= 64);
-    for (int i = 0; i < width; ++i) {
-      const int bit = static_cast<int>((value >> i) & 1u);
-      if (bit_pos_ == 0) out_->push_back('\0');
-      if (bit) {
-        out_->back() = static_cast<char>(
-            static_cast<unsigned char>(out_->back()) | (1u << bit_pos_));
-      }
-      bit_pos_ = (bit_pos_ + 1) & 7;
+    if (width < 64) value &= (uint64_t{1} << width) - 1;
+    int remaining = width;
+    if (bit_pos_ != 0) {
+      // Top up the partially filled tail byte.
+      const int space = 8 - bit_pos_;
+      const int take = remaining < space ? remaining : space;
+      const unsigned low =
+          static_cast<unsigned>(value) & ((1u << take) - 1);
+      out_->back() = static_cast<char>(
+          static_cast<unsigned char>(out_->back()) | (low << bit_pos_));
+      value >>= take;
+      remaining -= take;
+      bit_pos_ = (bit_pos_ + take) & 7;
+    }
+    while (remaining >= 8) {
+      out_->push_back(static_cast<char>(value & 0xFF));
+      value >>= 8;
+      remaining -= 8;
+    }
+    if (remaining > 0) {
+      out_->push_back(static_cast<char>(value & ((1u << remaining) - 1)));
+      bit_pos_ = remaining;
     }
   }
 

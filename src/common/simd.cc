@@ -1,0 +1,79 @@
+#include "common/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace cfest {
+namespace {
+
+#if defined(__x86_64__) || defined(__i386__)
+#define CFEST_SIMD_X86 1
+#else
+#define CFEST_SIMD_X86 0
+#endif
+
+SimdLevel ProbeMaxLevel() {
+#if CFEST_SIMD_X86
+  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+  if (__builtin_cpu_supports("sse4.2")) return SimdLevel::kSse42;
+#endif
+  return SimdLevel::kScalar;
+}
+
+SimdLevel EnvLevel() {
+  const char* env = std::getenv("CFEST_SIMD");
+  if (env == nullptr) return MaxSimdLevel();
+  if (std::strcmp(env, "scalar") == 0) return SimdLevel::kScalar;
+  if (std::strcmp(env, "sse42") == 0) return SimdLevel::kSse42;
+  if (std::strcmp(env, "avx2") == 0) return SimdLevel::kAvx2;
+  // Unrecognized values fall back to the probed maximum (correctness does
+  // not depend on the level, so a typo must not change results — only
+  // which equally-correct implementation runs).
+  return MaxSimdLevel();
+}
+
+// -1 == no programmatic pin; otherwise a SimdLevel value.
+std::atomic<int> g_pinned_level{-1};
+
+}  // namespace
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kSse42:
+      return "sse42";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+SimdLevel MaxSimdLevel() {
+  static const SimdLevel level = ProbeMaxLevel();
+  return level;
+}
+
+SimdLevel ActiveSimdLevel() {
+  const int pinned = g_pinned_level.load(std::memory_order_relaxed);
+  SimdLevel wanted;
+  if (pinned >= 0) {
+    wanted = static_cast<SimdLevel>(pinned);
+  } else {
+    static const SimdLevel env_level = EnvLevel();
+    wanted = env_level;
+  }
+  const SimdLevel max = MaxSimdLevel();
+  return wanted > max ? max : wanted;
+}
+
+void SetSimdLevel(SimdLevel level) {
+  g_pinned_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void ResetSimdLevel() {
+  g_pinned_level.store(-1, std::memory_order_relaxed);
+}
+
+}  // namespace cfest

@@ -1,0 +1,48 @@
+// Copyright (c) the samplecf authors. Licensed under the MIT license.
+//
+// SIMD capability detection and the dispatch policy for the kernel layer
+// (compression/kernels.h). Every kernel has a scalar reference
+// implementation; the vector variants are selected at runtime from the
+// active level, so one binary runs correctly on any x86-64 and on non-x86
+// targets (where the level is always kScalar).
+//
+// The active level can be lowered — never raised past what the CPU
+// supports — either programmatically (SetSimdLevel, used by tests to pin
+// the scalar path) or with the CFEST_SIMD environment variable
+// (`scalar`, `sse42`, `avx2`), read once on first use. Estimates are
+// bit-identical across levels by construction; the override exists for
+// benchmarking the scalar references and for debugging.
+
+#ifndef CFEST_COMMON_SIMD_H_
+#define CFEST_COMMON_SIMD_H_
+
+#include <cstdint>
+
+namespace cfest {
+
+/// \brief Instruction-set tiers the kernel layer dispatches over.
+enum class SimdLevel : uint8_t {
+  kScalar = 0,
+  kSse42 = 1,
+  kAvx2 = 2,
+};
+
+const char* SimdLevelName(SimdLevel level);
+
+/// Best level this CPU supports (probed once; kScalar off x86).
+SimdLevel MaxSimdLevel();
+
+/// Level the kernels dispatch on: min(MaxSimdLevel(), override), where the
+/// override comes from SetSimdLevel() or, failing that, CFEST_SIMD.
+SimdLevel ActiveSimdLevel();
+
+/// Pins the active level (clamped to MaxSimdLevel()). Not thread-safe
+/// against concurrent kernel calls; intended for test/bench setup.
+void SetSimdLevel(SimdLevel level);
+
+/// Drops any SetSimdLevel() pin, returning to the CFEST_SIMD/default policy.
+void ResetSimdLevel();
+
+}  // namespace cfest
+
+#endif  // CFEST_COMMON_SIMD_H_

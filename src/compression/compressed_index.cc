@@ -1,6 +1,9 @@
 #include "compression/compressed_index.h"
 
+#include <algorithm>
+
 #include "compression/encoding_util.h"
+#include "compression/kernels.h"
 #include "storage/row_codec.h"
 
 namespace cfest {
@@ -56,6 +59,10 @@ CompressedIndexBuilder::CompressedIndexBuilder(
     stats_.columns[c].type = compressors_->column(c)->type();
   }
   OpenPage();
+  batch_capable_ = !chunks_.empty();
+  for (const auto& chunk : chunks_) {
+    batch_capable_ = batch_capable_ && chunk->SupportsBatch();
+  }
 }
 
 Result<std::unique_ptr<CompressedIndexBuilder>> CompressedIndexBuilder::Make(
@@ -100,7 +107,6 @@ Status CompressedIndexBuilder::Add(Slice encoded_row) {
         "encoded row has " + std::to_string(encoded_row.size()) +
         " bytes, expected " + std::to_string(schema_.row_width()));
   }
-  RowCodec codec(schema_);
   // Chunk row counts are u16 on the wire; a page whose rows cost ~0 bytes
   // (e.g. a 0-bit-pointer dictionary page holding one distinct value) must
   // still be closed before the count wraps.
@@ -111,7 +117,8 @@ Status CompressedIndexBuilder::Add(Slice encoded_row) {
   // Exact prospective page size if this row joined the current page.
   size_t prospective = kPageHeaderSize + kSlotSize + 4 * schema_.num_columns();
   for (size_t c = 0; c < schema_.num_columns(); ++c) {
-    prospective += chunks_[c]->CostWith(codec.Cell(encoded_row, c));
+    prospective += chunks_[c]->CostWith(
+        encoded_row.SubSlice(schema_.offset(c), schema_.width(c)));
   }
   if (prospective > options_.page_size) {
     if (chunks_[0]->count() == 0) {
@@ -125,9 +132,71 @@ Status CompressedIndexBuilder::Add(Slice encoded_row) {
     return Add(encoded_row);
   }
   for (size_t c = 0; c < schema_.num_columns(); ++c) {
-    chunks_[c]->Add(codec.Cell(encoded_row, c));
+    chunks_[c]->Add(
+        encoded_row.SubSlice(schema_.offset(c), schema_.width(c)));
   }
   ++rows_added_;
+  return Status::OK();
+}
+
+Status CompressedIndexBuilder::AddRows(const char* rows, uint64_t n) {
+  if (finished_) return Status::InvalidArgument("builder already finished");
+  const size_t row_width = schema_.row_width();
+  const size_t ncols = schema_.num_columns();
+  if (!batch_capable_) {
+    for (uint64_t i = 0; i < n; ++i) {
+      CFEST_RETURN_NOT_OK(Add(Slice(rows + i * row_width, row_width)));
+    }
+    return Status::OK();
+  }
+  // Page splits are identical to the per-row path: a batch is accepted only
+  // when its exact total prospective page cost fits, and chunk costs are
+  // monotone nondecreasing in the cells added, so whenever a whole batch
+  // fits every prefix fits too — the per-row path would not have flushed
+  // mid-batch. Near a page boundary the batch halves until it fits or
+  // degenerates to Add(), which performs the flush exactly as before.
+  constexpr uint64_t kTargetBatchRows = 1024;
+  std::vector<char*> cols(ncols);
+  uint64_t i = 0;
+  while (i < n) {
+    if (chunks_[0]->count() >= 0xFFFF) {
+      CFEST_RETURN_NOT_OK(FlushPage());
+      OpenPage();
+    }
+    const uint64_t room = 0xFFFF - chunks_[0]->count();
+    uint64_t batch = std::min(std::min(n - i, kTargetBatchRows), room);
+    // Transpose once at the attempted size; halved retries size prefixes of
+    // the same contiguous column slices.
+    transpose_arena_.Reset();
+    for (size_t c = 0; c < ncols; ++c) {
+      const uint32_t w = schema_.width(c);
+      cols[c] = transpose_arena_.Allocate(batch * w);
+      kernels::GatherStrided(rows + i * row_width + schema_.offset(c),
+                             row_width, w, batch, cols[c]);
+    }
+    const size_t framing = kPageHeaderSize + kSlotSize + 4 * ncols;
+    for (;;) {
+      size_t prospective = framing;
+      for (size_t c = 0; c < ncols; ++c) {
+        prospective += chunks_[c]->CostWithBatch(cols[c], batch);
+      }
+      if (prospective <= options_.page_size) {
+        for (size_t c = 0; c < ncols; ++c) {
+          chunks_[c]->AddBatch(cols[c], batch);
+        }
+        rows_added_ += batch;
+        i += batch;
+        break;
+      }
+      if (batch == 1) {
+        // Delegates the flush (or the single-oversized-row error) to Add().
+        CFEST_RETURN_NOT_OK(Add(Slice(rows + i * row_width, row_width)));
+        ++i;
+        break;
+      }
+      batch /= 2;
+    }
+  }
   return Status::OK();
 }
 

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/result.h"
 #include "common/slice.h"
 #include "common/status.h"
@@ -113,6 +114,13 @@ class CompressedIndexBuilder {
   /// fed in index (sorted) order.
   Status Add(Slice encoded_row);
 
+  /// Adds `n` contiguous encoded rows (n * row_width bytes at `rows`).
+  /// Equivalent to n Add() calls — identical pages, stats, and errors — but
+  /// routes each column through the batched kernels (compression/kernels.h)
+  /// when every chunk in the scheme supports them: rows are transposed into
+  /// arena-backed column slices and sized/appended per column, not per cell.
+  Status AddRows(const char* rows, uint64_t n);
+
   uint64_t rows_added() const { return rows_added_; }
 
   /// Closes the final page, validates compressor state, and returns the
@@ -135,6 +143,10 @@ class CompressedIndexBuilder {
   Options options_;
   std::shared_ptr<ColumnCompressorSet> compressors_;
   std::vector<std::unique_ptr<ColumnChunkCompressor>> chunks_;
+  /// True when every chunk of the scheme implements the batched path.
+  bool batch_capable_ = false;
+  /// Scratch for the row-major -> column-major transpose of AddRows.
+  Arena transpose_arena_;
   std::vector<Page> pages_;
   CompressedIndexStats stats_;
   uint64_t rows_added_ = 0;

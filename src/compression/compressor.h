@@ -78,6 +78,27 @@ class ColumnChunkCompressor {
   /// Appends a cell. Must only be called with fixed-width cells.
   virtual void Add(const Slice& cell) = 0;
 
+  /// True if this chunk implements the batched sizing path below. Batching
+  /// is purely a fast path: CostWithBatch/AddBatch over n cells produce
+  /// exactly the state and costs of n CostWith/Add calls, so the page packer
+  /// may mix the two freely without changing any page split.
+  virtual bool SupportsBatch() const { return false; }
+
+  /// Exact serialized size if the `n` contiguous fixed-width cells at
+  /// `cells` were all appended next. Only called when SupportsBatch().
+  virtual size_t CostWithBatch(const char* cells, size_t n) {
+    (void)cells;
+    (void)n;
+    return Cost();
+  }
+
+  /// Appends `n` contiguous fixed-width cells. Only called when
+  /// SupportsBatch().
+  virtual void AddBatch(const char* cells, size_t n) {
+    (void)cells;
+    (void)n;
+  }
+
   /// Exact serialized size of the cells added so far.
   virtual size_t Cost() const = 0;
 

@@ -1,10 +1,11 @@
 #include "compression/dictionary_global.h"
 
 #include <cassert>
-#include <unordered_map>
+#include <cstring>
 #include <vector>
 
 #include "compression/encoding_util.h"
+#include "compression/kernels.h"
 
 namespace cfest {
 namespace {
@@ -18,6 +19,9 @@ class GlobalDictChunk final : public ColumnChunkCompressor {
 
   size_t CostWith(const Slice& cell) override;
   void Add(const Slice& cell) override;
+  bool SupportsBatch() const override { return true; }
+  size_t CostWithBatch(const char* cells, size_t n) override;
+  void AddBatch(const char* cells, size_t n) override;
 
   size_t Cost() const override {
     return 2 + codes_.size() * pointer_bytes_;
@@ -107,19 +111,57 @@ class GlobalDictCompressor final : public ColumnCompressor {
     return Status::OK();
   }
 
+  /// Codes are assigned in first-appearance order, so the probe table is an
+  /// internal accelerator only: the hash function (kernels::HashBytes, CRC
+  /// or FNV depending on the active SIMD level) never influences the codes
+  /// or any serialized byte.
   uint32_t Encode(const Slice& cell) {
-    auto [it, inserted] = index_.emplace(
-        cell.ToString(), static_cast<uint32_t>(entries_.size()));
-    if (inserted) entries_.push_back(it->first);
-    return it->second;
+    const size_t slot = FindSlot(cell);
+    if (slots_[slot] != 0) return slots_[slot] - 1;
+    const uint32_t code = static_cast<uint32_t>(entries_.size());
+    entries_.push_back(cell.ToString());
+    slots_[slot] = code + 1;
+    if ((entries_.size() + 1) * 4 > slots_.size() * 3) Grow();
+    return code;
   }
 
   uint32_t pointer_bytes() const { return pointer_bytes_; }
 
  private:
+  /// Linear probe: the slot holding `cell`'s code + 1, or the empty slot
+  /// where it would be inserted.
+  size_t FindSlot(const Slice& cell) const {
+    const size_t mask = slots_.size() - 1;
+    size_t i = kernels::HashBytes(cell.data(), cell.size()) & mask;
+    while (slots_[i] != 0) {
+      const std::string& entry = entries_[slots_[i] - 1];
+      if (entry.size() == cell.size() &&
+          std::memcmp(entry.data(), cell.data(), entry.size()) == 0) {
+        return i;
+      }
+      i = (i + 1) & mask;
+    }
+    return i;
+  }
+
+  void Grow() {
+    std::vector<uint32_t> old = std::move(slots_);
+    slots_.assign(old.size() * 2, 0);
+    const size_t mask = slots_.size() - 1;
+    for (const uint32_t stored : old) {
+      if (stored == 0) continue;
+      const std::string& entry = entries_[stored - 1];
+      size_t i = kernels::HashBytes(entry.data(), entry.size()) & mask;
+      while (slots_[i] != 0) i = (i + 1) & mask;
+      slots_[i] = stored;
+    }
+  }
+
   DataType type_;
   uint32_t pointer_bytes_;
-  std::unordered_map<std::string, uint32_t> index_;
+  /// Open-addressing probe table: entry code + 1, 0 = empty. Power-of-two
+  /// sized, grown at 75% load.
+  std::vector<uint32_t> slots_ = std::vector<uint32_t>(1024, 0);
   std::vector<std::string> entries_;
 };
 
@@ -130,6 +172,19 @@ size_t GlobalDictChunk::CostWith(const Slice& cell) {
 
 void GlobalDictChunk::Add(const Slice& cell) {
   codes_.push_back(parent_->Encode(cell));
+}
+
+size_t GlobalDictChunk::CostWithBatch(const char* cells, size_t n) {
+  (void)cells;  // cost is independent of the values under the global model
+  return Cost() + n * pointer_bytes_;
+}
+
+void GlobalDictChunk::AddBatch(const char* cells, size_t n) {
+  const uint32_t w = parent_->data_type().FixedWidth();
+  codes_.reserve(codes_.size() + n);
+  for (size_t i = 0; i < n; ++i) {
+    codes_.push_back(parent_->Encode(Slice(cells + i * w, w)));
+  }
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 
 #include "common/bit_util.h"
 #include "compression/encoding_util.h"
+#include "compression/kernels.h"
 
 namespace cfest {
 namespace {
@@ -53,6 +54,37 @@ class ForChunk final : public ColumnChunkCompressor {
     values_.push_back(v);
   }
 
+  bool SupportsBatch() const override { return true; }
+
+  size_t CostWithBatch(const char* cells, size_t n) override {
+    if (n == 0) return Cost();
+    const uint32_t w = type_.FixedWidth();
+    std::vector<int64_t>& decoded = DecodeScratch();
+    if (decoded.size() < n) decoded.resize(n);
+    kernels::DecodeInts(cells, w, n, decoded.data());
+    const kernels::MinMax mm = kernels::MinMaxInts(decoded.data(), n);
+    const int64_t lo = values_.empty() ? mm.min : std::min(min_, mm.min);
+    const int64_t hi = values_.empty() ? mm.max : std::max(max_, mm.max);
+    return ChunkCost(values_.size() + n,
+                     static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo));
+  }
+
+  void AddBatch(const char* cells, size_t n) override {
+    if (n == 0) return;
+    const uint32_t w = type_.FixedWidth();
+    const size_t old = values_.size();
+    values_.resize(old + n);
+    kernels::DecodeInts(cells, w, n, values_.data() + old);
+    const kernels::MinMax mm = kernels::MinMaxInts(values_.data() + old, n);
+    if (old == 0) {
+      min_ = mm.min;
+      max_ = mm.max;
+    } else {
+      min_ = std::min(min_, mm.min);
+      max_ = std::max(max_, mm.max);
+    }
+  }
+
   size_t Cost() const override {
     if (values_.empty()) return 2;
     return ChunkCost(values_.size(),
@@ -83,6 +115,11 @@ class ForChunk final : public ColumnChunkCompressor {
   }
 
  private:
+  static std::vector<int64_t>& DecodeScratch() {
+    thread_local std::vector<int64_t> scratch;
+    return scratch;
+  }
+
   size_t ChunkCost(size_t n, uint64_t span) const {
     if (n == 0) return 2;
     return 2 + 8 + 1 + BytesForBits(static_cast<size_t>(OffsetBits(span)) * n);

@@ -1,8 +1,10 @@
 #include "compression/null_suppression.h"
 
 #include <cassert>
+#include <vector>
 
 #include "compression/encoding_util.h"
+#include "compression/kernels.h"
 
 namespace cfest {
 namespace {
@@ -23,6 +25,33 @@ class NsChunk final : public ColumnChunkCompressor {
     assert(cell.size() == type_.FixedWidth());
     encoding::PutNullSuppressed(cell, type_, &buf_);
     ++count_;
+  }
+
+  bool SupportsBatch() const override { return true; }
+
+  size_t CostWithBatch(const char* cells, size_t n) override {
+    const uint32_t w = type_.FixedWidth();
+    return Cost() + n * LengthHeaderBytes(type_) +
+           kernels::TotalNullSuppressedLength(cells, w, n, type_.IsString());
+  }
+
+  void AddBatch(const char* cells, size_t n) override {
+    const uint32_t w = type_.FixedWidth();
+    const uint32_t header = LengthHeaderBytes(type_);
+    thread_local std::vector<uint32_t> lengths;
+    if (lengths.size() < n) lengths.resize(n);
+    kernels::NullSuppressedLengths(cells, w, n, type_.IsString(),
+                                   lengths.data());
+    uint64_t payload = 0;
+    for (size_t i = 0; i < n; ++i) payload += lengths[i];
+    buf_.reserve(buf_.size() + n * header + payload);
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t len = lengths[i];
+      buf_.push_back(static_cast<char>(len & 0xFF));
+      if (header == 2) buf_.push_back(static_cast<char>((len >> 8) & 0xFF));
+      buf_.append(cells + i * w, len);
+    }
+    count_ += static_cast<uint32_t>(n);
   }
 
   size_t Cost() const override { return 2 + buf_.size(); }
@@ -93,6 +122,18 @@ class NoneChunk final : public ColumnChunkCompressor {
     assert(cell.size() == type_.FixedWidth());
     buf_.append(cell.data(), cell.size());
     ++count_;
+  }
+
+  bool SupportsBatch() const override { return true; }
+
+  size_t CostWithBatch(const char* cells, size_t n) override {
+    (void)cells;
+    return Cost() + n * type_.FixedWidth();
+  }
+
+  void AddBatch(const char* cells, size_t n) override {
+    buf_.append(cells, n * type_.FixedWidth());
+    count_ += static_cast<uint32_t>(n);
   }
 
   size_t Cost() const override { return 2 + buf_.size(); }

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "compression/encoding_util.h"
+#include "compression/kernels.h"
 
 namespace cfest {
 namespace {
@@ -35,6 +36,45 @@ class RleChunk final : public ColumnChunkCompressor {
     ++count_;
   }
 
+  bool SupportsBatch() const override { return true; }
+
+  size_t CostWithBatch(const char* cells, size_t n) override {
+    const uint32_t w = type_.FixedWidth();
+    std::vector<uint32_t>& starts = StartsScratch();
+    starts.clear();
+    const char* prev = runs_.empty() ? nullptr : runs_.back().value.data();
+    kernels::RunStarts(cells, w, n, prev, &starts);
+    size_t cost = Cost();
+    for (const uint32_t s : starts) {
+      cost += 4 + encoding::NullSuppressedCost(
+                      Slice(cells + static_cast<size_t>(s) * w, w), type_);
+    }
+    return cost;
+  }
+
+  void AddBatch(const char* cells, size_t n) override {
+    const uint32_t w = type_.FixedWidth();
+    std::vector<uint32_t>& starts = StartsScratch();
+    starts.clear();
+    const char* prev = runs_.empty() ? nullptr : runs_.back().value.data();
+    kernels::RunStarts(cells, w, n, prev, &starts);
+    // Cells before the first boundary extend the run left open by Add();
+    // a non-zero head implies runs_ is non-empty (cell 0 matched prev).
+    const uint32_t head =
+        starts.empty() ? static_cast<uint32_t>(n) : starts[0];
+    if (head > 0) runs_.back().length += head;
+    runs_.reserve(runs_.size() + starts.size());
+    for (size_t k = 0; k < starts.size(); ++k) {
+      const uint32_t s = starts[k];
+      const uint32_t e =
+          k + 1 < starts.size() ? starts[k + 1] : static_cast<uint32_t>(n);
+      const Slice cell(cells + static_cast<size_t>(s) * w, w);
+      runs_.push_back({cell.ToString(), e - s});
+      runs_bytes_ += 4 + encoding::NullSuppressedCost(cell, type_);
+    }
+    count_ += static_cast<uint32_t>(n);
+  }
+
   size_t Cost() const override { return 2 + runs_bytes_; }
   uint32_t count() const override { return count_; }
 
@@ -50,6 +90,11 @@ class RleChunk final : public ColumnChunkCompressor {
   }
 
  private:
+  static std::vector<uint32_t>& StartsScratch() {
+    thread_local std::vector<uint32_t> scratch;
+    return scratch;
+  }
+
   DataType type_;
   std::vector<Run> runs_;
   size_t runs_bytes_ = 0;
@@ -73,6 +118,38 @@ class RleCompressor final : public ColumnCompressor {
     uint16_t run_count = 0;
     if (!encoding::GetU16(chunk, &pos, &run_count)) {
       return Status::Corruption("RLE chunk missing run count");
+    }
+    // Pre-scan the run headers for the total cell count so the expansion
+    // loop below reserves once instead of reallocating per push_back.
+    // Lenient by design: on any malformed header the scan just stops, and
+    // the main loop reports the precise corruption as before.
+    {
+      const uint32_t header = LengthHeaderBytes(type_);
+      uint64_t total = 0;
+      size_t p = pos;
+      bool complete = true;
+      for (uint16_t i = 0; i < run_count && complete; ++i) {
+        uint32_t run_length = 0;
+        if (!encoding::GetU32(chunk, &p, &run_length) ||
+            p + header > chunk.size()) {
+          complete = false;
+          break;
+        }
+        uint32_t len = static_cast<unsigned char>(chunk[p]);
+        if (header == 2) {
+          len |= static_cast<uint32_t>(static_cast<unsigned char>(chunk[p + 1]))
+                 << 8;
+        }
+        p += header + len;
+        if (p > chunk.size()) {
+          complete = false;
+          break;
+        }
+        total += run_length;
+      }
+      if (complete && total <= 0xFFFF) {
+        cells->reserve(cells->size() + static_cast<size_t>(total));
+      }
     }
     uint64_t total_rows = 0;
     for (uint16_t i = 0; i < run_count; ++i) {

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <numeric>
 
+#include "compression/kernels.h"
+
 namespace cfest {
 namespace {
 
@@ -54,9 +56,9 @@ void AppendProjectedRows(const Table& table,
     for (size_t c = 0; c < source_columns.size(); ++c) {
       if (source_columns[c] == SIZE_MAX) {
         const uint64_t rid = rid_base + id;
-        for (int b = 0; b < 8; ++b) {
-          out->push_back(static_cast<char>((rid >> (8 * b)) & 0xFF));
-        }
+        char buf[8];
+        std::memcpy(buf, &rid, 8);  // little-endian host
+        out->append(buf, 8);
       } else {
         Slice cell = table.cell(id, source_columns[c]);
         out->append(cell.data(), cell.size());
@@ -116,11 +118,8 @@ Result<Index> Index::Build(const Table& table,
   std::stable_sort(perm.begin(), perm.end(), [&](uint64_t a, uint64_t b) {
     return cmp.Compare(Slice(base + a * w, w), Slice(base + b * w, w)) < 0;
   });
-  std::string sorted;
-  sorted.reserve(index.sorted_rows_.size());
-  for (uint64_t p : perm) {
-    sorted.append(base + p * w, w);
-  }
+  std::string sorted(index.sorted_rows_.size(), '\0');
+  kernels::GatherRows(base, w, perm.data(), perm.size(), sorted.data());
   index.sorted_rows_ = std::move(sorted);
 
   CFEST_RETURN_NOT_OK(index.PackLeafPages(options));
@@ -185,6 +184,13 @@ Result<Index> Index::ExtendedWith(const Table& delta, uint64_t rid_base,
   std::stable_sort(perm.begin(), perm.end(), [&](uint64_t a, uint64_t b) {
     return cmp.Compare(Slice(dbase + a * w, w), Slice(dbase + b * w, w)) < 0;
   });
+  // Apply the permutation up front so the merge below walks two contiguous
+  // sorted runs instead of chasing perm[] per comparison.
+  std::string delta_sorted(delta_rows.size(), '\0');
+  kernels::GatherRows(dbase, w, perm.data(), perm.size(),
+                      delta_sorted.data());
+  const char* dsorted = delta_sorted.data();
+  const size_t delta_n = perm.size();
 
   // Merge the two sorted runs, old rows first on ties: that is exactly the
   // stable sort of [old source rows..., delta rows...], i.e. what Build()
@@ -200,9 +206,9 @@ Result<Index> Index::ExtendedWith(const Table& delta, uint64_t rid_base,
   merged.sorted_rows_.reserve(static_cast<size_t>(merged.num_rows_) * w);
   uint64_t old_i = 0;
   size_t delta_i = 0;
-  while (old_i < num_rows_ && delta_i < perm.size()) {
+  while (old_i < num_rows_ && delta_i < delta_n) {
     const Slice old_row = row(old_i);
-    const Slice delta_row(dbase + perm[delta_i] * w, w);
+    const Slice delta_row(dsorted + delta_i * w, w);
     if (cmp.Compare(old_row, delta_row) <= 0) {
       merged.sorted_rows_.append(old_row.data(), w);
       ++old_i;
@@ -214,8 +220,9 @@ Result<Index> Index::ExtendedWith(const Table& delta, uint64_t rid_base,
   for (; old_i < num_rows_; ++old_i) {
     merged.sorted_rows_.append(row(old_i).data(), w);
   }
-  for (; delta_i < perm.size(); ++delta_i) {
-    merged.sorted_rows_.append(dbase + perm[delta_i] * w, w);
+  if (delta_i < delta_n) {
+    merged.sorted_rows_.append(dsorted + delta_i * w,
+                               (delta_n - delta_i) * w);
   }
 
   CFEST_RETURN_NOT_OK(merged.PackLeafPages(options));
@@ -226,9 +233,7 @@ Result<CompressedIndex> Index::Compress(const CompressionScheme& scheme,
                                         const IndexBuildOptions& options) const {
   CFEST_ASSIGN_OR_RETURN(auto builder,
                          CompressedIndexBuilder::Make(schema_, scheme, options));
-  for (uint64_t i = 0; i < num_rows_; ++i) {
-    CFEST_RETURN_NOT_OK(builder->Add(row(i)));
-  }
+  CFEST_RETURN_NOT_OK(builder->AddRows(sorted_rows_.data(), num_rows_));
   return builder->Finish();
 }
 

@@ -1,0 +1,514 @@
+// Tests for the hardware-fast sizing kernels (compression/kernels.h): every
+// SIMD variant pinned bit-identical to its scalar reference across fuzzed
+// widths, alignments, odd tails, and empty/single-cell slices; the arena
+// allocator; the bulk BitWriter; the batched chunk path against the per-cell
+// path; and the incremental (Fenwick) advisor bound against the legacy
+// rescan.
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "advisor/advisor.h"
+#include "advisor/search.h"
+#include "common/arena.h"
+#include "common/bit_util.h"
+#include "common/random.h"
+#include "common/simd.h"
+#include "compression/compressed_index.h"
+#include "compression/compressor.h"
+#include "compression/kernels.h"
+#include "compression/scheme.h"
+#include "storage/row_codec.h"
+
+namespace cfest {
+namespace {
+
+/// Every level worth pinning on this machine (always includes kScalar).
+std::vector<SimdLevel> TestableLevels() {
+  std::vector<SimdLevel> levels = {SimdLevel::kScalar};
+  if (MaxSimdLevel() >= SimdLevel::kSse42) levels.push_back(SimdLevel::kSse42);
+  if (MaxSimdLevel() >= SimdLevel::kAvx2) levels.push_back(SimdLevel::kAvx2);
+  return levels;
+}
+
+/// Restores the default dispatch policy when a test scope ends.
+struct SimdLevelGuard {
+  ~SimdLevelGuard() { ResetSimdLevel(); }
+};
+
+/// Cell data with many pad bytes and runs, offset from the allocation start
+/// so vector loads see every alignment.
+std::string FuzzCells(Random* rng, uint32_t width, size_t n, bool is_string,
+                      size_t misalign) {
+  std::string buf(misalign + n * width, '\0');
+  for (size_t i = 0; i < n; ++i) {
+    char* cell = buf.data() + misalign + i * width;
+    const uint64_t shape = rng->NextBounded(10);
+    if (shape < 3) {
+      // Fully padded cell (length 0).
+      std::memset(cell, is_string ? ' ' : '\0', width);
+    } else if (shape < 5 && i > 0) {
+      // Repeat the previous cell: RLE runs.
+      std::memcpy(cell, cell - width, width);
+    } else {
+      const uint32_t len = static_cast<uint32_t>(rng->NextBounded(width + 1));
+      for (uint32_t b = 0; b < len; ++b) {
+        cell[b] = static_cast<char>(rng->NextBounded(256));
+      }
+      if (len > 0 && is_string) {
+        // Make the last byte non-pad half the time so lengths vary.
+        if (rng->NextBounded(2) == 0) cell[len - 1] = 'x';
+      }
+      for (uint32_t b = len; b < width; ++b) cell[b] = is_string ? ' ' : '\0';
+    }
+  }
+  return buf;
+}
+
+TEST(SimdLevelTest, ProbeAndPin) {
+  SimdLevelGuard guard;
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kScalar), "scalar");
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kSse42), "sse42");
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kAvx2), "avx2");
+  SetSimdLevel(SimdLevel::kScalar);
+  EXPECT_EQ(ActiveSimdLevel(), SimdLevel::kScalar);
+  // A pin above the CPU's capability clamps instead of lying.
+  SetSimdLevel(SimdLevel::kAvx2);
+  EXPECT_LE(ActiveSimdLevel(), MaxSimdLevel());
+  ResetSimdLevel();
+  EXPECT_LE(ActiveSimdLevel(), MaxSimdLevel());
+}
+
+TEST(KernelsTest, NullSuppressedLengthsMatchScalarAndRowCodec) {
+  SimdLevelGuard guard;
+  Random rng(42);
+  const uint32_t widths[] = {1, 2, 3, 4, 7, 8, 9, 16, 20, 33, 64, 65, 300};
+  const size_t counts[] = {0, 1, 2, 3, 15, 16, 17, 63, 64, 65, 513};
+  for (const bool is_string : {false, true}) {
+    for (const uint32_t w : widths) {
+      const DataType cell_type = is_string ? CharType(w) : Int64Type();
+      for (const size_t n : counts) {
+        for (const size_t misalign : {size_t{0}, size_t{1}, size_t{7}}) {
+          const std::string buf = FuzzCells(&rng, w, n, is_string, misalign);
+          const char* cells = buf.data() + misalign;
+          std::vector<uint32_t> expect(n + 1, 0xDEAD);
+          kernels::scalar::NullSuppressedLengths(cells, w, n, is_string,
+                                                 expect.data());
+          // The scalar reference must agree with the row codec's
+          // definition of l_i.
+          uint64_t expect_total = 0;
+          for (size_t i = 0; i < n; ++i) {
+            ASSERT_EQ(expect[i],
+                      NullSuppressedLength(Slice(cells + i * w, w), cell_type));
+            expect_total += expect[i];
+          }
+          for (const SimdLevel level : TestableLevels()) {
+            SetSimdLevel(level);
+            std::vector<uint32_t> got(n + 1, 0xBEEF);
+            kernels::NullSuppressedLengths(cells, w, n, is_string, got.data());
+            for (size_t i = 0; i < n; ++i) {
+              ASSERT_EQ(got[i], expect[i])
+                  << "level=" << SimdLevelName(level) << " w=" << w
+                  << " n=" << n << " mis=" << misalign << " i=" << i;
+            }
+            ASSERT_EQ(kernels::TotalNullSuppressedLength(cells, w, n,
+                                                         is_string),
+                      expect_total)
+                << "level=" << SimdLevelName(level) << " w=" << w
+                << " n=" << n;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelsTest, RunStartsMatchScalar) {
+  SimdLevelGuard guard;
+  Random rng(43);
+  const uint32_t widths[] = {1, 2, 4, 8, 10, 16, 20, 64, 65, 130};
+  const size_t counts[] = {0, 1, 2, 3, 31, 32, 33, 500};
+  for (const uint32_t w : widths) {
+    for (const size_t n : counts) {
+      for (const size_t misalign : {size_t{0}, size_t{3}}) {
+        const std::string buf = FuzzCells(&rng, w, n, false, misalign);
+        const char* cells = buf.data() + misalign;
+        // prev = null, a matching cell, a differing cell.
+        std::string match(n > 0 ? std::string(cells, w) : std::string(w, 'q'));
+        std::string differ(w, '\x7f');
+        const char* prevs[] = {nullptr, match.data(), differ.data()};
+        for (const char* prev : prevs) {
+          std::vector<uint32_t> expect;
+          kernels::scalar::RunStarts(cells, w, n, prev, &expect);
+          ASSERT_EQ(kernels::scalar::CountRuns(cells, w, n, prev),
+                    expect.size());
+          for (const SimdLevel level : TestableLevels()) {
+            SetSimdLevel(level);
+            std::vector<uint32_t> got;
+            kernels::RunStarts(cells, w, n, prev, &got);
+            ASSERT_EQ(got, expect)
+                << "level=" << SimdLevelName(level) << " w=" << w
+                << " n=" << n << " mis=" << misalign;
+            ASSERT_EQ(kernels::CountRuns(cells, w, n, prev), expect.size());
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelsTest, DecodeIntsSignExtendsLikeFrameOfReference) {
+  SimdLevelGuard guard;
+  Random rng(44);
+  for (uint32_t w = 1; w <= 8; ++w) {
+    const size_t n = 257;
+    std::string buf(n * w, '\0');
+    for (size_t i = 0; i < buf.size(); ++i) {
+      buf[i] = static_cast<char>(rng.NextBounded(256));
+    }
+    std::vector<int64_t> expect(n);
+    kernels::scalar::DecodeInts(buf.data(), w, n, expect.data());
+    for (size_t i = 0; i < n; ++i) {
+      // Independent little-endian + sign-extension reference.
+      uint64_t v = 0;
+      for (uint32_t b = 0; b < w; ++b) {
+        v |= static_cast<uint64_t>(static_cast<unsigned char>(buf[i * w + b]))
+             << (8 * b);
+      }
+      if (w < 8) {
+        const uint64_t sign = uint64_t{1} << (8 * w - 1);
+        if (v & sign) v |= ~((sign << 1) - 1);
+      }
+      ASSERT_EQ(expect[i], static_cast<int64_t>(v));
+    }
+    for (const SimdLevel level : TestableLevels()) {
+      SetSimdLevel(level);
+      std::vector<int64_t> got(n);
+      kernels::DecodeInts(buf.data(), w, n, got.data());
+      ASSERT_EQ(got, expect) << "w=" << w;
+    }
+  }
+}
+
+TEST(KernelsTest, MinMaxIntsMatchesStdMinmax) {
+  SimdLevelGuard guard;
+  Random rng(45);
+  for (const size_t n : {size_t{1}, size_t{2}, size_t{3}, size_t{4},
+                         size_t{5}, size_t{7}, size_t{8}, size_t{9},
+                         size_t{1000}}) {
+    std::vector<int64_t> values(n);
+    for (int64_t& v : values) {
+      v = static_cast<int64_t>(rng.NextU64());  // full range incl. negatives
+    }
+    const auto [lo, hi] = std::minmax_element(values.begin(), values.end());
+    for (const SimdLevel level : TestableLevels()) {
+      SetSimdLevel(level);
+      const kernels::MinMax mm = kernels::MinMaxInts(values.data(), n);
+      ASSERT_EQ(mm.min, *lo) << "n=" << n;
+      ASSERT_EQ(mm.max, *hi) << "n=" << n;
+    }
+  }
+}
+
+TEST(KernelsTest, HashBytesIsDeterministicPerLevel) {
+  SimdLevelGuard guard;
+  Random rng(46);
+  std::string data(300, '\0');
+  for (char& c : data) c = static_cast<char>(rng.NextBounded(256));
+  for (const SimdLevel level : TestableLevels()) {
+    SetSimdLevel(level);
+    for (const size_t len : {size_t{0}, size_t{1}, size_t{7}, size_t{8},
+                             size_t{9}, size_t{300}}) {
+      ASSERT_EQ(kernels::HashBytes(data.data(), len),
+                kernels::HashBytes(data.data(), len));
+    }
+    // Single-byte flip changes the hash (any decent hash must).
+    std::string other = data;
+    other[5] ^= 1;
+    EXPECT_NE(kernels::HashBytes(data.data(), data.size()),
+              kernels::HashBytes(other.data(), other.size()));
+  }
+}
+
+TEST(KernelsTest, GatherMatchesNaive) {
+  Random rng(47);
+  for (const uint32_t w : {1u, 4u, 8u, 16u, 24u, 13u, 32u, 40u}) {
+    const size_t n = 200;
+    std::string rows(n * w, '\0');
+    for (char& c : rows) c = static_cast<char>(rng.NextBounded(256));
+    std::vector<uint64_t> perm(n);
+    for (size_t i = 0; i < n; ++i) perm[i] = n - 1 - i;
+    std::string got(n * w, '\0');
+    kernels::GatherRows(rows.data(), w, perm.data(), n, got.data());
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(0, std::memcmp(got.data() + i * w,
+                               rows.data() + perm[i] * w, w));
+    }
+    // Strided gather of "column" bytes out of wider rows.
+    const size_t stride = w + 3;
+    std::string wide(n * stride, '\0');
+    for (char& c : wide) c = static_cast<char>(rng.NextBounded(256));
+    std::string cells(n * w, '\0');
+    kernels::GatherStrided(wide.data(), stride, w, n, cells.data());
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(0, std::memcmp(cells.data() + i * w,
+                               wide.data() + i * stride, w));
+    }
+  }
+}
+
+TEST(ArenaTest, BumpAlignResetReuse) {
+  Arena arena(64);
+  char* a = arena.Allocate(10, 16);
+  char* b = arena.Allocate(1, 1);
+  char* c = arena.Allocate(100, 16);  // forces a new, larger block
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(a) % 16, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(c) % 16, 0u);
+  EXPECT_NE(a, b);
+  std::memset(c, 0x5A, 100);
+  EXPECT_EQ(arena.bytes_allocated(), 111u);
+  const size_t reserved = arena.bytes_reserved();
+  arena.Reset();
+  EXPECT_EQ(arena.bytes_allocated(), 0u);
+  // Steady state: a reset arena recycles its blocks, no new reservations.
+  for (int round = 0; round < 8; ++round) {
+    arena.Allocate(10, 16);
+    arena.Allocate(100, 16);
+    EXPECT_EQ(arena.bytes_reserved(), reserved);
+    arena.Reset();
+  }
+  int64_t* ints = arena.AllocateArray<int64_t>(5);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(ints) % alignof(int64_t), 0u);
+}
+
+TEST(BitWriterTest, BulkPutMatchesBitReaderRoundTrip) {
+  Random rng(48);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::string packed;
+    BitWriter writer(&packed);
+    std::vector<std::pair<uint64_t, int>> fields;
+    for (int k = 0; k < 100; ++k) {
+      const int width = static_cast<int>(rng.NextBounded(65));
+      uint64_t value = rng.NextU64();
+      if (width < 64) value &= (uint64_t{1} << width) - 1;
+      fields.emplace_back(value, width);
+      writer.Put(value, width);
+    }
+    size_t total_bits = 0;
+    for (const auto& [value, width] : fields) total_bits += width;
+    EXPECT_EQ(packed.size(), BytesForBits(total_bits));
+    BitReader reader{Slice(packed)};
+    for (const auto& [value, width] : fields) {
+      uint64_t got = 0;
+      ASSERT_TRUE(reader.Get(width, &got));
+      ASSERT_EQ(got, value) << "width=" << width;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Batched chunk path == per-cell path, per scheme and per SIMD level.
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<ColumnCompressor> MustMake(CompressionType type,
+                                           const DataType& dt) {
+  auto result = MakeColumnCompressor(type, dt);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return std::move(result).ValueOrDie();
+}
+
+void CheckBatchEqualsPerCell(CompressionType type, const DataType& dt,
+                             const std::string& cells, size_t n) {
+  const uint32_t w = dt.FixedWidth();
+  auto per_cell_comp = MustMake(type, dt);
+  auto batch_comp = MustMake(type, dt);
+  auto per_cell = per_cell_comp->NewChunk();
+  auto batch = batch_comp->NewChunk();
+  ASSERT_TRUE(batch->SupportsBatch());
+  Random rng(49);
+  size_t i = 0;
+  while (i < n) {
+    const size_t take = std::min<size_t>(n - i, 1 + rng.NextBounded(37));
+    // Both chunks hold the same cells here, so a single-cell batch sizing
+    // must agree with the per-cell CostWith contract.
+    const Slice first(cells.data() + i * w, w);
+    ASSERT_EQ(batch->CostWithBatch(first.data(), 1), per_cell->CostWith(first))
+        << "i=" << i;
+    // The prospective batch cost must equal the realized cost after adding.
+    const size_t prospective = batch->CostWithBatch(cells.data() + i * w, take);
+    batch->AddBatch(cells.data() + i * w, take);
+    ASSERT_EQ(batch->Cost(), prospective);
+    for (size_t k = 0; k < take; ++k) {
+      per_cell->Add(Slice(cells.data() + (i + k) * w, w));
+    }
+    i += take;
+    ASSERT_EQ(batch->Cost(), per_cell->Cost()) << "i=" << i;
+    ASSERT_EQ(batch->count(), per_cell->count());
+  }
+  ASSERT_EQ(batch->Finish(), per_cell->Finish());
+  // Cross-page compressor state (the global dictionary) must match too.
+  ASSERT_EQ(batch_comp->AuxiliaryBytes(), per_cell_comp->AuxiliaryBytes());
+  ASSERT_EQ(batch_comp->TotalDictionaryEntries(),
+            per_cell_comp->TotalDictionaryEntries());
+}
+
+TEST(BatchChunkTest, BatchedPathBitIdenticalAcrossLevels) {
+  SimdLevelGuard guard;
+  Random rng(50);
+  struct Case {
+    CompressionType type;
+    DataType dt;
+    bool is_string;
+  };
+  const Case cases[] = {
+      {CompressionType::kNone, Int64Type(), false},
+      {CompressionType::kNone, CharType(17), true},
+      {CompressionType::kNullSuppression, Int64Type(), false},
+      {CompressionType::kNullSuppression, CharType(20), true},
+      {CompressionType::kNullSuppression, CharType(300), true},
+      {CompressionType::kRle, Int32Type(), false},
+      {CompressionType::kRle, CharType(16), true},
+      {CompressionType::kDictionaryGlobal, CharType(12), true},
+      {CompressionType::kDictionaryGlobal, Int64Type(), false},
+      {CompressionType::kFrameOfReference, Int32Type(), false},
+      {CompressionType::kFrameOfReference, Int64Type(), false},
+  };
+  for (const Case& c : cases) {
+    for (const size_t n : {size_t{0}, size_t{1}, size_t{2}, size_t{700}}) {
+      const std::string cells =
+          FuzzCells(&rng, c.dt.FixedWidth(), n, c.is_string, 0);
+      for (const SimdLevel level : TestableLevels()) {
+        SetSimdLevel(level);
+        CheckBatchEqualsPerCell(c.type, c.dt, cells, n);
+      }
+    }
+  }
+}
+
+TEST(BatchChunkTest, AddRowsMatchesPerRowPages) {
+  SimdLevelGuard guard;
+  Random rng(51);
+  Schema schema({{"k", Int64Type()},
+                 {"v", CharType(12)},
+                 {"m", Int32Type()}});
+  CompressionScheme scheme;
+  scheme.default_type = CompressionType::kNullSuppression;
+  scheme.per_column = {CompressionType::kFrameOfReference,
+                       CompressionType::kRle,
+                       CompressionType::kNullSuppression};
+  const size_t n = 4000;
+  std::string rows;
+  rows.reserve(n * schema.row_width());
+  for (size_t i = 0; i < n; ++i) {
+    // Sorted-ish keys with runs in the middle column.
+    const uint64_t k = i / 3;
+    rows.append(reinterpret_cast<const char*>(&k), 8);
+    std::string v = "v" + std::to_string(i / 50);
+    v.append(12 - v.size(), ' ');
+    rows += v;
+    const uint32_t m = static_cast<uint32_t>(rng.NextBounded(1000));
+    rows.append(reinterpret_cast<const char*>(&m), 4);
+  }
+  IndexBuildOptions options;
+  options.page_size = 4096;
+  auto build = [&](bool batched, SimdLevel level) {
+    SetSimdLevel(level);
+    auto builder = CompressedIndexBuilder::Make(schema, scheme, options)
+                       .ValueOrDie();
+    if (batched) {
+      EXPECT_TRUE(builder->AddRows(rows.data(), n).ok());
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_TRUE(
+            builder
+                ->Add(Slice(rows.data() + i * schema.row_width(),
+                            schema.row_width()))
+                .ok());
+      }
+    }
+    return builder->Finish().ValueOrDie();
+  };
+  const CompressedIndex reference = build(false, SimdLevel::kScalar);
+  for (const SimdLevel level : TestableLevels()) {
+    const CompressedIndex batched = build(true, level);
+    ASSERT_EQ(batched.stats().data_pages, reference.stats().data_pages)
+        << SimdLevelName(level);
+    ASSERT_EQ(batched.stats().used_bytes, reference.stats().used_bytes);
+    ASSERT_EQ(batched.stats().chunk_bytes, reference.stats().chunk_bytes);
+    ASSERT_EQ(batched.pages().size(), reference.pages().size());
+    for (size_t p = 0; p < batched.pages().size(); ++p) {
+      ASSERT_EQ(batched.pages()[p].record(0).ValueOrDie(),
+                reference.pages()[p].record(0).ValueOrDie())
+          << "page " << p << " level " << SimdLevelName(level);
+    }
+    std::vector<std::string> decoded;
+    ASSERT_TRUE(batched.DecodeAllRows(&decoded).ok());
+    ASSERT_EQ(decoded.size(), n);
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(decoded[i],
+                rows.substr(i * schema.row_width(), schema.row_width()));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental (Fenwick) advisor bound == legacy rescan bound.
+// ---------------------------------------------------------------------------
+
+TEST(IncrementalBoundTest, SameSelectionsAsLegacyRescan) {
+  Random rng(52);
+  for (int trial = 0; trial < 30; ++trial) {
+    const size_t n = 1 + rng.NextBounded(60);
+    std::vector<SizedCandidate> candidates(n);
+    for (size_t i = 0; i < n; ++i) {
+      SizedCandidate& c = candidates[i];
+      c.config.table_name = "t";
+      // A handful of distinct index names so several candidates share a
+      // selection key and exercise the taken bitmap.
+      c.config.index.name = "idx" + std::to_string(rng.NextBounded(n / 2 + 1));
+      c.config.scheme =
+          CompressionScheme::Uniform(rng.NextBounded(2) == 0
+                                         ? CompressionType::kNullSuppression
+                                         : CompressionType::kRle);
+      // Integer-valued benefits: exact in double, so prune-at-equality
+      // decisions cannot be perturbed by summation order and both bound
+      // implementations must branch identically.
+      c.config.benefit = static_cast<double>(rng.NextBounded(1000));
+      c.estimated_bytes = rng.NextBounded(100000);
+      c.uncompressed_bytes = c.estimated_bytes * 2 + 1;
+    }
+    const std::vector<size_t> order = OrderCandidatesForSelection(candidates);
+    for (const uint64_t bound :
+         {uint64_t{0}, uint64_t{50000}, uint64_t{300000}, ~uint64_t{0}}) {
+      LazyAdvisorStats fast_stats;
+      LazyAdvisorStats slow_stats;
+      const AdvisorRecommendation fast = SearchSizedCandidates(
+          candidates, order, bound, &fast_stats, /*incremental_bound=*/true);
+      const AdvisorRecommendation slow = SearchSizedCandidates(
+          candidates, order, bound, &slow_stats, /*incremental_bound=*/false);
+      ASSERT_EQ(fast.total_benefit, slow.total_benefit)
+          << "trial=" << trial << " bound=" << bound;
+      ASSERT_EQ(fast.total_bytes, slow.total_bytes);
+      ASSERT_EQ(fast.selected.size(), slow.selected.size());
+      for (size_t i = 0; i < fast.selected.size(); ++i) {
+        ASSERT_EQ(fast.selected[i].config.index.name,
+                  slow.selected[i].config.index.name);
+        ASSERT_EQ(fast.selected[i].estimated_bytes,
+                  slow.selected[i].estimated_bytes);
+      }
+      // Same tree: the bound values agree at every node, so both searches
+      // visit and prune identically.
+      ASSERT_EQ(fast_stats.nodes_visited, slow_stats.nodes_visited);
+      ASSERT_EQ(fast_stats.nodes_pruned, slow_stats.nodes_pruned);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cfest
