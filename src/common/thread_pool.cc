@@ -32,6 +32,16 @@ void ThreadPool::Submit(std::function<void()> task) {
   task_ready_.notify_one();
 }
 
+void ThreadPool::SubmitBatch(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::function<void()>& task : tasks) tasks_.push(std::move(task));
+    in_flight_ += tasks.size();
+  }
+  task_ready_.notify_all();
+}
+
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
@@ -67,7 +77,10 @@ void ThreadPool::ParallelFor(uint64_t n,
     state->done += completed;
     if (state->done == n) state->all_done.notify_all();
   };
-  for (uint64_t t = 1; t < tasks; ++t) Submit(drain);
+  if (tasks > 1) {
+    SubmitBatch(std::vector<std::function<void()>>(
+        static_cast<size_t>(tasks - 1), drain));
+  }
   drain();
   std::unique_lock<std::mutex> lock(state->mu);
   state->all_done.wait(lock, [&] { return state->done == n; });
@@ -85,9 +98,10 @@ void ThreadPool::WorkerLoop() {
       tasks_.pop();
     }
     task();
+    uint64_t left;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      --in_flight_;
+      left = --in_flight_;
     }
     all_done_.notify_all();
   }

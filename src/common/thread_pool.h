@@ -51,6 +51,12 @@ class ThreadPool {
   /// Enqueues a task. Tasks must not throw.
   void Submit(std::function<void()> task);
 
+  /// Enqueues a batch of tasks under one lock acquisition and one
+  /// wake-all. The fan-out paths (ParallelFor, the estimation services)
+  /// use this instead of N Submit calls, which would take the queue lock
+  /// and signal the condition variable once per task.
+  void SubmitBatch(std::vector<std::function<void()>> tasks);
+
   /// Blocks until every task submitted so far has completed.
   void Wait();
 

@@ -155,16 +155,44 @@ Status CompressedIndexBuilder::AddRows(const char* rows, uint64_t n) {
   // fits every prefix fits too — the per-row path would not have flushed
   // mid-batch. Near a page boundary the batch halves until it fits or
   // degenerates to Add(), which performs the flush exactly as before.
-  constexpr uint64_t kTargetBatchRows = 1024;
+  constexpr uint64_t kFallbackBatchRows = 1024;
   std::vector<char*> cols(ncols);
   uint64_t i = 0;
+  const size_t framing = kPageHeaderSize + kSlotSize + 4 * ncols;
   while (i < n) {
     if (chunks_[0]->count() >= 0xFFFF) {
       CFEST_RETURN_NOT_OK(FlushPage());
       OpenPage();
     }
     const uint64_t room = 0xFFFF - chunks_[0]->count();
-    uint64_t batch = std::min(std::min(n - i, kTargetBatchRows), room);
+    // Size the attempt to the page's remaining capacity instead of a fixed
+    // chunk: the per-row cost observed on the current page (or the
+    // previous page's row count when this one is still empty) predicts how
+    // many more rows fit. The exact cost check below stays the gate — a
+    // bad prediction costs one halving round, never correctness — but a
+    // good one fills the page in one transpose + one cost pass where the
+    // fixed 1024-row chunk took many (large pages), or avoided repeated
+    // halving (small pages).
+    uint64_t predicted = kFallbackBatchRows;
+    const uint64_t page_rows = chunks_[0]->count();
+    if (page_rows > 0) {
+      const size_t used = PageCost(0);
+      const size_t chunk_bytes = used - framing;
+      if (chunk_bytes == 0) {
+        predicted = room;  // rows currently cost nothing (0-bit pointers)
+      } else {
+        // Ceil per-row cost under-predicts the fit, so the attempt is
+        // usually accepted on its first cost pass.
+        const size_t per_row = (chunk_bytes + page_rows - 1) / page_rows;
+        const size_t remaining =
+            options_.page_size > used ? options_.page_size - used : 0;
+        predicted = remaining / per_row;
+      }
+    } else if (last_page_rows_ > 0) {
+      predicted = last_page_rows_;
+    }
+    uint64_t batch =
+        std::min(std::min(n - i, room), std::max<uint64_t>(predicted, 1));
     // Transpose once at the attempted size; halved retries size prefixes of
     // the same contiguous column slices.
     transpose_arena_.Reset();
@@ -174,7 +202,6 @@ Status CompressedIndexBuilder::AddRows(const char* rows, uint64_t n) {
       kernels::GatherStrided(rows + i * row_width + schema_.offset(c),
                              row_width, w, batch, cols[c]);
     }
-    const size_t framing = kPageHeaderSize + kSlotSize + 4 * ncols;
     for (;;) {
       size_t prospective = framing;
       for (size_t c = 0; c < ncols; ++c) {
@@ -201,6 +228,7 @@ Status CompressedIndexBuilder::AddRows(const char* rows, uint64_t n) {
 }
 
 Status CompressedIndexBuilder::FlushPage() {
+  last_page_rows_ = chunks_[0]->count();
   std::string record;
   for (size_t c = 0; c < chunks_.size(); ++c) {
     std::string bytes = chunks_[c]->Finish();

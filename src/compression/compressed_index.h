@@ -151,6 +151,10 @@ class CompressedIndexBuilder {
   CompressedIndexStats stats_;
   uint64_t rows_added_ = 0;
   uint64_t next_page_id_ = 0;
+  /// Rows the most recently flushed page held — AddRows' batch-size
+  /// predictor for a freshly opened page, before the page has its own
+  /// per-row cost to extrapolate from.
+  uint64_t last_page_rows_ = 0;
   bool finished_ = false;
 };
 

@@ -203,15 +203,15 @@ using internal::BuildGroupIndexes;
 using internal::GroupIndexCache;
 
 Result<ConfidenceInterval> EstimateCandidateIntervalImpl(
-    EstimationEngine& engine, const CandidateConfiguration& candidate,
-    double cf, double num_sigmas, uint32_t interval_groups,
-    std::string* method, GroupIndexCache* cache) {
+    EstimationEngine& engine, const SampleEpoch& epoch,
+    const CandidateConfiguration& candidate, double cf, double num_sigmas,
+    uint32_t interval_groups, std::string* method, GroupIndexCache* cache) {
   if (IsUncompressedScheme(candidate.scheme)) {
     if (method != nullptr) *method = kMethodExact;
     return ConfidenceInterval{cf, cf, num_sigmas};
   }
-  CFEST_ASSIGN_OR_RETURN(const Table* sample, engine.SampleTable());
-  const uint64_t rows = sample->num_rows();
+  const Table* sample = &epoch.sample();
+  const uint64_t rows = epoch.sample_rows();
   const bool is_ns = IsUniformNullSuppressionScheme(candidate.scheme);
 
   uint32_t groups = interval_groups;
@@ -296,20 +296,23 @@ uint64_t RowCapForTarget(const PrecisionTarget& target, uint64_t n) {
 /// sizing (page metric), base-metric CF', interval, and target half-width —
 /// the body of one adaptive round for one candidate, shared by the round
 /// loop and CandidateRefiner. Leaves `rounds`/`converged` to the caller.
-Status EstimateCandidateNow(EstimationEngine& engine,
+Status EstimateCandidateNow(EstimationEngine& engine, const SampleEpoch& epoch,
                             const CandidateConfiguration& c, double z,
                             const PrecisionTarget& target,
                             GroupIndexCache* cache,
                             AdaptiveCandidateResult* r) {
   // One cached-index build + compression yields both the base-metric CF'
   // (controlled quantity) and the page-metric footprint (what
-  // EstimationEngine::Estimate reports).
+  // EstimationEngine::Estimate reports). Everything reads the pinned epoch
+  // — including the full-index scaling's row count — so the result is
+  // immune to appends streaming in concurrently.
   CFEST_ASSIGN_OR_RETURN(SampleCFResult est,
-                         engine.EstimateCF(c.index, c.scheme));
+                         engine.EstimateCFAt(epoch, c.index, c.scheme));
   CFEST_ASSIGN_OR_RETURN(
       const uint64_t uncompressed,
       EstimateUncompressedIndexBytes(engine.table(), c.index,
-                                     engine.options().base.build.page_size));
+                                     engine.options().base.build.page_size,
+                                     epoch.table_rows()));
   const double page_cf =
       MeasureCF(est.sample_uncompressed, est.sample_compressed,
                 SizeMetric::kPageBytes)
@@ -325,7 +328,7 @@ Status EstimateCandidateNow(EstimationEngine& engine,
   r->target_half_width = target.rel_error * std::max(r->cf, target.cf_floor);
   CFEST_ASSIGN_OR_RETURN(
       r->interval,
-      EstimateCandidateIntervalImpl(engine, c, r->cf, z,
+      EstimateCandidateIntervalImpl(engine, epoch, c, r->cf, z,
                                     target.interval_groups,
                                     &r->interval_method, cache));
   return Status::OK();
@@ -361,6 +364,11 @@ Result<std::vector<CandidateIntervalResult>> EstimateCandidateIntervals(
     EstimationEngine& engine,
     std::span<const CandidateConfiguration> candidates, double num_sigmas,
     uint32_t interval_groups, ThreadPool* pool) {
+  // One pinned epoch for the whole batch: every candidate's CF' and
+  // interval come from the same sample snapshot, and the fan-out below
+  // never touches the engine mutex.
+  CFEST_ASSIGN_OR_RETURN(std::shared_ptr<const SampleEpoch> epoch,
+                         engine.PinEpoch());
   GroupIndexCache cache;
   std::vector<CandidateIntervalResult> results(candidates.size());
   CFEST_RETURN_NOT_OK(StatusParallelFor(
@@ -375,11 +383,12 @@ Result<std::vector<CandidateIntervalResult>> EstimateCandidateIntervals(
         }
         CFEST_ASSIGN_OR_RETURN(
             SampleCFResult est,
-            engine.EstimateCF(candidates[i].index, candidates[i].scheme));
+            engine.EstimateCFAt(*epoch, candidates[i].index,
+                                candidates[i].scheme));
         r.cf = est.cf.value;
         CFEST_ASSIGN_OR_RETURN(
             r.interval,
-            EstimateCandidateIntervalImpl(engine, candidates[i], r.cf,
+            EstimateCandidateIntervalImpl(engine, *epoch, candidates[i], r.cf,
                                           num_sigmas, interval_groups,
                                           &r.method, &cache));
         return Status::OK();
@@ -423,13 +432,17 @@ Result<AdaptiveBatchResult> AdaptiveEstimator::EstimateAll(
   if (!active.empty()) {
     // First round runs on the engine's base-fraction draw, floored at
     // min_rows so the replicate intervals have something to work with.
-    CFEST_RETURN_NOT_OK(
-        engine_.GrowSample(std::min(cap, std::max<uint64_t>(1, target_.min_rows)))
-            .status());
+    // Each round pins the epoch its growth produced and estimates every
+    // candidate against that one snapshot — the round is immune to
+    // concurrent appends, and the fan-out never touches the engine mutex.
+    CFEST_ASSIGN_OR_RETURN(
+        std::shared_ptr<const SampleEpoch> epoch,
+        engine_.GrowSampleToEpoch(
+            std::min(cap, std::max<uint64_t>(1, target_.min_rows))));
 
     while (true) {
       ++report.rounds;
-      const uint64_t rows = engine_.sample_rows();
+      const uint64_t rows = epoch->sample_rows();
       report.rows_per_round.push_back(rows);
       const uint32_t round = report.rounds;
       // Replicate index builds are shared across every scheme ranked on
@@ -442,7 +455,7 @@ Result<AdaptiveBatchResult> AdaptiveEstimator::EstimateAll(
             const size_t i = active[static_cast<size_t>(k)];
             AdaptiveCandidateResult& r = batch.candidates[i];
             CFEST_RETURN_NOT_OK(EstimateCandidateNow(
-                engine_, candidates[i], z, target_, &group_cache, &r));
+                engine_, *epoch, candidates[i], z, target_, &group_cache, &r));
             r.rounds = round;
             return Status::OK();
           }));
@@ -470,9 +483,8 @@ Result<AdaptiveBatchResult> AdaptiveEstimator::EstimateAll(
       const uint64_t geometric = static_cast<uint64_t>(std::ceil(
           static_cast<double>(rows) * target_.growth_factor));
       const uint64_t next = std::min(cap, std::max(max_needed, geometric));
-      CFEST_ASSIGN_OR_RETURN(const uint64_t grown,
-                             engine_.GrowSample(next));
-      if (grown <= rows) {  // table exhausted below the nominal cap
+      CFEST_ASSIGN_OR_RETURN(epoch, engine_.GrowSampleToEpoch(next));
+      if (epoch->sample_rows() <= rows) {  // table exhausted below the cap
         report.budget_exhausted = true;
         break;
       }
@@ -525,18 +537,18 @@ Result<CandidateRefiner> CandidateRefiner::Make(EstimationEngine& engine,
   return CandidateRefiner(engine, std::move(target), z);
 }
 
-Result<std::shared_ptr<internal::GroupIndexCache>>
-CandidateRefiner::CurrentCache() {
-  // Ensure the sample is drawn first, so the version below identifies the
-  // sample the cache entries are built on.
-  CFEST_RETURN_NOT_OK(engine_->SampleTable().status());
-  const uint64_t version = engine_->cache_stats().sample_version;
+Result<CandidateRefiner::PinnedCache> CandidateRefiner::CurrentCache() {
+  // Pinning draws the sample on first use; the epoch's version identifies
+  // the sample the cache entries are built on, and handing both back as a
+  // pair keeps them coherent even if the engine grows concurrently.
+  CFEST_ASSIGN_OR_RETURN(std::shared_ptr<const SampleEpoch> epoch,
+                         engine_->PinEpoch());
   std::lock_guard<std::mutex> lock(cache_mu_);
-  if (cache_ == nullptr || version != cache_version_) {
+  if (cache_ == nullptr || epoch->version() != cache_version_) {
     cache_ = std::make_shared<internal::GroupIndexCache>();
-    cache_version_ = version;
+    cache_version_ = epoch->version();
   }
-  return cache_;
+  return PinnedCache{std::move(epoch), cache_};
 }
 
 Result<AdaptiveCandidateResult> CandidateRefiner::EstimateAtCurrentSample(
@@ -550,10 +562,10 @@ Result<AdaptiveCandidateResult> CandidateRefiner::EstimateAtCurrentSample(
     r.converged = true;
     return r;
   }
-  CFEST_ASSIGN_OR_RETURN(std::shared_ptr<internal::GroupIndexCache> cache,
-                         CurrentCache());
-  CFEST_RETURN_NOT_OK(EstimateCandidateNow(*engine_, candidate, num_sigmas_,
-                                           target_, cache.get(), &r));
+  CFEST_ASSIGN_OR_RETURN(PinnedCache pinned, CurrentCache());
+  CFEST_RETURN_NOT_OK(EstimateCandidateNow(*engine_, *pinned.epoch, candidate,
+                                           num_sigmas_, target_,
+                                           pinned.cache.get(), &r));
   r.rounds = rounds_;
   r.converged = r.interval.upper - r.cf <= r.target_half_width;
   return r;

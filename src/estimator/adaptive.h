@@ -242,9 +242,18 @@ class CandidateRefiner {
  private:
   CandidateRefiner(EstimationEngine& engine, PrecisionTarget target,
                    double num_sigmas);
-  /// The replicate-index cache for the engine's current sample (dropped
-  /// and rebuilt whenever the sample version moves).
-  Result<std::shared_ptr<internal::GroupIndexCache>> CurrentCache();
+  /// A pinned epoch paired with the replicate-index cache built for its
+  /// sample. Pairing them is what makes EstimateAtCurrentSample coherent:
+  /// the estimate, the interval's replicate builds, and the full-index
+  /// scaling all read the same snapshot.
+  struct PinnedCache {
+    std::shared_ptr<const SampleEpoch> epoch;
+    std::shared_ptr<internal::GroupIndexCache> cache;
+  };
+  /// Pins the engine's current epoch and returns it with the replicate
+  /// cache for its sample (dropped and rebuilt whenever the sample version
+  /// moves).
+  Result<PinnedCache> CurrentCache();
 
   EstimationEngine* engine_;
   PrecisionTarget target_;

@@ -1,0 +1,109 @@
+// Copyright (c) the samplecf authors. Licensed under the MIT license.
+//
+// RequestCoalescer — the service's admission layer for concurrent sizing
+// requests.
+//
+// N clients hammering CatalogEstimationService tend to ask for the *same*
+// candidates (an advisor's candidate set is shared state; dashboards poll
+// the same what-ifs). Per epoch, an estimate is a pure function of
+// (table, index key set, scheme), so identical requests landing while one
+// is already being computed can share that single computation: the first
+// requester is admitted as the owner and computes, everyone else receives
+// the same shared_future and just waits. This is the request-level
+// complement of the per-epoch index cache: the epoch cache shares the
+// *index build* across schemes, the coalescer shares the whole in-flight
+// sizing result across callers.
+//
+// Sharing is deliberately limited to work that is IN FLIGHT: Complete()
+// retires the entry as it publishes the outcome, so a request arriving
+// after the computation finished is admitted as a fresh owner and
+// recomputes through the engine's epoch caches (which make the recompute
+// cheap, and whose hit/build counters stay exactly what a coalescer-free
+// service would report). Keys embed the epoch identity (sample version +
+// table-size snapshot), so a refresh naturally splits concurrent traffic:
+// requests pinned to different epochs never merge.
+//
+// Thread-safe. The one hard protocol rule: whoever is admitted as owner
+// MUST eventually call Complete() for that key (with the error status
+// inside the outcome if the computation failed) — waiters block on the
+// future until then.
+
+#ifndef CFEST_ESTIMATOR_COALESCE_H_
+#define CFEST_ESTIMATOR_COALESCE_H_
+
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "estimator/engine.h"
+#include "estimator/epoch.h"
+
+namespace cfest {
+
+/// \brief One coalesced sizing computation's outcome: the sized candidate
+/// or the status that failed it. `sized.config` carries the *owner's*
+/// configuration — sharers must re-stamp their own (coalescing keys ignore
+/// the cosmetic index name and the benefit, which differ between callers
+/// asking for structurally identical candidates).
+struct SizingOutcome {
+  Status status = Status::OK();
+  SizedCandidate sized;
+};
+
+/// The coalescing identity of (table, candidate) at `epoch`: table name,
+/// structural index key (SampleIndexCacheKey — name excluded), the full
+/// compression scheme, and the epoch identity (version + table-rows
+/// snapshot). Two requests with equal keys are guaranteed bit-identical
+/// outcomes, because estimates are pure functions of the pinned epoch.
+std::string CoalesceKey(const std::string& table_name,
+                        const CandidateConfiguration& candidate,
+                        const SampleEpoch& epoch);
+
+/// \brief Deduplicating admission map from coalesce keys to in-flight
+/// sizing futures.
+class RequestCoalescer {
+ public:
+  struct Ticket {
+    /// True when this caller must compute and Complete() the key.
+    bool owner = false;
+    std::shared_future<SizingOutcome> future;
+  };
+
+  /// Admits a request: the first caller for a key becomes the owner; every
+  /// caller landing while the owner's computation is in flight shares the
+  /// owner's future.
+  Ticket Admit(const std::string& key);
+
+  /// Publishes the owner's outcome, releasing every waiter, and retires
+  /// the entry (later requests for the key recompute). Must be called
+  /// exactly once per owning Admit.
+  void Complete(const std::string& key, SizingOutcome outcome);
+
+  /// \brief Traffic counters (monotone).
+  struct Stats {
+    /// Admit calls.
+    uint64_t requests = 0;
+    /// Requests admitted as owners (computations actually run).
+    uint64_t admitted = 0;
+    /// Requests that joined an in-flight computation (work deduplicated).
+    uint64_t merged = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<std::promise<SizingOutcome>> promise;
+    std::shared_future<SizingOutcome> future;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> entries_;
+  Stats stats_;
+};
+
+}  // namespace cfest
+
+#endif  // CFEST_ESTIMATOR_COALESCE_H_

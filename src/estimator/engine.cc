@@ -47,16 +47,17 @@ bool IsUncompressedScheme(const CompressionScheme& scheme) {
          scheme.default_type == CompressionType::kNone;
 }
 
-Result<uint64_t> EstimateUncompressedIndexBytes(const Table& table,
-                                                const IndexDescriptor& index,
-                                                size_t page_size) {
+Result<uint64_t> EstimateUncompressedIndexBytes(
+    const Table& table, const IndexDescriptor& index, size_t page_size,
+    std::optional<uint64_t> num_rows_override) {
   CFEST_ASSIGN_OR_RETURN(uint32_t width, IndexRowWidth(table, index));
   const uint64_t per_page =
       (page_size - kPageHeaderSize) / (width + kSlotSize);
   if (per_page == 0) {
     return Status::InvalidArgument("index row wider than a page");
   }
-  const uint64_t n = table.num_rows();
+  const uint64_t n =
+      num_rows_override.has_value() ? *num_rows_override : table.num_rows();
   const uint64_t leaves = n == 0 ? 1 : (n + per_page - 1) / per_page;
   // Internal fan-out: separator key + child pointer per entry.
   uint32_t key_width = 0;
@@ -71,37 +72,50 @@ Result<uint64_t> EstimateUncompressedIndexBytes(const Table& table,
 
 EstimationEngine::EstimationEngine(const Table& table,
                                    EstimationEngineOptions options)
-    : table_(table), options_(std::move(options)) {}
+    : table_(table),
+      options_(std::move(options)),
+      counters_(std::make_shared<EpochCounters>()) {}
 
-Status EstimationEngine::EnsureSample() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (sample_ != nullptr) return Status::OK();
+std::shared_ptr<SampleEpoch> EstimationEngine::MakeEpochLocked(
+    std::shared_ptr<const TableView> view, uint64_t table_rows) {
+  return std::shared_ptr<SampleEpoch>(
+      new SampleEpoch(std::move(view), version_, table_rows, counters_));
+}
 
+void EstimationEngine::PublishLocked(std::shared_ptr<SampleEpoch> epoch) {
+  sample_ = epoch->sample_view();
+  epoch_.store(std::shared_ptr<const SampleEpoch>(std::move(epoch)),
+               std::memory_order_release);
+}
+
+Status EstimationEngine::DrawInitialLocked() {
   if (options_.maintain_reservoir) {
     if (options_.rng != nullptr) {
       return Status::InvalidArgument(
           "maintain_reservoir needs an engine-owned RNG stream (seed), not "
           "an external rng");
     }
-    if (table_.num_rows() == 0) {
+    const uint64_t n = table_.num_rows();
+    if (n == 0) {
       return Status::InvalidArgument("cannot sample an empty table");
     }
     uint64_t capacity = options_.reservoir_capacity;
     if (capacity == 0) {
       CFEST_RETURN_NOT_OK(CheckFraction(options_.base.fraction));
       capacity = std::max<uint64_t>(
-          1, static_cast<uint64_t>(std::llround(
-                 options_.base.fraction *
-                 static_cast<double>(table_.num_rows()))));
+          1, static_cast<uint64_t>(
+                 std::llround(options_.base.fraction * static_cast<double>(n))));
     }
     reservoir_rng_.Seed(options_.seed);
     reservoir_core_.emplace(capacity);
     reservoir_ids_.clear();
-    OfferRowsToReservoir(0, table_.num_rows());
+    OfferIdRange(&*reservoir_core_, &reservoir_rng_, 0, n, &reservoir_ids_);
     CFEST_ASSIGN_OR_RETURN(
-        sample_, TableView::Make(table_, std::vector<RowId>(reservoir_ids_)));
-    ++stats_.samples_drawn;
-    ++stats_.sample_version;
+        std::unique_ptr<TableView> view,
+        TableView::Make(table_, std::vector<RowId>(reservoir_ids_)));
+    counters_->samples_drawn.fetch_add(1, std::memory_order_relaxed);
+    ++version_;
+    PublishLocked(MakeEpochLocked(std::move(view), n));
     return Status::OK();
   }
 
@@ -113,11 +127,35 @@ Status EstimationEngine::EnsureSample() {
   }
   draw_rng_.Seed(options_.seed);
   Random* rng = options_.rng != nullptr ? options_.rng : &draw_rng_;
+  const uint64_t n = table_.num_rows();
   CFEST_ASSIGN_OR_RETURN(
-      sample_, sampler->SampleView(table_, options_.base.fraction, rng));
-  ++stats_.samples_drawn;
-  ++stats_.sample_version;
+      std::unique_ptr<TableView> view,
+      sampler->SampleView(table_, options_.base.fraction, rng));
+  draw_table_rows_ = n;
+  counters_->samples_drawn.fetch_add(1, std::memory_order_relaxed);
+  ++version_;
+  PublishLocked(MakeEpochLocked(std::move(view), n));
   return Status::OK();
+}
+
+Result<std::shared_ptr<const SampleEpoch>> EstimationEngine::PinEpoch() {
+  // Steady state: one atomic load, no mutex. The shared_ptr refcount is
+  // the pin — the epoch (sample view, index cache, sizing snapshot) stays
+  // valid however many successors are published while we hold it.
+  std::shared_ptr<const SampleEpoch> epoch =
+      epoch_.load(std::memory_order_acquire);
+  if (epoch != nullptr) {
+    counters_->lock_free_pins.fetch_add(1, std::memory_order_relaxed);
+    return epoch;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  epoch = epoch_.load(std::memory_order_acquire);
+  if (epoch == nullptr) {
+    CFEST_RETURN_NOT_OK(DrawInitialLocked());
+    epoch = epoch_.load(std::memory_order_acquire);
+  }
+  counters_->locked_pins.fetch_add(1, std::memory_order_relaxed);
+  return epoch;
 }
 
 Status EstimationEngine::NotifyAppend(RowRange range) {
@@ -134,7 +172,9 @@ Status EstimationEngine::NotifyAppend(RowRange range) {
   }
   if (range.empty()) return Status::OK();
   // Not drawn yet: the eventual draw scans the whole (grown) table.
-  if (sample_ == nullptr) return Status::OK();
+  std::shared_ptr<const SampleEpoch> current =
+      epoch_.load(std::memory_order_acquire);
+  if (current == nullptr) return Status::OK();
   if (range.begin != reservoir_core_->items_seen()) {
     return Status::InvalidArgument(
         "append range begins at row " + std::to_string(range.begin) +
@@ -143,52 +183,65 @@ Status EstimationEngine::NotifyAppend(RowRange range) {
         " (ranges must arrive contiguously)");
   }
 
-  if (!OfferRowsToReservoir(range.begin, range.end)) return Status::OK();
+  const bool changed = OfferIdRange(&*reservoir_core_, &reservoir_rng_,
+                                    range.begin, range.end, &reservoir_ids_);
+  if (!changed) {
+    // Every appended row was rejected: the sample is unchanged, so the
+    // successor epoch keeps the version AND the predecessor's whole index
+    // cache (same snapshot map — in-flight builds included) and only the
+    // table-size snapshot advances. In-flight readers are untouched.
+    std::shared_ptr<SampleEpoch> next =
+        MakeEpochLocked(sample_, reservoir_core_->items_seen());
+    next->indexes_.store(
+        current->indexes_.load(std::memory_order_acquire),
+        std::memory_order_relaxed);
+    PublishLocked(std::move(next));
+    return Status::OK();
+  }
 
-  // The sample contents moved: swap in a fresh view and drop every cached
-  // index built on the old contents (they are all stale — an index is a
-  // function of every sample row). Untouched appends above cost nothing.
+  // The sample contents moved: publish a successor epoch with a fresh view
+  // and an empty index cache (every cached build is stale — an index is a
+  // function of every sample row). Readers pinned to the predecessor keep
+  // estimating against it unharmed.
   CFEST_ASSIGN_OR_RETURN(
-      sample_, TableView::Make(table_, std::vector<RowId>(reservoir_ids_)));
-  stats_.invalidations += indexes_.size();
-  indexes_.clear();
-  ++stats_.sample_version;
+      std::unique_ptr<TableView> view,
+      TableView::Make(table_, std::vector<RowId>(reservoir_ids_)));
+  counters_->invalidations.fetch_add(current->CachedIndexCount(),
+                                     std::memory_order_relaxed);
+  ++version_;
+  PublishLocked(MakeEpochLocked(std::move(view),
+                                reservoir_core_->items_seen()));
   return Status::OK();
 }
 
-bool EstimationEngine::OfferRowsToReservoir(RowId begin, RowId end) {
-  bool changed = false;
-  for (RowId id = begin; id < end; ++id) {
-    const uint64_t slot = reservoir_core_->Offer(&reservoir_rng_);
-    if (slot == ReservoirSampler::kSkip) continue;
-    if (slot == reservoir_ids_.size()) {
-      reservoir_ids_.push_back(id);
-    } else {
-      reservoir_ids_[static_cast<size_t>(slot)] = id;
-    }
-    changed = true;
-  }
-  return changed;
-}
-
 Result<const Table*> EstimationEngine::SampleTable() {
-  CFEST_RETURN_NOT_OK(EnsureSample());
-  return static_cast<const Table*>(sample_.get());
+  CFEST_ASSIGN_OR_RETURN(std::shared_ptr<const SampleEpoch> epoch,
+                         PinEpoch());
+  return static_cast<const Table*>(&epoch->sample());
 }
 
 uint64_t EstimationEngine::sample_rows() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return sample_ == nullptr ? 0 : sample_->num_rows();
+  std::shared_ptr<const SampleEpoch> epoch =
+      epoch_.load(std::memory_order_acquire);
+  return epoch == nullptr ? 0 : epoch->sample_rows();
 }
 
-Result<uint64_t> EstimationEngine::GrowSample(uint64_t target_rows) {
-  CFEST_RETURN_NOT_OK(EnsureSample());
+Result<std::shared_ptr<const SampleEpoch>> EstimationEngine::GrowSampleToEpoch(
+    uint64_t target_rows) {
+  CFEST_RETURN_NOT_OK(PinEpoch().status());
   std::lock_guard<std::mutex> lock(mu_);
-  const uint64_t current = sample_->num_rows();
+  std::shared_ptr<const SampleEpoch> current =
+      epoch_.load(std::memory_order_acquire);
+  const uint64_t current_rows = sample_->num_rows();
   // Fraction is capped at 1.0, so the largest comparable fixed-f draw is
-  // one id per table row; clamp instead of overshooting that contract.
-  const uint64_t target = std::min(target_rows, table_.num_rows());
-  if (target <= current) return current;
+  // one id per consumed table row; clamp to the draw-stream snapshot
+  // instead of overshooting that contract (the live table size may be
+  // racing ahead under concurrent appends).
+  const uint64_t table_limit = options_.maintain_reservoir
+                                   ? reservoir_core_->items_seen()
+                                   : draw_table_rows_;
+  const uint64_t target = std::min(target_rows, table_limit);
+  if (target <= current_rows) return current;
 
   if (options_.maintain_reservoir) {
     // Capacity growth is not stream-resumable (a larger reservoir fills
@@ -200,13 +253,16 @@ Result<uint64_t> EstimationEngine::GrowSample(uint64_t target_rows) {
     reservoir_rng_.Seed(options_.seed);
     reservoir_core_.emplace(target);
     reservoir_ids_.clear();
-    OfferRowsToReservoir(0, items_seen);
+    OfferIdRange(&*reservoir_core_, &reservoir_rng_, 0, items_seen,
+                 &reservoir_ids_);
     CFEST_ASSIGN_OR_RETURN(
-        sample_, TableView::Make(table_, std::vector<RowId>(reservoir_ids_)));
-    stats_.invalidations += indexes_.size();
-    indexes_.clear();
-    ++stats_.sample_version;
-    return sample_->num_rows();
+        std::unique_ptr<TableView> view,
+        TableView::Make(table_, std::vector<RowId>(reservoir_ids_)));
+    counters_->invalidations.fetch_add(current->CachedIndexCount(),
+                                       std::memory_order_relaxed);
+    ++version_;
+    PublishLocked(MakeEpochLocked(std::move(view), items_seen));
+    return epoch_.load(std::memory_order_acquire);
   }
 
   if (options_.rng != nullptr) {
@@ -225,9 +281,9 @@ Result<uint64_t> EstimationEngine::GrowSample(uint64_t target_rows) {
   // the first `current`, so the grown sample equals a fixed-fraction draw
   // at target / num_rows under the same seed.
   std::vector<RowId> delta_ids;
-  delta_ids.reserve(static_cast<size_t>(target - current));
-  for (uint64_t i = current; i < target; ++i) {
-    delta_ids.push_back(draw_rng_.NextBounded(table_.num_rows()));
+  delta_ids.reserve(static_cast<size_t>(target - current_rows));
+  for (uint64_t i = current_rows; i < target; ++i) {
+    delta_ids.push_back(draw_rng_.NextBounded(draw_table_rows_));
   }
   std::vector<RowId> grown_ids = sample_->row_ids();
   grown_ids.insert(grown_ids.end(), delta_ids.begin(), delta_ids.end());
@@ -236,83 +292,51 @@ Result<uint64_t> EstimationEngine::GrowSample(uint64_t target_rows) {
   CFEST_ASSIGN_OR_RETURN(std::unique_ptr<TableView> delta_view,
                          TableView::Make(table_, std::move(delta_ids)));
 
+  ++version_;
+  std::shared_ptr<SampleEpoch> next =
+      MakeEpochLocked(std::move(grown), draw_table_rows_);
+
   // Growth is additive (the old sample is a prefix of the grown one), so
-  // every cached sorted build stays a valid sorted run — merge the delta
-  // rows in instead of rebuilding. Delta rows occupy view positions
-  // [current, target), which is what their __rid values must be.
-  std::unordered_map<std::string, std::shared_future<IndexEntry>> extended;
-  for (auto& [key, future] : indexes_) {
-    const IndexEntry& entry = future.get();  // quiesced: already ready
-    if (!entry.status.ok() || entry.index == nullptr) continue;  // rebuild lazily
+  // every completed sorted build of the predecessor stays a valid sorted
+  // run — merge the delta rows in and seed the successor epoch instead of
+  // rebuilding. Delta rows occupy view positions [current, target), which
+  // is what their __rid values must be. In-flight builds are skipped (the
+  // successor rebuilds those keys on demand); failed builds retry anyway.
+  for (const auto& [key, index] : current->ReadyIndexes()) {
     Result<Index> merged =
-        entry.index->ExtendedWith(*delta_view, current, options_.base.build);
+        index->ExtendedWith(*delta_view, current_rows, options_.base.build);
     if (!merged.ok()) continue;  // drop: the next request rebuilds
-    IndexEntry new_entry;
-    new_entry.index =
-        std::make_shared<const Index>(std::move(merged).ValueOrDie());
-    std::promise<IndexEntry> promise;
-    promise.set_value(std::move(new_entry));
-    extended.emplace(key, promise.get_future().share());
-    ++stats_.index_extensions;
+    next->SeedIndex(key, std::make_shared<const Index>(
+                             std::move(merged).ValueOrDie()));
+    counters_->index_extensions.fetch_add(1, std::memory_order_relaxed);
   }
-  indexes_ = std::move(extended);
-  sample_ = std::move(grown);
-  ++stats_.sample_version;
-  return sample_->num_rows();
+  PublishLocked(std::move(next));
+  return epoch_.load(std::memory_order_acquire);
+}
+
+Result<uint64_t> EstimationEngine::GrowSample(uint64_t target_rows) {
+  CFEST_ASSIGN_OR_RETURN(std::shared_ptr<const SampleEpoch> epoch,
+                         GrowSampleToEpoch(target_rows));
+  return epoch->sample_rows();
+}
+
+Result<std::shared_ptr<const Index>> EstimationEngine::SampleIndexAt(
+    const SampleEpoch& epoch, const IndexDescriptor& descriptor) const {
+  return epoch.SampleIndex(descriptor, options_.base.build);
 }
 
 Result<std::shared_ptr<const Index>> EstimationEngine::SampleIndex(
     const IndexDescriptor& descriptor) {
-  CFEST_RETURN_NOT_OK(EnsureSample());
-  const std::string key = SampleIndexCacheKey(descriptor);
-
-  std::shared_future<IndexEntry> future;
-  bool builder = false;
-  std::promise<IndexEntry> promise;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = indexes_.find(key);
-    if (it != indexes_.end()) {
-      future = it->second;
-      ++stats_.index_cache_hits;
-    } else {
-      future = promise.get_future().share();
-      indexes_.emplace(key, future);
-      builder = true;
-    }
-  }
-
-  if (builder) {
-    IndexEntry entry;
-    Result<Index> built =
-        Index::Build(*sample_, descriptor, options_.base.build);
-    if (built.ok()) {
-      entry.index =
-          std::make_shared<const Index>(std::move(built).ValueOrDie());
-    } else {
-      entry.status = built.status();
-    }
-    // Publish before touching mu_: GrowSample waits on this future while
-    // holding the lock, so the reverse order would turn a violated
-    // "quiesce before growing" precondition into a hard deadlock instead
-    // of a benign stats lag.
-    promise.set_value(std::move(entry));
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.index_builds;
-    }
-  }
-
-  const IndexEntry& entry = future.get();
-  CFEST_RETURN_NOT_OK(entry.status);
-  return entry.index;
+  CFEST_ASSIGN_OR_RETURN(std::shared_ptr<const SampleEpoch> epoch,
+                         PinEpoch());
+  return SampleIndexAt(*epoch, descriptor);
 }
 
-Result<SampleCFResult> EstimationEngine::EstimateCFWithMetric(
-    const IndexDescriptor& descriptor, const CompressionScheme& scheme,
-    SizeMetric metric) {
+Result<SampleCFResult> EstimationEngine::EstimateCFWithMetricAt(
+    const SampleEpoch& epoch, const IndexDescriptor& descriptor,
+    const CompressionScheme& scheme, SizeMetric metric) const {
   CFEST_ASSIGN_OR_RETURN(std::shared_ptr<const Index> index,
-                         SampleIndex(descriptor));
+                         SampleIndexAt(epoch, descriptor));
   CFEST_ASSIGN_OR_RETURN(CompressedIndex compressed,
                          index->Compress(scheme, options_.base.build));
 
@@ -325,26 +349,44 @@ Result<SampleCFResult> EstimationEngine::EstimateCFWithMetric(
   return result;
 }
 
+Result<SampleCFResult> EstimationEngine::EstimateCFAt(
+    const SampleEpoch& epoch, const IndexDescriptor& descriptor,
+    const CompressionScheme& scheme) const {
+  return EstimateCFWithMetricAt(epoch, descriptor, scheme,
+                                options_.base.metric);
+}
+
 Result<SampleCFResult> EstimationEngine::EstimateCF(
     const IndexDescriptor& descriptor, const CompressionScheme& scheme) {
-  return EstimateCFWithMetric(descriptor, scheme, options_.base.metric);
+  CFEST_ASSIGN_OR_RETURN(std::shared_ptr<const SampleEpoch> epoch,
+                         PinEpoch());
+  return EstimateCFAt(*epoch, descriptor, scheme);
+}
+
+Result<CompressedIndex> EstimationEngine::CompressOnSampleAt(
+    const SampleEpoch& epoch, const IndexDescriptor& descriptor,
+    const CompressionScheme& scheme) const {
+  CFEST_ASSIGN_OR_RETURN(std::shared_ptr<const Index> index,
+                         SampleIndexAt(epoch, descriptor));
+  return index->Compress(scheme, options_.base.build);
 }
 
 Result<CompressedIndex> EstimationEngine::CompressOnSample(
     const IndexDescriptor& descriptor, const CompressionScheme& scheme) {
-  CFEST_ASSIGN_OR_RETURN(std::shared_ptr<const Index> index,
-                         SampleIndex(descriptor));
-  return index->Compress(scheme, options_.base.build);
+  CFEST_ASSIGN_OR_RETURN(std::shared_ptr<const SampleEpoch> epoch,
+                         PinEpoch());
+  return CompressOnSampleAt(*epoch, descriptor, scheme);
 }
 
-Result<SizedCandidate> EstimationEngine::Estimate(
-    const CandidateConfiguration& candidate) {
+Result<SizedCandidate> EstimationEngine::EstimateAt(
+    const SampleEpoch& epoch, const CandidateConfiguration& candidate) const {
   SizedCandidate sized;
   sized.config = candidate;
   CFEST_ASSIGN_OR_RETURN(
       sized.uncompressed_bytes,
       EstimateUncompressedIndexBytes(table_, candidate.index,
-                                     options_.base.build.page_size));
+                                     options_.base.build.page_size,
+                                     epoch.table_rows()));
 
   if (IsUncompressedScheme(candidate.scheme)) {
     sized.estimated_cf = 1.0;
@@ -355,8 +397,8 @@ Result<SizedCandidate> EstimationEngine::Estimate(
   // Capacity planners size whole pages on disk, hence the page metric.
   CFEST_ASSIGN_OR_RETURN(
       SampleCFResult result,
-      EstimateCFWithMetric(candidate.index, candidate.scheme,
-                           SizeMetric::kPageBytes));
+      EstimateCFWithMetricAt(epoch, candidate.index, candidate.scheme,
+                             SizeMetric::kPageBytes));
   sized.estimated_cf = result.cf.value;
   sized.estimated_bytes = static_cast<uint64_t>(std::llround(
       result.cf.value * static_cast<double>(sized.uncompressed_bytes)));
@@ -364,8 +406,28 @@ Result<SizedCandidate> EstimationEngine::Estimate(
   return sized;
 }
 
+Result<SizedCandidate> EstimationEngine::Estimate(
+    const CandidateConfiguration& candidate) {
+  if (IsUncompressedScheme(candidate.scheme)) {
+    // Exact schema-formula sizing: no sample (and hence no epoch) is
+    // needed, so a purely uncompressed workload never triggers a draw.
+    SizedCandidate sized;
+    sized.config = candidate;
+    CFEST_ASSIGN_OR_RETURN(
+        sized.uncompressed_bytes,
+        EstimateUncompressedIndexBytes(table_, candidate.index,
+                                       options_.base.build.page_size));
+    sized.estimated_cf = 1.0;
+    sized.estimated_bytes = sized.uncompressed_bytes;
+    return sized;
+  }
+  CFEST_ASSIGN_OR_RETURN(std::shared_ptr<const SampleEpoch> epoch,
+                         PinEpoch());
+  return EstimateAt(*epoch, candidate);
+}
+
 ThreadPool* EstimationEngine::Pool() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(pool_mu_);
   if (pool_ == nullptr) {
     pool_ = std::make_unique<ThreadPool>(options_.num_threads);
   }
@@ -374,19 +436,43 @@ ThreadPool* EstimationEngine::Pool() {
 
 Result<std::vector<SizedCandidate>> EstimationEngine::EstimateAll(
     std::span<const CandidateConfiguration> candidates) {
+  // One pin for the whole batch: every candidate is sized against the same
+  // epoch, so the batch is internally consistent even while appends and
+  // refreshes stream in concurrently.
+  CFEST_ASSIGN_OR_RETURN(std::shared_ptr<const SampleEpoch> epoch,
+                         PinEpoch());
   std::vector<SizedCandidate> results(candidates.size());
   const bool serial = options_.num_threads == 1 || candidates.size() < 2;
   CFEST_RETURN_NOT_OK(StatusParallelFor(
       serial ? nullptr : Pool(), candidates.size(), [&](uint64_t i) {
-        CFEST_ASSIGN_OR_RETURN(results[i], Estimate(candidates[i]));
+        CFEST_ASSIGN_OR_RETURN(results[i], EstimateAt(*epoch, candidates[i]));
         return Status::OK();
       }));
   return results;
 }
 
 EstimationEngine::CacheStats EstimationEngine::cache_stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  CacheStats stats;
+  stats.samples_drawn =
+      counters_->samples_drawn.load(std::memory_order_relaxed);
+  stats.index_builds = counters_->index_builds.load(std::memory_order_relaxed);
+  stats.index_cache_hits =
+      counters_->index_cache_hits.load(std::memory_order_relaxed);
+  stats.index_extensions =
+      counters_->index_extensions.load(std::memory_order_relaxed);
+  stats.invalidations =
+      counters_->invalidations.load(std::memory_order_relaxed);
+  stats.lock_free_pins =
+      counters_->lock_free_pins.load(std::memory_order_relaxed);
+  stats.locked_pins = counters_->locked_pins.load(std::memory_order_relaxed);
+  stats.epochs_published =
+      counters_->epochs_published.load(std::memory_order_relaxed);
+  stats.epochs_retired =
+      counters_->epochs_retired.load(std::memory_order_relaxed);
+  std::shared_ptr<const SampleEpoch> epoch =
+      epoch_.load(std::memory_order_acquire);
+  stats.sample_version = epoch == nullptr ? 0 : epoch->version();
+  return stats;
 }
 
 }  // namespace cfest

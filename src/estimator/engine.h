@@ -1,6 +1,6 @@
 // Copyright (c) the samplecf authors. Licensed under the MIT license.
 //
-// EstimationEngine — one sample, many candidates.
+// EstimationEngine — one sample, many candidates, many concurrent callers.
 //
 // The paper's §II-C observes that a single random sample can be reused
 // across estimations: a physical-design advisor sizing dozens of candidate
@@ -19,8 +19,19 @@
 // the engine runs the same draw, build, and compress pipeline, just without
 // the redundancy.
 //
-// For long-lived service use, the engine can instead maintain its sample as
-// a fixed-capacity reservoir (options.maintain_reservoir): the initial draw
+// Concurrency is epoch-based (estimator/epoch.h). All read-path state — the
+// sample view, the table-size snapshot used for full-index scaling, the
+// sample version, the sorted-index cache — lives in an immutable refcounted
+// SampleEpoch published through one atomic shared_ptr. Estimates pin the
+// current epoch with a single atomic load and never take the engine mutex;
+// NotifyAppend and GrowSample build a successor epoch off to the side under
+// the writer mutex and publish it with one atomic swap. Refresh therefore
+// no longer requires quiescing in-flight estimates: a pinned epoch stays
+// fully valid (and its results bit-identical to a quiesced run at that
+// epoch) until the last reader drops it.
+//
+// For long-lived service use, the engine can maintain its sample as a
+// fixed-capacity reservoir (options.maintain_reservoir): the initial draw
 // is Vitter's Algorithm R over row ids, and NotifyAppend folds newly
 // appended base-table rows into the same RNG stream. Because Algorithm R is
 // a streaming algorithm, the incrementally maintained reservoir is
@@ -32,20 +43,20 @@
 #ifndef CFEST_ESTIMATOR_ENGINE_H_
 #define CFEST_ESTIMATOR_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
-#include <future>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/random.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "compression/scheme.h"
+#include "estimator/epoch.h"
 #include "estimator/sample_cf.h"
 #include "index/index.h"
 #include "sampling/reservoir.h"
@@ -85,19 +96,16 @@ struct SizedCandidate {
 /// classify candidates identically.
 bool IsUncompressedScheme(const CompressionScheme& scheme);
 
-/// The engine's sample-index cache key for `descriptor`: one build per
-/// distinct (key_columns, clustered) pair — the cosmetic name is excluded.
-/// Shared with the adaptive layer's replicate-index cache so the two key
-/// identically.
-std::string SampleIndexCacheKey(const IndexDescriptor& descriptor);
-
 /// Uncompressed full-index size (page-granular) from schema arithmetic
 /// alone — no build needed, mirroring how design tools size uncompressed
 /// indexes "in a straightforward manner from the schema" (paper §I).
-Result<uint64_t> EstimateUncompressedIndexBytes(const Table& table,
-                                                const IndexDescriptor& index,
-                                                size_t page_size =
-                                                    kDefaultPageSize);
+/// `num_rows_override` supplies the row count n to size for; nullopt reads
+/// the table's live count (epoch-pinned callers pass the epoch's snapshot
+/// so concurrent appends cannot skew the scaling mid-estimate).
+Result<uint64_t> EstimateUncompressedIndexBytes(
+    const Table& table, const IndexDescriptor& index,
+    size_t page_size = kDefaultPageSize,
+    std::optional<uint64_t> num_rows_override = std::nullopt);
 
 /// \brief Configuration of an EstimationEngine.
 struct EstimationEngineOptions {
@@ -129,8 +137,11 @@ struct EstimationEngineOptions {
 
 /// \brief Batched, cached CF estimation over one table.
 ///
-/// Thread-safe: concurrent calls share the sample and index caches. The
-/// engine holds a reference to the base table; the table must outlive it.
+/// Thread-safe: estimates pin the current SampleEpoch (one atomic load, no
+/// engine mutex) and may run concurrently with each other AND with
+/// NotifyAppend/GrowSample — writers publish successor epochs without
+/// quiescing readers. The engine holds a reference to the base table; the
+/// table must outlive it.
 class EstimationEngine {
  public:
   explicit EstimationEngine(const Table& table,
@@ -139,17 +150,95 @@ class EstimationEngine {
   const Table& table() const { return table_; }
   const EstimationEngineOptions& options() const { return options_; }
 
-  /// The shared sample (drawn on first use). Stable for the engine's life
-  /// unless grown (GrowSample) or refreshed (NotifyAppend).
+  // -------------------------------------------------------------------
+  // Epoch-pinned read path (steady-state: one atomic load, no mutex)
+  // -------------------------------------------------------------------
+
+  /// Pins the current epoch: a refcounted snapshot of the sample state
+  /// that stays valid — and keeps producing bit-identical estimates — no
+  /// matter how many refreshes are published afterwards. Draws the initial
+  /// sample (under the writer mutex) if no epoch exists yet; every later
+  /// pin is the lock-free fast path (CacheStats.lock_free_pins counts
+  /// them, locked_pins counts first-draw fallthroughs).
+  Result<std::shared_ptr<const SampleEpoch>> PinEpoch();
+
+  /// The current epoch without drawing: nullptr before the first sample.
+  std::shared_ptr<const SampleEpoch> CurrentEpoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  /// The sorted sample index for `descriptor` at `epoch`, built at most
+  /// once per distinct (key_columns, clustered) pair per epoch.
+  Result<std::shared_ptr<const Index>> SampleIndexAt(
+      const SampleEpoch& epoch, const IndexDescriptor& descriptor) const;
+
+  /// SampleCF on the epoch's sample under the engine's base metric.
+  Result<SampleCFResult> EstimateCFAt(const SampleEpoch& epoch,
+                                      const IndexDescriptor& descriptor,
+                                      const CompressionScheme& scheme) const;
+
+  /// SampleCF on the epoch's sample under an explicit metric.
+  Result<SampleCFResult> EstimateCFWithMetricAt(
+      const SampleEpoch& epoch, const IndexDescriptor& descriptor,
+      const CompressionScheme& scheme, SizeMetric metric) const;
+
+  /// Compresses the epoch's cached sample index with `scheme`.
+  Result<CompressedIndex> CompressOnSampleAt(
+      const SampleEpoch& epoch, const IndexDescriptor& descriptor,
+      const CompressionScheme& scheme) const;
+
+  /// What-if sizes one candidate at `epoch` (CF' scaled to the full-index
+  /// footprint using the epoch's table-size snapshot). Pure function of
+  /// (epoch, candidate): concurrent appends cannot perturb the result.
+  Result<SizedCandidate> EstimateAt(
+      const SampleEpoch& epoch, const CandidateConfiguration& candidate) const;
+
+  // -------------------------------------------------------------------
+  // Current-epoch conveniences (pin once, then the epoch API)
+  // -------------------------------------------------------------------
+
+  /// The shared sample (drawn on first use). The pointer addresses the
+  /// current epoch's view and stays valid until the epoch after the *next*
+  /// refresh/growth retires; callers that estimate across refreshes should
+  /// pin an epoch instead.
   Result<const Table*> SampleTable();
 
-  /// Rows in the shared sample; 0 before the first draw.
+  /// Rows in the current epoch's sample; 0 before the first draw.
   uint64_t sample_rows() const;
 
-  /// Grows the shared sample in place to at least `target_rows` rows
-  /// (clamped to the table size — the fraction-1.0 draw), drawing it first
-  /// at the configured base fraction if needed. Returns the resulting
-  /// sample row count; a target at or below the current size is a no-op.
+  /// The sorted sample index for `descriptor` on the current epoch.
+  Result<std::shared_ptr<const Index>> SampleIndex(
+      const IndexDescriptor& descriptor);
+
+  /// SampleCF on the current epoch's sample: equals SampleCF(table,
+  /// descriptor, scheme, options.base, Random(seed)) bit for bit.
+  Result<SampleCFResult> EstimateCF(const IndexDescriptor& descriptor,
+                                    const CompressionScheme& scheme);
+
+  /// Compresses the current epoch's cached sample index with `scheme`.
+  Result<CompressedIndex> CompressOnSample(const IndexDescriptor& descriptor,
+                                           const CompressionScheme& scheme);
+
+  /// What-if sizes one candidate on the current epoch.
+  Result<SizedCandidate> Estimate(const CandidateConfiguration& candidate);
+
+  /// What-if sizes a batch of candidates, fanning out across the pool.
+  /// The whole batch runs against ONE pinned epoch, so results are
+  /// positionally aligned with `candidates`, identical to calling
+  /// Estimate() per candidate serially, and internally consistent even
+  /// while appends stream in.
+  Result<std::vector<SizedCandidate>> EstimateAll(
+      std::span<const CandidateConfiguration> candidates);
+
+  // -------------------------------------------------------------------
+  // Write path (serialized on the writer mutex; never blocks readers)
+  // -------------------------------------------------------------------
+
+  /// Grows the sample to at least `target_rows` rows (clamped to the
+  /// epoch's table-size snapshot — the fraction-1.0 draw), drawing it
+  /// first at the configured base fraction if needed, and returns the
+  /// pinned epoch holding the grown sample. A target at or below the
+  /// current size returns the current epoch.
   ///
   /// Default (frozen-draw) engines must use the default uniform-with-
   /// replacement sampler and an engine-owned RNG (no options.rng): growth
@@ -157,75 +246,69 @@ class EstimationEngine {
   /// to a fresh draw of target_rows ids under the same seed — every
   /// estimate after growth equals a fixed-fraction run at
   /// target_rows / num_rows. Growth is purely additive (the old sample is
-  /// a prefix), so cached sample indexes are *extended* by merging the new
-  /// rows into each sorted build (CacheStats.index_extensions) instead of
-  /// being rebuilt from scratch.
+  /// a prefix), so the predecessor epoch's completed sample indexes are
+  /// *extended* by merging the new rows into each sorted build
+  /// (CacheStats.index_extensions) and seeded into the successor epoch
+  /// instead of being rebuilt from scratch.
   ///
   /// maintain_reservoir engines grow by replaying Algorithm R at the larger
   /// capacity over the already-consumed row-id stream (O(items seen) RNG
   /// work, no row bytes touched). The result again equals a fresh draw at
-  /// the new capacity, and NotifyAppend keeps composing afterwards; cached
-  /// indexes are invalidated (reservoir growth shuffles contents).
+  /// the new capacity, and NotifyAppend keeps composing afterwards; the
+  /// successor epoch starts with an empty index cache (reservoir growth
+  /// shuffles contents).
   ///
-  /// Like NotifyAppend, not safe to run concurrently with estimates.
+  /// Safe to run concurrently with estimates: in-flight readers keep their
+  /// pinned epoch; only callers pinning after the swap see the growth.
+  Result<std::shared_ptr<const SampleEpoch>> GrowSampleToEpoch(
+      uint64_t target_rows);
+
+  /// GrowSampleToEpoch, reporting just the resulting sample row count.
   Result<uint64_t> GrowSample(uint64_t target_rows);
-
-  /// The sorted sample index for `descriptor`, built at most once per
-  /// distinct (key_columns, clustered) pair.
-  Result<std::shared_ptr<const Index>> SampleIndex(
-      const IndexDescriptor& descriptor);
-
-  /// SampleCF on the shared sample: equals SampleCF(table, descriptor,
-  /// scheme, options.base, Random(seed)) bit for bit.
-  Result<SampleCFResult> EstimateCF(const IndexDescriptor& descriptor,
-                                    const CompressionScheme& scheme);
-
-  /// Compresses the cached sample index with `scheme` (per-column stats for
-  /// scheme ranking; the index build is shared across schemes).
-  Result<CompressedIndex> CompressOnSample(const IndexDescriptor& descriptor,
-                                           const CompressionScheme& scheme);
-
-  /// What-if sizes one candidate (CF' scaled to the full-index footprint).
-  Result<SizedCandidate> Estimate(const CandidateConfiguration& candidate);
-
-  /// What-if sizes a batch of candidates, fanning out across the pool.
-  /// Results are positionally aligned with `candidates` and identical to
-  /// calling Estimate() per candidate serially.
-  Result<std::vector<SizedCandidate>> EstimateAll(
-      std::span<const CandidateConfiguration> candidates);
 
   /// Folds newly appended base-table rows [range.begin, range.end) into the
   /// maintained reservoir, continuing the Algorithm-R stream from the
   /// initial draw (the resulting reservoir equals a fresh one-pass draw
-  /// over the grown table under the same seed and capacity). Cached sample
-  /// indexes are invalidated only if the reservoir contents changed; the
-  /// invalidation is recorded in CacheStats (sample_version bumps,
-  /// invalidations counts the dropped index entries).
+  /// over the grown table under the same seed and capacity), and publishes
+  /// the successor epoch. If the reservoir contents changed, the successor
+  /// starts with an empty index cache (sample_version bumps, invalidations
+  /// counts the dropped entries); if every row was rejected, the successor
+  /// keeps the predecessor's version and carries its index cache — only
+  /// the table-size snapshot advances.
   ///
   /// Requires maintain_reservoir; `range` must start exactly where the rows
   /// already offered to the reservoir end (no gaps, no overlaps) and must
   /// not extend past the current table size. If the sample has not been
   /// drawn yet the call is a no-op — the eventual draw sees the full table.
   ///
-  /// Not safe to run concurrently with estimates: callers must quiesce
-  /// in-flight Estimate/EstimateAll calls first (estimates may read the
-  /// sample view outside the engine lock).
+  /// Safe to run concurrently with estimates (epoch swap; no quiescing).
   Status NotifyAppend(RowRange range);
 
-  /// \brief Work-avoidance counters (monotone over the engine's life).
+  /// \brief Work-avoidance and concurrency counters (monotone over the
+  /// engine's life; all fields are sampled from shared atomics).
   struct CacheStats {
     uint64_t samples_drawn = 0;
     uint64_t index_builds = 0;
     uint64_t index_cache_hits = 0;
-    /// Cached sample indexes extended in place by GrowSample (sorted-run
-    /// merges that avoided a from-scratch rebuild).
+    /// Cached sample indexes extended by sorted-run merge into a growth
+    /// successor epoch (merges that avoided a from-scratch rebuild).
     uint64_t index_extensions = 0;
-    /// Cached sample-index entries dropped by reservoir refreshes.
+    /// Cached sample-index entries dropped by refreshes/reservoir growth.
     uint64_t invalidations = 0;
     /// Version of the sample contents: 1 after the initial draw, +1 per
-    /// NotifyAppend that actually changed the reservoir. Cached indexes are
-    /// always consistent with the current version.
+    /// refresh or growth that actually changed the sample. Each epoch's
+    /// cached indexes are always consistent with its version.
     uint64_t sample_version = 0;
+    /// Epoch pins served by the lock-free atomic load — the steady-state
+    /// estimate path. After the initial draw, estimates only ever add
+    /// here, never to locked_pins (the stress test and concurrency bench
+    /// assert exactly that).
+    uint64_t lock_free_pins = 0;
+    /// Epoch pins that fell through to the writer mutex (initial draw).
+    uint64_t locked_pins = 0;
+    uint64_t epochs_published = 0;
+    /// Epochs destroyed after their last reader unpinned them.
+    uint64_t epochs_retired = 0;
   };
   CacheStats cache_stats() const;
 
@@ -236,30 +319,37 @@ class EstimationEngine {
   ThreadPool* shared_pool() { return Pool(); }
 
  private:
-  struct IndexEntry {
-    Status status = Status::OK();
-    std::shared_ptr<const Index> index;
-  };
-
-  /// Draws the shared sample if not drawn yet (thread-safe, idempotent).
-  Status EnsureSample();
-  /// Offers base-table rows [begin, end) to the reservoir core, applying
-  /// accepted slots to reservoir_ids_. Returns whether anything changed.
-  /// Caller holds mu_ and has initialized the reservoir state.
-  bool OfferRowsToReservoir(RowId begin, RowId end);
-  Result<SampleCFResult> EstimateCFWithMetric(const IndexDescriptor& d,
-                                              const CompressionScheme& scheme,
-                                              SizeMetric metric);
+  /// Draws the initial sample and publishes epoch 1. Caller holds mu_ and
+  /// has checked that no epoch exists yet.
+  Status DrawInitialLocked();
+  /// Builds and publishes a successor epoch over `view`. Caller holds mu_.
+  std::shared_ptr<SampleEpoch> MakeEpochLocked(
+      std::shared_ptr<const TableView> view, uint64_t table_rows);
+  void PublishLocked(std::shared_ptr<SampleEpoch> epoch);
   ThreadPool* Pool();
 
   const Table& table_;
   EstimationEngineOptions options_;
 
+  /// Shared with every published epoch (epochs can outlive the engine
+  /// while pinned).
+  std::shared_ptr<EpochCounters> counters_;
+
+  /// The published epoch — the entire read path. Readers load it with one
+  /// atomic operation and never touch mu_.
+  std::atomic<std::shared_ptr<const SampleEpoch>> epoch_;
+
+  /// Writer mutex: serializes the initial draw, NotifyAppend, and
+  /// GrowSample. Guards the draw-stream state below; never held while an
+  /// estimate runs.
   mutable std::mutex mu_;
-  std::unique_ptr<TableView> sample_;
-  std::unordered_map<std::string, std::shared_future<IndexEntry>> indexes_;
-  std::unique_ptr<ThreadPool> pool_;
-  CacheStats stats_;
+  /// Writer-side handle on the current sample view (== current epoch's).
+  std::shared_ptr<const TableView> sample_;
+  /// Sample-contents version behind the current epoch.
+  uint64_t version_ = 0;
+  /// Base-table rows the frozen draw was taken over (the n all frozen-mode
+  /// epochs scale by; GrowSample resumes the draw stream against it).
+  uint64_t draw_table_rows_ = 0;
 
   /// Reservoir state (maintain_reservoir mode only): the Algorithm-R slot
   /// core, the RNG stream it consumes (resumed by NotifyAppend), and the
@@ -271,7 +361,18 @@ class EstimationEngine {
   /// The frozen-draw RNG stream (default mode, engine-owned seed only).
   /// Kept alive past the initial draw so GrowSample can resume it.
   Random draw_rng_{0};
+
+  /// Pool creation is guarded separately from mu_ so estimate fan-out can
+  /// never contend with the writer path.
+  mutable std::mutex pool_mu_;
+  std::unique_ptr<ThreadPool> pool_;
 };
+
+/// The engine's sample-index cache key for `descriptor`: one build per
+/// distinct (key_columns, clustered) pair — the cosmetic name is excluded.
+/// Shared with the adaptive layer's replicate-index cache and the service's
+/// request coalescer so all three key identically.
+std::string SampleIndexCacheKey(const IndexDescriptor& descriptor);
 
 }  // namespace cfest
 

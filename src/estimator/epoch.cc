@@ -1,0 +1,113 @@
+#include "estimator/epoch.h"
+
+#include <chrono>
+
+#include "estimator/engine.h"
+
+
+namespace cfest {
+
+SampleEpoch::SampleEpoch(std::shared_ptr<const TableView> sample,
+                         uint64_t version, uint64_t table_rows,
+                         std::shared_ptr<EpochCounters> counters)
+    : sample_(std::move(sample)),
+      version_(version),
+      table_rows_(table_rows),
+      counters_(std::move(counters)),
+      indexes_(std::make_shared<const IndexMap>()) {
+  counters_->epochs_published.fetch_add(1, std::memory_order_relaxed);
+}
+
+SampleEpoch::~SampleEpoch() {
+  counters_->epochs_retired.fetch_add(1, std::memory_order_relaxed);
+}
+
+Result<std::shared_ptr<const Index>> SampleEpoch::SampleIndex(
+    const IndexDescriptor& descriptor, const IndexBuildOptions& build) const {
+  const std::string key = SampleIndexCacheKey(descriptor);
+
+  std::shared_future<IndexEntry> future;
+  bool builder = false;
+  std::promise<IndexEntry> promise;
+
+  // Lock-free hit path: one acquire load of the immutable snapshot map.
+  std::shared_ptr<const IndexMap> snapshot =
+      indexes_.load(std::memory_order_acquire);
+  auto hit = snapshot->find(key);
+  if (hit != snapshot->end()) {
+    future = hit->second;
+    counters_->index_cache_hits.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    // Miss: register the build under the epoch-local mutex so concurrent
+    // missers for the same key share one build. The lock guards only the
+    // copy-on-write insert — the build itself runs outside it.
+    std::unique_lock<std::mutex> lock(build_mu_);
+    snapshot = indexes_.load(std::memory_order_acquire);
+    auto raced = snapshot->find(key);
+    if (raced != snapshot->end()) {
+      future = raced->second;
+      counters_->index_cache_hits.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      future = promise.get_future().share();
+      auto next = std::make_shared<IndexMap>(*snapshot);
+      next->emplace(key, future);
+      indexes_.store(std::shared_ptr<const IndexMap>(std::move(next)),
+                     std::memory_order_release);
+      builder = true;
+    }
+  }
+
+  if (builder) {
+    IndexEntry entry;
+    Result<Index> built = Index::Build(*sample_, descriptor, build);
+    if (built.ok()) {
+      entry.index =
+          std::make_shared<const Index>(std::move(built).ValueOrDie());
+    } else {
+      entry.status = built.status();
+    }
+    promise.set_value(std::move(entry));
+    counters_->index_builds.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  const IndexEntry& entry = future.get();
+  CFEST_RETURN_NOT_OK(entry.status);
+  return entry.index;
+}
+
+void SampleEpoch::SeedIndex(const std::string& key,
+                            std::shared_ptr<const Index> index) {
+  IndexEntry entry;
+  entry.index = std::move(index);
+  std::promise<IndexEntry> promise;
+  promise.set_value(std::move(entry));
+  auto current = indexes_.load(std::memory_order_relaxed);
+  auto next = std::make_shared<IndexMap>(*current);
+  next->insert_or_assign(key, promise.get_future().share());
+  indexes_.store(std::shared_ptr<const IndexMap>(std::move(next)),
+                 std::memory_order_release);
+}
+
+std::vector<std::pair<std::string, std::shared_ptr<const Index>>>
+SampleEpoch::ReadyIndexes() const {
+  std::shared_ptr<const IndexMap> snapshot =
+      indexes_.load(std::memory_order_acquire);
+  std::vector<std::pair<std::string, std::shared_ptr<const Index>>> ready;
+  ready.reserve(snapshot->size());
+  for (const auto& [key, future] : *snapshot) {
+    if (future.wait_for(std::chrono::seconds(0)) !=
+        std::future_status::ready) {
+      continue;  // in-flight build: the successor rebuilds on demand
+    }
+    const IndexEntry& entry = future.get();
+    if (!entry.status.ok() || entry.index == nullptr) continue;
+    ready.emplace_back(key, entry.index);
+  }
+  return ready;
+}
+
+uint64_t SampleEpoch::CachedIndexCount() const {
+  return indexes_.load(std::memory_order_acquire)->size();
+}
+
+}  // namespace cfest

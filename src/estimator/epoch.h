@@ -1,0 +1,150 @@
+// Copyright (c) the samplecf authors. Licensed under the MIT license.
+//
+// SampleEpoch — the immutable, refcounted read-path state of one engine
+// sample generation.
+//
+// The engine used to keep one mutable sample (view + cached sorted sample
+// indexes) behind its mutex, which forced every refresh (NotifyAppend /
+// GrowSample) to quiesce all in-flight estimates. An epoch snapshot breaks
+// that coupling, RCU-style:
+//
+//   - Everything an estimate reads — the sample view, the table-size
+//     snapshot the full-index scaling uses, the sample version, and the
+//     per-key-set sorted-index cache — lives in one immutable SampleEpoch.
+//   - Readers pin the current epoch with a single atomic shared_ptr load
+//     (EstimationEngine::PinEpoch) and never touch the engine mutex on the
+//     steady-state path.
+//   - Writers build the successor epoch off to the side, under the engine's
+//     writer mutex, and publish it with one atomic store. The old epoch
+//     stays fully valid until its last pinned reader drops it; its
+//     destruction is counted in EpochCounters::epochs_retired.
+//
+// The epoch's index cache is itself lock-free on the hit path: the map of
+// built indexes is an immutable snapshot behind an atomic shared_ptr,
+// copied-on-insert under a small per-epoch build mutex. Concurrent first
+// requests for the same key set share one build through a shared_future —
+// the engine-level half of request coalescing (estimator/coalesce.h is the
+// service-level half).
+//
+// Estimates are a pure function of the pinned epoch, so any result computed
+// while appends stream in is bit-identical to a quiesced run at the same
+// epoch (tests/service_test.cc and bench/bench_concurrent_service.cc gate
+// exactly this).
+
+#ifndef CFEST_ESTIMATOR_EPOCH_H_
+#define CFEST_ESTIMATOR_EPOCH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "compression/compressed_index.h"
+#include "index/index.h"
+#include "storage/table_view.h"
+
+namespace cfest {
+
+/// \brief Monotone work/traffic counters shared by an engine and every
+/// epoch it ever published (epochs can outlive the engine while pinned, so
+/// the counter block is refcounted).
+///
+/// All fields are atomics: the estimate path increments them without any
+/// lock, which is what lets tests assert lock-freedom by counting — a
+/// steady-state estimate bumps lock_free_pins, never locked_pins.
+struct EpochCounters {
+  std::atomic<uint64_t> samples_drawn{0};
+  std::atomic<uint64_t> index_builds{0};
+  std::atomic<uint64_t> index_cache_hits{0};
+  std::atomic<uint64_t> index_extensions{0};
+  std::atomic<uint64_t> invalidations{0};
+  /// Epoch pins served by the lock-free atomic load (steady state).
+  std::atomic<uint64_t> lock_free_pins{0};
+  /// Epoch pins that fell through to the writer mutex (first draw only).
+  std::atomic<uint64_t> locked_pins{0};
+  std::atomic<uint64_t> epochs_published{0};
+  /// Epochs destroyed after their last reader unpinned them.
+  std::atomic<uint64_t> epochs_retired{0};
+};
+
+/// \brief One immutable sample generation: the view, the sizing snapshot,
+/// and the per-key-set sorted-index cache.
+///
+/// Thread-safe for any number of concurrent readers; nothing observable
+/// mutates after publication (the index cache only memoizes pure builds).
+/// Epochs are created and published by EstimationEngine only.
+class SampleEpoch {
+ public:
+  ~SampleEpoch();
+
+  SampleEpoch(const SampleEpoch&) = delete;
+  SampleEpoch& operator=(const SampleEpoch&) = delete;
+
+  /// The sample this epoch serves (shared with the engine's writer side).
+  const TableView& sample() const { return *sample_; }
+  std::shared_ptr<const TableView> sample_view() const { return sample_; }
+
+  uint64_t sample_rows() const { return sample_->num_rows(); }
+
+  /// Version of the sample contents: 1 after the initial draw, +1 per
+  /// refresh or growth that actually changed the sample.
+  uint64_t version() const { return version_; }
+
+  /// Base-table rows this epoch's sample state has consumed — the `n` every
+  /// full-index scaling at this epoch uses, so an estimate is deterministic
+  /// even while the base table keeps growing underneath.
+  uint64_t table_rows() const { return table_rows_; }
+
+  /// The sorted sample index for `descriptor`, built at most once per
+  /// distinct (key_columns, clustered) pair for this epoch's sample. The
+  /// hit path is lock-free (atomic snapshot load); a miss takes the
+  /// epoch-local build mutex only to register the build, and concurrent
+  /// missers for the same key share the one build via a shared_future.
+  Result<std::shared_ptr<const Index>> SampleIndex(
+      const IndexDescriptor& descriptor, const IndexBuildOptions& build) const;
+
+ private:
+  friend class EstimationEngine;
+
+  struct IndexEntry {
+    Status status = Status::OK();
+    std::shared_ptr<const Index> index;
+  };
+  using IndexMap = std::unordered_map<std::string, std::shared_future<IndexEntry>>;
+
+  SampleEpoch(std::shared_ptr<const TableView> sample, uint64_t version,
+              uint64_t table_rows, std::shared_ptr<EpochCounters> counters);
+
+  /// Pre-publication seeding (GrowSample's sorted-run extensions land here
+  /// before the epoch is visible to any reader; no synchronization needed).
+  void SeedIndex(const std::string& key, std::shared_ptr<const Index> index);
+
+  /// Snapshot of the (key, index) pairs whose builds have completed
+  /// successfully — what a successor epoch may extend. Never blocks on
+  /// in-flight builds.
+  std::vector<std::pair<std::string, std::shared_ptr<const Index>>>
+  ReadyIndexes() const;
+
+  /// Entries currently cached (ready or in flight), for invalidation
+  /// accounting when a refresh drops the cache.
+  uint64_t CachedIndexCount() const;
+
+  std::shared_ptr<const TableView> sample_;
+  uint64_t version_ = 0;
+  uint64_t table_rows_ = 0;
+  std::shared_ptr<EpochCounters> counters_;
+
+  /// Immutable snapshot map, copied-on-insert under build_mu_.
+  mutable std::atomic<std::shared_ptr<const IndexMap>> indexes_;
+  mutable std::mutex build_mu_;
+};
+
+}  // namespace cfest
+
+#endif  // CFEST_ESTIMATOR_EPOCH_H_

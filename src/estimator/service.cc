@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "estimator/epoch.h"
+
 namespace cfest {
 
 CatalogEstimationService::CatalogEstimationService(
@@ -77,17 +79,89 @@ Result<std::vector<SizedCandidate>> CatalogEstimationService::EstimateAll(
     engine_of[i] = it->second;
   }
 
-  // Fan every candidate of every group across the shared pool. Estimates
-  // are order-independent (each engine's sample draw is seeded and happens
-  // once, under the engine's own lock), so per-candidate granularity keeps
-  // all workers busy even when group sizes are skewed.
-  std::vector<SizedCandidate> results(candidates.size());
+  // Pin ONE epoch per distinct table for the whole batch: every candidate
+  // of a table is sized against the same refcounted sample snapshot, so
+  // the batch stays internally consistent (and bit-identical to a
+  // quiesced run at those epochs) even while appends stream in
+  // concurrently. Pinning is the lock-free fast path after each engine's
+  // first draw; the draw itself happens here, before fan-out, so worker
+  // lambdas never fall through to the writer mutex.
+  std::map<std::string, std::shared_ptr<const SampleEpoch>> group_epochs;
+  std::vector<const SampleEpoch*> epoch_of(candidates.size(), nullptr);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const std::string& name = candidates[i].table_name;
+    auto it = group_epochs.find(name);
+    if (it == group_epochs.end()) {
+      Result<std::shared_ptr<const SampleEpoch>> epoch =
+          group_engines[name]->PinEpoch();
+      if (!epoch.ok()) return epoch.status();
+      it = group_epochs.emplace(name, *epoch).first;
+    }
+    epoch_of[i] = it->second.get();
+  }
+
   const bool serial = options_.num_threads == 1 || candidates.size() < 2;
+  std::vector<SizedCandidate> results(candidates.size());
+
+  if (!options_.coalesce_requests) {
+    // Plain fan-out: every candidate of every group across the shared
+    // pool. Per-candidate granularity keeps all workers busy even when
+    // group sizes are skewed.
+    CFEST_RETURN_NOT_OK(StatusParallelFor(
+        serial ? nullptr : Pool(), candidates.size(), [&](uint64_t i) {
+          CFEST_ASSIGN_OR_RETURN(
+              results[i], engine_of[i]->EstimateAt(*epoch_of[i], candidates[i]));
+          return Status::OK();
+        }));
+    return results;
+  }
+
+  // Coalesced admission: structurally identical candidates at the same
+  // epoch — within this batch or racing in from concurrent EstimateAll
+  // calls — share one computation. Owners compute; sharers just collect
+  // the owner's future below.
+  std::vector<std::string> keys(candidates.size());
+  std::vector<RequestCoalescer::Ticket> tickets(candidates.size());
+  std::vector<uint64_t> owned;
+  owned.reserve(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    keys[i] = CoalesceKey(candidates[i].table_name, candidates[i], *epoch_of[i]);
+    tickets[i] = coalescer_.Admit(keys[i]);
+    if (tickets[i].owner) owned.push_back(i);
+  }
+
+  // Fan only the owned (deduplicated) work across the pool. Owners ALWAYS
+  // Complete their key — a failed estimate travels as the outcome's
+  // status, never as a thrown-away promise that would strand waiters
+  // (including waiters in other threads' batches).
   CFEST_RETURN_NOT_OK(StatusParallelFor(
-      serial ? nullptr : Pool(), candidates.size(), [&](uint64_t i) {
-        CFEST_ASSIGN_OR_RETURN(results[i], engine_of[i]->Estimate(candidates[i]));
+      serial || owned.size() < 2 ? nullptr : Pool(), owned.size(),
+      [&](uint64_t k) {
+        const uint64_t i = owned[k];
+        SizingOutcome outcome;
+        Result<SizedCandidate> sized =
+            engine_of[i]->EstimateAt(*epoch_of[i], candidates[i]);
+        if (sized.ok()) {
+          outcome.sized = std::move(*sized);
+        } else {
+          outcome.status = sized.status();
+        }
+        coalescer_.Complete(keys[i], std::move(outcome));
         return Status::OK();
       }));
+
+  // Collect every result in input order — owners and sharers alike read
+  // their future (an owner's is already ready). First failure wins, like
+  // the plain fan-out's StatusParallelFor.
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    SizingOutcome outcome = tickets[i].future.get();
+    if (!outcome.status.ok()) return outcome.status;
+    results[i] = std::move(outcome.sized);
+    // The coalesce key ignores the cosmetic index name and the caller's
+    // benefit, so a shared result may carry the owner's configuration;
+    // re-stamp this caller's own.
+    results[i].config = candidates[i];
+  }
   return results;
 }
 
@@ -111,20 +185,30 @@ Status CatalogEstimationService::NotifyAppend(const std::string& table_name,
 }
 
 CatalogEstimationService::Stats CatalogEstimationService::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
   Stats stats;
-  stats.engines_created = engines_.size();
-  for (const auto& [name, entry] : engines_) {
-    (void)name;
-    const EstimationEngine::CacheStats s = entry.engine->cache_stats();
-    stats.samples_drawn += s.samples_drawn;
-    stats.index_builds += s.index_builds;
-    stats.index_cache_hits += s.index_cache_hits;
-    stats.invalidations += s.invalidations;
-    // sample_version is 1 after an engine's initial draw and +1 per
-    // effective refresh, so the refresh count is version - draws.
-    stats.refreshes += s.sample_version - s.samples_drawn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats.engines_created = engines_.size();
+    for (const auto& [name, entry] : engines_) {
+      (void)name;
+      const EstimationEngine::CacheStats s = entry.engine->cache_stats();
+      stats.samples_drawn += s.samples_drawn;
+      stats.index_builds += s.index_builds;
+      stats.index_cache_hits += s.index_cache_hits;
+      stats.invalidations += s.invalidations;
+      // sample_version is 1 after an engine's initial draw and +1 per
+      // effective refresh, so the refresh count is version - draws.
+      stats.refreshes += s.sample_version - s.samples_drawn;
+      stats.lock_free_pins += s.lock_free_pins;
+      stats.locked_pins += s.locked_pins;
+      stats.epochs_published += s.epochs_published;
+      stats.epochs_retired += s.epochs_retired;
+    }
   }
+  const RequestCoalescer::Stats c = coalescer_.stats();
+  stats.coalesce_requests = c.requests;
+  stats.coalesce_admitted = c.admitted;
+  stats.coalesce_merged = c.merged;
   return stats;
 }
 

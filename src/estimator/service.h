@@ -1,24 +1,32 @@
 // Copyright (c) the samplecf authors. Licensed under the MIT license.
 //
-// CatalogEstimationService — cross-table batched what-if sizing.
+// CatalogEstimationService — cross-table batched what-if sizing for many
+// concurrent clients.
 //
 // PR 1's EstimationEngine amortizes one sample across many candidates, but
 // only within a single table. A real advisor sizes a candidate set spanning
 // a whole schema ("lineitem" *and* "orders") against tables that keep
-// growing. The service lifts the engine to catalog level:
+// growing, and a live DBMS queries it from many threads at once. The
+// service lifts the engine to catalog level:
 //
 //   - One lazily created EstimationEngine per catalog table, each seeded by
 //     SeedForTable(name) so results are reproducible per table regardless
 //     of which candidates arrive first.
-//   - EstimateAll groups candidates by table_name and fans the groups'
-//     candidates across one shared ThreadPool (per-table engines are built
-//     with num_threads = 1 — they never spin nested pools). Results are
+//   - EstimateAll groups candidates by table_name, pins ONE epoch per
+//     distinct table (estimator/epoch.h) for the whole batch, and fans the
+//     work across one shared ThreadPool (per-table engines are built with
+//     num_threads = 1 — they never spin nested pools). Results are
 //     positionally aligned with the input and bit-identical to running each
 //     table's group through its own per-table EstimateAll under the same
 //     per-table seeds.
+//   - Concurrent EstimateAll calls flow through a RequestCoalescer
+//     (estimator/coalesce.h): structurally identical candidates at the same
+//     epoch share one computation — the first caller computes, everyone
+//     else waits on the same future. Estimates are pure functions of the
+//     pinned epoch, so sharing is bit-exact.
 //   - NotifyAppend(table, range) forwards a growth delta to exactly that
-//     table's engine (reservoir refresh); every other table's cached
-//     samples and indexes are untouched.
+//     table's engine, which publishes a successor epoch without quiescing
+//     in-flight estimates; every other table is untouched.
 //
 // The service borrows the catalog; the catalog (and its tables) must
 // outlive the service.
@@ -36,6 +44,7 @@
 
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "estimator/coalesce.h"
 #include "estimator/engine.h"
 #include "storage/catalog.h"
 
@@ -60,13 +69,21 @@ struct CatalogEstimationServiceOptions {
   /// Reservoir capacity per engine when maintain_reservoirs is set
   /// (0 = derive from base.fraction at each table's first draw).
   uint64_t reservoir_capacity = 0;
+  /// Deduplicate structurally identical (candidate, epoch) requests across
+  /// concurrent EstimateAll calls through the request coalescer (in-flight
+  /// work only — completed results are never memoized, so sequential
+  /// batches hit the engines' own caches exactly as before). Sharing is
+  /// bit-exact; disable only to measure its effect.
+  bool coalesce_requests = true;
 };
 
 /// \brief Catalog-level batched CF estimation: one engine per table, one
 /// fan-out per workload.
 ///
-/// Estimate paths are thread-safe. NotifyAppend requires the same quiescing
-/// as EstimationEngine::NotifyAppend: no in-flight estimates for that table.
+/// Fully thread-safe: any number of concurrent EstimateAll callers, and
+/// NotifyAppend may run concurrently with them — refresh is an epoch swap,
+/// not a quiesce (each in-flight batch keeps estimating against the epoch
+/// it pinned).
 class CatalogEstimationService {
  public:
   explicit CatalogEstimationService(const Catalog& catalog,
@@ -88,9 +105,11 @@ class CatalogEstimationService {
 
   /// What-if sizes a mixed-table batch: candidates are grouped by
   /// table_name, every group's table engine is resolved (creating engines
-  /// as needed), and all candidates fan out across the shared pool.
-  /// Results are positionally aligned with `candidates` and bit-identical
-  /// to per-table EstimateAll under the same per-table seeds.
+  /// as needed), one epoch per distinct table is pinned for the whole
+  /// batch, and all candidates fan out across the shared pool — after the
+  /// coalescer merges duplicates with identical in-flight or completed
+  /// requests. Results are positionally aligned with `candidates` and
+  /// bit-identical to per-table EstimateAll under the same per-table seeds.
   Result<std::vector<SizedCandidate>> EstimateAll(
       std::span<const CandidateConfiguration> candidates);
 
@@ -103,12 +122,14 @@ class CatalogEstimationService {
   /// Forwards an append delta to the named table's engine (see
   /// EstimationEngine::NotifyAppend). A table whose engine has not been
   /// created yet is a no-op — its eventual first draw sees the grown
-  /// table. Requires maintain_reservoirs for created engines.
+  /// table. Requires maintain_reservoirs for created engines. Safe to run
+  /// concurrently with EstimateAll.
   Status NotifyAppend(const std::string& table_name, RowRange range);
 
   /// \brief Aggregate work-avoidance counters across every engine created
   /// so far (sums of the per-engine CacheStats; per-engine sample versions
-  /// are reduced to an additive refresh count).
+  /// are reduced to an additive refresh count), plus the coalescer's
+  /// traffic counters.
   struct Stats {
     uint64_t engines_created = 0;
     uint64_t samples_drawn = 0;
@@ -118,6 +139,17 @@ class CatalogEstimationService {
     /// Effective reservoir refreshes (NotifyAppend calls that changed a
     /// reservoir) summed across engines.
     uint64_t refreshes = 0;
+    /// Epoch pins served lock-free vs through the writer mutex (summed;
+    /// locked pins only ever happen on initial draws).
+    uint64_t lock_free_pins = 0;
+    uint64_t locked_pins = 0;
+    uint64_t epochs_published = 0;
+    uint64_t epochs_retired = 0;
+    /// Coalescer traffic: total requests, computations actually run, and
+    /// requests served by merging into an in-flight computation.
+    uint64_t coalesce_requests = 0;
+    uint64_t coalesce_admitted = 0;
+    uint64_t coalesce_merged = 0;
   };
   Stats stats() const;
 
@@ -134,6 +166,7 @@ class CatalogEstimationService {
 
   const Catalog& catalog_;
   CatalogEstimationServiceOptions options_;
+  RequestCoalescer coalescer_;
 
   mutable std::mutex mu_;
   std::map<std::string, EngineEntry> engines_;

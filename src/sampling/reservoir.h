@@ -17,6 +17,7 @@
 #define CFEST_SAMPLING_RESERVOIR_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "common/random.h"
 
@@ -65,6 +66,28 @@ class ReservoirSampler {
   uint64_t items_seen_ = 0;
   uint64_t size_ = 0;
 };
+
+/// Offers the contiguous id range [begin, end) to `core` and applies every
+/// accepted slot to `slots` (the caller's id-valued slot storage, extended
+/// while the reservoir is filling). Returns whether any slot changed. The
+/// streaming loop the EstimationEngine's initial draw, delta refresh, and
+/// capacity-growth replay all run — hoisted here so the three call sites
+/// cannot drift from the RNG consumption contract above.
+inline bool OfferIdRange(ReservoirSampler* core, Random* rng, uint64_t begin,
+                         uint64_t end, std::vector<uint64_t>* slots) {
+  bool changed = false;
+  for (uint64_t id = begin; id < end; ++id) {
+    const uint64_t slot = core->Offer(rng);
+    if (slot == ReservoirSampler::kSkip) continue;
+    if (slot == slots->size()) {
+      slots->push_back(id);
+    } else {
+      (*slots)[static_cast<size_t>(slot)] = id;
+    }
+    changed = true;
+  }
+  return changed;
+}
 
 }  // namespace cfest
 

@@ -14,9 +14,10 @@
 //     and across AppendRows of the same table (the Table object is stable;
 //     only its internal row buffer grows). They are invalidated by
 //     RemoveTable of that table and by catalog destruction.
-//   - AppendRows may reallocate the table's row buffer: zero-copy Slices
-//     previously obtained from the table are invalidated (row ids are not —
-//     rows never move ids). See storage/table.h.
+//   - AppendRows never moves existing rows: zero-copy Slices previously
+//     obtained from the table stay valid, and concurrent readers may keep
+//     scanning published rows while a single appender streams new ones in
+//     (see the concurrency contract in storage/table.h).
 
 #ifndef CFEST_STORAGE_CATALOG_H_
 #define CFEST_STORAGE_CATALOG_H_

@@ -374,6 +374,8 @@ TEST(BatchChunkTest, BatchedPathBitIdenticalAcrossLevels) {
       {CompressionType::kNullSuppression, CharType(300), true},
       {CompressionType::kRle, Int32Type(), false},
       {CompressionType::kRle, CharType(16), true},
+      {CompressionType::kDictionaryPage, CharType(12), true},
+      {CompressionType::kDictionaryPage, Int64Type(), false},
       {CompressionType::kDictionaryGlobal, CharType(12), true},
       {CompressionType::kDictionaryGlobal, Int64Type(), false},
       {CompressionType::kFrameOfReference, Int32Type(), false},
@@ -400,7 +402,7 @@ TEST(BatchChunkTest, AddRowsMatchesPerRowPages) {
   CompressionScheme scheme;
   scheme.default_type = CompressionType::kNullSuppression;
   scheme.per_column = {CompressionType::kFrameOfReference,
-                       CompressionType::kRle,
+                       CompressionType::kDictionaryPage,
                        CompressionType::kNullSuppression};
   const size_t n = 4000;
   std::string rows;

@@ -5,9 +5,11 @@
 // (cache-stats assertions), and the storage-layer append plumbing it all
 // rides on.
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -483,6 +485,146 @@ TEST(ReservoirEngineTest, RejectedAppendInvalidatesNothing) {
   ASSERT_TRUE(engine.EstimateCF(desc, scheme).ok());
   EXPECT_EQ(before.index_builds, engine.cache_stats().index_builds);
   EXPECT_GT(engine.cache_stats().index_cache_hits, before.index_cache_hits);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: epoch-consistent estimates under appends and sample growth
+// ---------------------------------------------------------------------------
+
+// Client threads estimate (service batches AND directly against pinned
+// epochs) while an appender streams rows into "orders" and a grower
+// extends "lineitem"'s sample. Three contracts:
+//   1. every service batch stays OK and positionally aligned mid-stream;
+//   2. every estimate produced against a pinned epoch, replayed after all
+//      writers quiesce against the SAME epoch object, is bit-identical —
+//      estimates are pure functions of the epoch;
+//   3. after the warm-up draw, every pin took the lock-free path (the
+//      writer mutex is never touched by steady-state estimates).
+TEST(ConcurrentServiceTest, EstimatesStayEpochConsistentUnderAppendsAndGrowth) {
+  auto catalog = TwoTableCatalog();
+  CatalogEstimationServiceOptions options;
+  options.base.fraction = 0.02;
+  options.maintain_reservoirs = true;
+  options.num_threads = 4;
+  CatalogEstimationService service(*catalog, options);
+  const std::vector<CandidateConfiguration> candidates = MixedCandidates();
+
+  // Warm-up draws both samples, so every pin below is steady-state.
+  ASSERT_TRUE(service.EstimateAll(candidates).ok());
+
+  auto orders_engine = service.Engine("orders");
+  auto lineitem_engine = service.Engine("lineitem");
+  ASSERT_TRUE(orders_engine.ok());
+  ASSERT_TRUE(lineitem_engine.ok());
+
+  std::vector<size_t> orders_ix;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (candidates[i].table_name == "orders" &&
+        !IsUncompressedScheme(candidates[i].scheme)) {
+      orders_ix.push_back(i);
+    }
+  }
+  ASSERT_FALSE(orders_ix.empty());
+
+  struct PinnedResult {
+    std::shared_ptr<const SampleEpoch> epoch;
+    size_t candidate = 0;
+    SizedCandidate sized;
+  };
+  constexpr int kClients = 3;
+  constexpr int kRoundsPerClient = 4;
+  std::vector<std::vector<PinnedResult>> pinned(kClients);
+  std::atomic<int> failures{0};
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int id = 0; id < kClients; ++id) {
+    clients.emplace_back([&, id] {
+      EstimationEngine* engine = *orders_engine;
+      for (int round = 0; round < kRoundsPerClient; ++round) {
+        // Service path: coalesced, pool-fanned batches mid-stream.
+        auto batch = service.EstimateAll(candidates);
+        if (!batch.ok() || batch->size() != candidates.size()) {
+          ++failures;
+          return;
+        }
+        for (size_t i = 0; i < candidates.size(); ++i) {
+          if ((*batch)[i].config.index.name != candidates[i].index.name) {
+            ++failures;  // positional alignment / config re-stamping broke
+            return;
+          }
+        }
+        // Engine path: pin an epoch mid-stream, estimate, keep the pin for
+        // the quiesced replay below.
+        auto epoch = engine->PinEpoch();
+        if (!epoch.ok()) {
+          ++failures;
+          return;
+        }
+        const size_t c = orders_ix[(id + round) % orders_ix.size()];
+        auto sized = engine->EstimateAt(**epoch, candidates[c]);
+        if (!sized.ok()) {
+          ++failures;
+          return;
+        }
+        pinned[id].push_back(PinnedResult{*epoch, c, *sized});
+      }
+    });
+  }
+
+  std::thread appender([&] {
+    const Table* orders = *catalog->GetTable("orders");
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto range = catalog->AppendRows("orders", DeltaRows(*orders, 200));
+      if (!range.ok() || !service.NotifyAppend("orders", *range).ok()) {
+        ++failures;
+        return;
+      }
+    }
+  });
+  std::thread grower([&] {
+    EstimationEngine* engine = *lineitem_engine;
+    uint64_t target = engine->sample_rows();
+    while (!stop.load(std::memory_order_relaxed)) {
+      target += 40;
+      if (!engine->GrowSampleToEpoch(target).ok()) {
+        ++failures;
+        return;
+      }
+    }
+  });
+
+  for (std::thread& t : clients) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  appender.join();
+  grower.join();
+  ASSERT_EQ(0, failures.load());
+
+  // Quiesced replay: the same epoch object must reproduce every mid-stream
+  // estimate bit for bit, no matter how far the table and sample have
+  // moved on since.
+  for (const auto& per_client : pinned) {
+    for (const PinnedResult& p : per_client) {
+      auto replay =
+          (*orders_engine)->EstimateAt(*p.epoch, candidates[p.candidate]);
+      ASSERT_TRUE(replay.ok());
+      EXPECT_EQ(p.sized.estimated_cf, replay->estimated_cf);
+      EXPECT_EQ(p.sized.estimated_bytes, replay->estimated_bytes);
+      EXPECT_EQ(p.sized.uncompressed_bytes, replay->uncompressed_bytes);
+      EXPECT_EQ(p.sized.sample_rows, replay->sample_rows);
+    }
+  }
+
+  // Lock-freedom by counting: each engine fell through to the writer mutex
+  // exactly once (its initial draw); every pin after that was the atomic
+  // fast path.
+  EXPECT_EQ(1u, (*orders_engine)->cache_stats().locked_pins);
+  EXPECT_EQ(1u, (*lineitem_engine)->cache_stats().locked_pins);
+  const CatalogEstimationService::Stats stats = service.stats();
+  EXPECT_GT(stats.lock_free_pins, 0u);
+  EXPECT_EQ(stats.coalesce_requests,
+            stats.coalesce_admitted + stats.coalesce_merged);
 }
 
 }  // namespace

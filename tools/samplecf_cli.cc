@@ -171,13 +171,23 @@ Result<double> ParseDoubleArg(const std::string& text, const char* what) {
   return value;
 }
 
-/// `--threads` must also fit a uint32.
+/// `--threads`: 0 resolves to hardware concurrency (ThreadPool's rule,
+/// applied when the pool is built). A count beyond any plausible
+/// oversubscription budget — more than 8x the machine's cores — is almost
+/// certainly a typo'd or hostile value; it is clamped to hardware
+/// concurrency with a warning instead of silently spawning thousands of
+/// threads.
 Result<uint32_t> ParseThreadsArg(const std::string& text) {
   CFEST_ASSIGN_OR_RETURN(const uint64_t value,
                          ParseUint64Arg(text, "--threads"));
-  if (value > 0xffffffffull) {
-    return Status::InvalidArgument("--threads: \"" + text +
-                                   "\" is out of range");
+  const uint32_t hw = ThreadPool::ResolveThreadCount(0);
+  const uint64_t cap = 8ull * hw;
+  if (value > cap) {
+    std::fprintf(stderr,
+                 "warning: --threads %llu exceeds 8x hardware concurrency "
+                 "(%u cores); clamping to %u\n",
+                 static_cast<unsigned long long>(value), hw, hw);
+    return hw;
   }
   return static_cast<uint32_t>(value);
 }
