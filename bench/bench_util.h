@@ -15,6 +15,7 @@
 
 #include "common/format.h"
 #include "common/json_writer.h"
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/status.h"
 
@@ -59,9 +60,34 @@ T CheckResult(Result<T> result, const char* what) {
 }
 
 /// Machine-readable result line alongside the human tables — the shared
-/// one-object writer from common/json_writer.h under the name the bench
-/// binaries have always used.
-using JsonEmitter = ::cfest::JsonWriter;
+/// one-object writer from common/json_writer.h, extended so every bench
+/// artifact carries the process's metric-registry snapshot: Print()
+/// appends a "metrics" object (counters/gauges/histograms at print time)
+/// to the emitted line without touching the bench's own fields. Benches
+/// that emit several lines get a snapshot per line — each reflects the
+/// registry at that emission, which is exactly the timeline a scraper
+/// wants.
+class JsonEmitter : public ::cfest::JsonWriter {
+ public:
+  using ::cfest::JsonWriter::JsonWriter;
+
+  /// Nested emitters are plain objects (only the top-level Print carries
+  /// the snapshot), so arrays of them slice down to the base writer.
+  using ::cfest::JsonWriter::AddObjectArray;
+  void AddObjectArray(const std::string& key,
+                      const std::vector<JsonEmitter>& values) {
+    const std::vector<::cfest::JsonWriter> base(values.begin(), values.end());
+    ::cfest::JsonWriter::AddObjectArray(key, base);
+  }
+
+  void Print() const {
+    JsonWriter with_metrics = *this;
+    with_metrics.AddObject(
+        "metrics",
+        metrics::MetricRegistry::Global().Snapshot().ToJsonWriter());
+    with_metrics.Print();
+  }
+};
 
 }  // namespace bench
 }  // namespace cfest

@@ -8,8 +8,51 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/metrics.h"
+#include "common/trace.h"
+
 namespace cfest {
 namespace {
+
+/// The registry-backed counters behind LazyAdvisorStats. Each lazy run
+/// owns one instance, so a run's compat struct is filled from these
+/// counters' Values — while MetricRegistry aggregates every live instance
+/// plus retired totals under `cfest.lazy.*`, making the two views agree
+/// bit for bit on any quiesced run. The registration member is declared
+/// last so it folds the final values into the registry before the
+/// counters destruct.
+struct LazyRunCounters {
+  LazyRunCounters()
+      : registration(metrics::MetricRegistry::Global().RegisterCounters(
+            {{"cfest.lazy.candidates", &candidates},
+             {"cfest.lazy.refined", &refined},
+             {"cfest.lazy.refine_rounds", &refine_rounds},
+             {"cfest.lazy.nodes_visited", &nodes_visited},
+             {"cfest.lazy.nodes_pruned", &nodes_pruned},
+             {"cfest.lazy.total_rows_sized", &total_rows_sized},
+             {"cfest.lazy.coarse_rows", &coarse_rows}})) {}
+
+  LazyAdvisorStats ToStats() const {
+    LazyAdvisorStats s;
+    s.candidates = static_cast<size_t>(candidates.Value());
+    s.refined = static_cast<size_t>(refined.Value());
+    s.refine_rounds = refine_rounds.Value();
+    s.nodes_visited = nodes_visited.Value();
+    s.nodes_pruned = nodes_pruned.Value();
+    s.total_rows_sized = total_rows_sized.Value();
+    s.coarse_rows = coarse_rows.Value();
+    return s;
+  }
+
+  metrics::Counter candidates;
+  metrics::Counter refined;
+  metrics::Counter refine_rounds;
+  metrics::Counter nodes_visited;
+  metrics::Counter nodes_pruned;
+  metrics::Counter total_rows_sized;
+  metrics::Counter coarse_rows;
+  metrics::MetricRegistry::Registration registration;
+};
 
 /// One candidate in the search: its latest point estimate plus certain
 /// byte bounds. `bytes_low == bytes_high == estimated_bytes` once the
@@ -124,11 +167,12 @@ class ItemRefinery {
   /// `refiner_for` maps a candidate's table name to its table's refiner.
   ItemRefinery(std::function<CandidateRefiner*(const std::string&)>
                    refiner_for,
-               LazyAdvisorStats* stats)
+               LazyRunCounters* stats)
       : refiner_for_(std::move(refiner_for)), stats_(stats) {}
 
   Status Refine(SearchItem* item,
                 const std::function<bool(const SearchItem&)>& done) {
+    trace::Span span("lazy.refine");
     CandidateRefiner* refiner =
         refiner_for_(item->sized.config.table_name);
     if (refiner == nullptr) {
@@ -157,15 +201,15 @@ class ItemRefinery {
                   item);
     if (!item->was_refined) {
       item->was_refined = true;
-      ++stats_->refined;
+      stats_->refined.Increment();
     }
-    stats_->refine_rounds += refiner->rounds() - rounds_before;
+    stats_->refine_rounds.Add(refiner->rounds() - rounds_before);
     return Status::OK();
   }
 
  private:
   std::function<CandidateRefiner*(const std::string&)> refiner_for_;
-  LazyAdvisorStats* stats_;
+  LazyRunCounters* stats_;
 };
 
 /// Depth-first branch-and-bound over items in the strategy-shared order,
@@ -176,7 +220,7 @@ class ItemRefinery {
 class LazySearch {
  public:
   LazySearch(std::vector<SearchItem> items, uint64_t bound,
-             ItemRefinery* refinery, LazyAdvisorStats* stats,
+             ItemRefinery* refinery, LazyRunCounters* stats,
              bool incremental_bound = true)
       : items_(std::move(items)),
         bound_(bound),
@@ -481,14 +525,14 @@ class LazySearch {
       Frame& frame = stack.back();
       bool descended = false;
       for (size_t i = frame.i;; ++i) {
-        ++stats_->nodes_visited;
+        stats_->nodes_visited.Increment();
         if (current_benefit_ > best_benefit_) {
           best_benefit_ = current_benefit_;
           best_ = current_;
         }
         if (i >= items_.size()) break;
         if (current_benefit_ + FractionalBound(i) <= best_benefit_) {
-          ++stats_->nodes_pruned;
+          stats_->nodes_pruned.Increment();
           break;
         }
         SearchItem& item = items_[i];
@@ -536,7 +580,7 @@ class LazySearch {
   std::vector<SearchItem> items_;
   uint64_t bound_ = 0;
   ItemRefinery* refinery_;
-  LazyAdvisorStats* stats_;
+  LazyRunCounters* stats_;
   bool incremental_bound_ = true;
 
   // Key interning: item -> dense key id, key id -> member items, and the
@@ -603,7 +647,8 @@ Result<AdvisorRecommendation> LazyAdviseImpl(
     std::span<const CandidateConfiguration> candidates,
     uint64_t storage_bound, const PrecisionTarget& target, ThreadPool* pool,
     LazyAdvisorStats* stats_out) {
-  LazyAdvisorStats stats;
+  trace::Span advise_span("advisor.lazy_advise");
+  LazyRunCounters stats;
 
   // One refiner per table engine (validates the target once per table).
   std::map<std::string, CandidateRefiner> refiners;
@@ -631,7 +676,7 @@ Result<AdvisorRecommendation> LazyAdviseImpl(
             ->GrowSample(std::min(refiner->row_cap(),
                                   std::max<uint64_t>(1, target.min_rows)))
             .status());
-    stats.coarse_rows += engine->sample_rows();
+    stats.coarse_rows.Add(engine->sample_rows());
   }
   std::vector<AdaptiveCandidateResult> coarse(candidates.size());
   std::vector<uint64_t> floors(candidates.size(), 0);
@@ -657,10 +702,10 @@ Result<AdvisorRecommendation> LazyAdviseImpl(
   ItemRefinery refinery(refiner_for, &stats);
   LazySearch search(BuildItems(candidates, coarse, floors), storage_bound,
                     &refinery, &stats);
-  stats.candidates = search.items().size();
+  stats.candidates.Add(search.items().size());
   Result<AdvisorRecommendation> rec = search.Run();
   for (const SearchItem& item : search.items()) {
-    stats.total_rows_sized += item.rows_sampled;
+    stats.total_rows_sized.Add(item.rows_sampled);
   }
   if (rec.ok() && rec->total_bytes > storage_bound) {
     // Mid-search refinement can move an already-taken candidate's bounds
@@ -682,7 +727,7 @@ Result<AdvisorRecommendation> LazyAdviseImpl(
                                 OrderCandidatesForSelection(final_sized),
                                 storage_bound);
   }
-  if (stats_out != nullptr) *stats_out = stats;
+  if (stats_out != nullptr) *stats_out = stats.ToStats();
   return rec;
 }
 
@@ -761,7 +806,7 @@ AdvisorRecommendation SearchSizedCandidates(
     const std::vector<SizedCandidate>& candidates,
     const std::vector<size_t>& order, uint64_t storage_bound,
     LazyAdvisorStats* stats, bool incremental_bound) {
-  LazyAdvisorStats local;
+  LazyRunCounters local;
   std::vector<SearchItem> items;
   items.reserve(order.size());
   for (size_t i : order) {
@@ -776,10 +821,10 @@ AdvisorRecommendation SearchSizedCandidates(
   }
   LazySearch search(std::move(items), storage_bound, nullptr, &local,
                     incremental_bound);
-  local.candidates = search.items().size();
+  local.candidates.Add(search.items().size());
   // All items are point-valued: the search cannot fail.
   AdvisorRecommendation rec = search.Run().ValueOrDie();
-  if (stats != nullptr) *stats = local;
+  if (stats != nullptr) *stats = local.ToStats();
   return rec;
 }
 

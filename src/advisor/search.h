@@ -51,7 +51,10 @@
 
 namespace cfest {
 
-/// \brief Observability counters of one lazy advisor run.
+/// \brief Observability counters of one lazy advisor run. A compat
+/// snapshot of the per-run registry-backed `cfest.lazy.*` counters — the
+/// fields are filled from the same Counter objects MetricRegistry
+/// aggregates, so on a quiesced run both views agree bit for bit.
 struct LazyAdvisorStats {
   /// Candidates after the shared dedup.
   size_t candidates = 0;

@@ -1,0 +1,269 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <thread>
+
+namespace cfest {
+namespace metrics {
+namespace {
+
+size_t ComputeShardCount() {
+#ifdef CFEST_METRICS_DISABLED
+  return 1;
+#else
+  const unsigned hw = std::thread::hardware_concurrency();
+  size_t shards = 1;
+  while (shards < hw && shards < 32) shards *= 2;
+  return std::max<size_t>(4, shards);
+#endif
+}
+
+std::atomic<bool>& TimingFlag() {
+  static std::atomic<bool> enabled{true};
+  return enabled;
+}
+
+/// `cfest.engine.lock_free_pins` → `cfest_engine_lock_free_pins`.
+std::string PrometheusName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, "_");
+  return out;
+}
+
+}  // namespace
+
+size_t ShardCount() {
+  static const size_t count = ComputeShardCount();
+  return count;
+}
+
+Counter::Counter()
+    : mask_(ShardCount() - 1), cells_(new Cell[ShardCount()]) {}
+
+size_t HistogramBucketIndex(uint64_t value) {
+  return value == 0 ? 0 : 64 - static_cast<size_t>(std::countl_zero(value));
+}
+
+uint64_t HistogramBucketUpperBound(size_t index) {
+  if (index == 0) return 0;
+  if (index >= 64) return UINT64_MAX;
+  return (uint64_t{1} << index) - 1;
+}
+
+void HistogramData::Merge(const HistogramData& other) {
+  count += other.count;
+  sum += other.sum;
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    buckets[i] += other.buckets[i];
+  }
+}
+
+Histogram::Histogram()
+    : mask_(ShardCount() - 1), shards_(new Shard[ShardCount()]) {}
+
+HistogramData Histogram::Data() const {
+  HistogramData data;
+  for (size_t s = 0; s <= mask_; ++s) {
+    const Shard& shard = shards_[s];
+    data.count += shard.count.load(std::memory_order_relaxed);
+    data.sum += shard.sum.load(std::memory_order_relaxed);
+    for (size_t i = 0; i < kHistogramBuckets; ++i) {
+      data.buckets[i] += shard.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  return data;
+}
+
+bool TimingEnabled() {
+#ifdef CFEST_METRICS_DISABLED
+  return false;
+#else
+  return TimingFlag().load(std::memory_order_relaxed);
+#endif
+}
+
+void SetTimingEnabled(bool enabled) {
+  TimingFlag().store(enabled, std::memory_order_relaxed);
+}
+
+uint64_t MetricsSnapshot::CounterValue(const std::string& name) const {
+  auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second;
+}
+
+JsonWriter MetricsSnapshot::ToJsonWriter() const {
+  JsonWriter counters_json;
+  for (const auto& [name, value] : counters) {
+    counters_json.AddInt(name, static_cast<int64_t>(value));
+  }
+  JsonWriter gauges_json;
+  for (const auto& [name, value] : gauges) {
+    gauges_json.AddInt(name, value);
+  }
+  JsonWriter histograms_json;
+  for (const auto& [name, data] : histograms) {
+    JsonWriter h;
+    h.AddInt("count", static_cast<int64_t>(data.count));
+    h.AddInt("sum", static_cast<int64_t>(data.sum));
+    // Trailing all-zero buckets carry no information; trim them so the
+    // artifact stays readable (the bucket at index i always means the
+    // same value range regardless of how many are printed).
+    size_t top = kHistogramBuckets;
+    while (top > 0 && data.buckets[top - 1] == 0) --top;
+    std::vector<int64_t> buckets;
+    buckets.reserve(top);
+    for (size_t i = 0; i < top; ++i) {
+      buckets.push_back(static_cast<int64_t>(data.buckets[i]));
+    }
+    h.AddIntArray("buckets", buckets);
+    histograms_json.AddObject(name, h);
+  }
+  JsonWriter out;
+  out.AddBool("timing_enabled", TimingEnabled());
+  out.AddObject("counters", counters_json);
+  out.AddObject("gauges", gauges_json);
+  out.AddObject("histograms", histograms_json);
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const { return ToJsonWriter().ToString(); }
+
+std::string MetricsSnapshot::ToPrometheusText() const {
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    const std::string p = PrometheusName(name);
+    out += "# TYPE " + p + " counter\n";
+    out += p + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    const std::string p = PrometheusName(name);
+    out += "# TYPE " + p + " gauge\n";
+    out += p + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, data] : histograms) {
+    const std::string p = PrometheusName(name);
+    out += "# TYPE " + p + " histogram\n";
+    uint64_t cumulative = 0;
+    size_t top = kHistogramBuckets;
+    while (top > 0 && data.buckets[top - 1] == 0) --top;
+    for (size_t i = 0; i < top; ++i) {
+      cumulative += data.buckets[i];
+      out += p + "_bucket{le=\"" +
+             std::to_string(HistogramBucketUpperBound(i)) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += p + "_bucket{le=\"+Inf\"} " + std::to_string(data.count) + "\n";
+    out += p + "_sum " + std::to_string(data.sum) + "\n";
+    out += p + "_count " + std::to_string(data.count) + "\n";
+  }
+  return out;
+}
+
+MetricRegistry& MetricRegistry::Global() {
+  static MetricRegistry* registry = new MetricRegistry();  // never destroyed
+  return *registry;
+}
+
+Counter* MetricRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CounterEntry& entry = counters_[name];
+  if (entry.owned == nullptr) entry.owned = std::make_unique<Counter>();
+  return entry.owned.get();
+}
+
+Gauge* MetricRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& gauge = gauges_[name];
+  if (gauge == nullptr) gauge = std::make_unique<Gauge>();
+  return gauge.get();
+}
+
+Histogram* MetricRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& histogram = histograms_[name];
+  if (histogram == nullptr) histogram = std::make_unique<Histogram>();
+  return histogram.get();
+}
+
+MetricRegistry::Registration MetricRegistry::RegisterCounters(
+    std::vector<std::pair<std::string, const Counter*>> counters) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, counter] : counters) {
+      counters_[name].instances.push_back(counter);
+    }
+  }
+  return Registration(this, std::move(counters));
+}
+
+void MetricRegistry::Retire(
+    const std::vector<std::pair<std::string, const Counter*>>& counters) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters) {
+    CounterEntry& entry = counters_[name];
+    entry.retired += counter->Value();
+    auto it = std::find(entry.instances.begin(), entry.instances.end(),
+                        counter);
+    if (it != entry.instances.end()) entry.instances.erase(it);
+  }
+}
+
+MetricRegistry::Registration::Registration(Registration&& other) noexcept
+    : registry_(other.registry_), counters_(std::move(other.counters_)) {
+  other.registry_ = nullptr;
+  other.counters_.clear();
+}
+
+MetricRegistry::Registration& MetricRegistry::Registration::operator=(
+    Registration&& other) noexcept {
+  if (this != &other) {
+    Release();
+    registry_ = other.registry_;
+    counters_ = std::move(other.counters_);
+    other.registry_ = nullptr;
+    other.counters_.clear();
+  }
+  return *this;
+}
+
+MetricRegistry::Registration::~Registration() { Release(); }
+
+void MetricRegistry::Registration::Release() {
+  if (registry_ != nullptr) registry_->Retire(counters_);
+  registry_ = nullptr;
+  counters_.clear();
+}
+
+MetricsSnapshot MetricRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+#ifdef CFEST_METRICS_DISABLED
+  return snapshot;
+#else
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, entry] : counters_) {
+    uint64_t total = entry.retired;
+    if (entry.owned != nullptr) total += entry.owned->Value();
+    for (const Counter* instance : entry.instances) {
+      total += instance->Value();
+    }
+    snapshot.counters.emplace(name, total);
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.emplace(name, gauge->Value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms.emplace(name, histogram->Data());
+  }
+  return snapshot;
+#endif
+}
+
+}  // namespace metrics
+}  // namespace cfest

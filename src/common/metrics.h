@@ -1,0 +1,284 @@
+// Copyright (c) the samplecf authors. Licensed under the MIT license.
+//
+// Process-wide metric registry: named counters, gauges, and log-bucketed
+// latency histograms, exportable as one MetricsSnapshot (JSON or
+// Prometheus text).
+//
+// Design constraints, in order:
+//
+//   1. The engine's steady-state read path must not gain shared-cacheline
+//      writes. Counters and histograms are therefore sharded: each holds a
+//      small power-of-two array of cache-line-aligned atomic cells, and a
+//      thread adds to the cell picked by its (process-unique) thread
+//      index. Aggregation happens at snapshot time, not on the hot path.
+//   2. Legacy stats structs (EstimationEngine::CacheStats, the coalescer's
+//      Stats, LazyAdvisorStats) keep their exact semantics: they are
+//      backed by Counter objects and read with Value(), so the compat
+//      struct and the registry report bit-identical numbers by
+//      construction (tests/metrics_test.cc and bench_observability pin
+//      this).
+//   3. Component-local counter blocks (one per engine, per coalescer, per
+//      lazy-advisor run) register under shared process-wide names. The
+//      registry keeps raw pointers to live instances plus a per-name
+//      "retired" total that absorbs an instance's final value when its
+//      RAII Registration dies — so registry totals stay monotone and
+//      exact across engine churn. The Registration member must be declared
+//      AFTER the counters it registers (members destruct in reverse
+//      order, so the handle folds values while the counters still exist).
+//
+// Naming scheme: `cfest.<component>.<metric>` (dots map to underscores in
+// the Prometheus encoding). Counters count events; `*_ns` histograms hold
+// nanosecond latencies.
+//
+// Timing (clock reads feeding histograms) is runtime-gated by
+// SetTimingEnabled so the always-on cost is exactly the counter adds the
+// legacy structs already paid for. Compiling with CFEST_METRICS_DISABLED
+// shrinks every counter to a single cell, disables timing permanently, and
+// makes snapshots empty — the "registry compiled out" baseline
+// bench_observability compares against.
+
+#ifndef CFEST_COMMON_METRICS_H_
+#define CFEST_COMMON_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json_writer.h"
+
+namespace cfest {
+namespace metrics {
+
+inline constexpr size_t kCacheLineBytes = 64;
+
+/// Shards per sharded metric: a power of two, sized once from hardware
+/// concurrency (1 when CFEST_METRICS_DISABLED).
+size_t ShardCount();
+
+/// Process-unique dense index of the calling thread (first call assigns).
+inline size_t ThreadIndex() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t index =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+/// \brief Monotone counter with per-thread sharded cells. Add is one
+/// relaxed fetch_add on a cacheline owned (in steady state) by the calling
+/// thread's shard; Value sums the cells.
+class Counter {
+ public:
+  Counter();
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(uint64_t delta) {
+    cells_[ThreadIndex() & mask_].value.fetch_add(delta,
+                                                  std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (size_t i = 0; i <= mask_; ++i) {
+      total += cells_[i].value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(kCacheLineBytes) Cell {
+    std::atomic<uint64_t> value{0};
+  };
+  size_t mask_ = 0;
+  std::unique_ptr<Cell[]> cells_;
+};
+
+/// \brief Last-writer-wins signed gauge (queue depths, sizes). A single
+/// atomic: gauges are written on enqueue/dequeue edges, not per-row.
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Histogram buckets: bucket 0 holds the value 0; bucket i (1..64) holds
+/// values in [2^(i-1), 2^i - 1] — i.e. values whose bit width is i.
+inline constexpr size_t kHistogramBuckets = 65;
+
+size_t HistogramBucketIndex(uint64_t value);
+/// Inclusive upper bound of bucket `index` (UINT64_MAX for the last).
+uint64_t HistogramBucketUpperBound(size_t index);
+
+/// \brief Aggregated histogram contents (a snapshot; plain data).
+struct HistogramData {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  std::array<uint64_t, kHistogramBuckets> buckets{};
+
+  void Merge(const HistogramData& other);
+};
+
+/// \brief Log2-bucketed histogram with sharded cells, for latency-style
+/// values (nanoseconds by convention; suffix names with `_ns`).
+class Histogram {
+ public:
+  Histogram();
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(uint64_t value) {
+    Shard& shard = shards_[ThreadIndex() & mask_];
+    shard.count.fetch_add(1, std::memory_order_relaxed);
+    shard.sum.fetch_add(value, std::memory_order_relaxed);
+    shard.buckets[HistogramBucketIndex(value)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
+  HistogramData Data() const;
+
+ private:
+  struct alignas(kCacheLineBytes) Shard {
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum{0};
+    std::array<std::atomic<uint64_t>, kHistogramBuckets> buckets{};
+  };
+  size_t mask_ = 0;
+  std::unique_ptr<Shard[]> shards_;
+};
+
+/// Runtime gate for the clock reads that feed latency histograms and trace
+/// spans. Counters are NOT gated (they back the legacy stats structs).
+/// Always false under CFEST_METRICS_DISABLED.
+bool TimingEnabled();
+void SetTimingEnabled(bool enabled);
+
+/// Monotonic nanoseconds (steady_clock), the histogram/trace time base.
+inline uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// \brief Point-in-time aggregation of every registered metric.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramData> histograms;
+
+  /// Value of a counter by name (0 when absent).
+  uint64_t CounterValue(const std::string& name) const;
+
+  /// Nested JSON: {"counters": {...}, "gauges": {...},
+  /// "histograms": {name: {count, sum, buckets}}}.
+  JsonWriter ToJsonWriter() const;
+  std::string ToJson() const;
+
+  /// Prometheus text exposition (dots in names become underscores;
+  /// histograms render cumulative `_bucket{le="..."}` series).
+  std::string ToPrometheusText() const;
+};
+
+/// \brief The process-wide name → metric map.
+///
+/// Two registration styles:
+///   - GetCounter/GetGauge/GetHistogram return a process-lifetime singleton
+///     for a name (created on first request) — for component-independent
+///     metrics like thread-pool or kernel-dispatch counts.
+///   - RegisterCounters attaches short(er)-lived instance counters (an
+///     engine's EpochCounters block, one lazy run's stats block) to shared
+///     names. The snapshot value of a name is singleton + live instances +
+///     retired total, so it is monotone and exact across instance churn.
+///
+/// Thread-safe. Metric pointers returned by Get* are valid for the process
+/// lifetime.
+class MetricRegistry {
+ public:
+  static MetricRegistry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// RAII handle for a batch of instance-counter registrations; its
+  /// destructor folds each counter's final Value into the per-name retired
+  /// total and detaches the pointers. Declare it after the counters it
+  /// registers.
+  class Registration {
+   public:
+    Registration() = default;
+    Registration(Registration&& other) noexcept;
+    Registration& operator=(Registration&& other) noexcept;
+    ~Registration();
+
+   private:
+    friend class MetricRegistry;
+    Registration(MetricRegistry* registry,
+                 std::vector<std::pair<std::string, const Counter*>> counters)
+        : registry_(registry), counters_(std::move(counters)) {}
+    void Release();
+
+    MetricRegistry* registry_ = nullptr;
+    std::vector<std::pair<std::string, const Counter*>> counters_;
+  };
+
+  [[nodiscard]] Registration RegisterCounters(
+      std::vector<std::pair<std::string, const Counter*>> counters);
+
+  /// Empty under CFEST_METRICS_DISABLED; otherwise every known name.
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  MetricRegistry() = default;
+  void Retire(const std::vector<std::pair<std::string, const Counter*>>&
+                  counters);
+
+  struct CounterEntry {
+    std::unique_ptr<Counter> owned;
+    uint64_t retired = 0;
+    std::vector<const Counter*> instances;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, CounterEntry> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// \brief Stopwatch that records its lifetime into a histogram when timing
+/// is enabled (and reads no clock otherwise).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram)
+      : histogram_(TimingEnabled() ? histogram : nullptr),
+        start_(histogram_ != nullptr ? NowNanos() : 0) {}
+  ~ScopedTimer() {
+    if (histogram_ != nullptr) histogram_->Record(NowNanos() - start_);
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* histogram_;
+  uint64_t start_;
+};
+
+}  // namespace metrics
+}  // namespace cfest
+
+#endif  // CFEST_COMMON_METRICS_H_

@@ -3,7 +3,29 @@
 #include <algorithm>
 #include <atomic>
 
+#include "common/metrics.h"
+#include "common/trace.h"
+
 namespace cfest {
+namespace {
+
+/// Process-wide pool metrics (all pools share them: the observability
+/// question is "how busy is task execution", not "which pool").
+struct PoolMetrics {
+  metrics::Counter* tasks =
+      metrics::MetricRegistry::Global().GetCounter("cfest.threadpool.tasks");
+  metrics::Gauge* queue_depth = metrics::MetricRegistry::Global().GetGauge(
+      "cfest.threadpool.queue_depth");
+  metrics::Histogram* task_ns = metrics::MetricRegistry::Global().GetHistogram(
+      "cfest.threadpool.task_ns");
+};
+
+PoolMetrics& Metrics() {
+  static PoolMetrics* metrics = new PoolMetrics();  // never destroyed
+  return *metrics;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(uint32_t num_threads) {
   num_threads = ResolveThreadCount(num_threads);
@@ -29,6 +51,7 @@ void ThreadPool::Submit(std::function<void()> task) {
     tasks_.push(std::move(task));
     ++in_flight_;
   }
+  Metrics().queue_depth->Add(1);
   task_ready_.notify_one();
 }
 
@@ -39,6 +62,7 @@ void ThreadPool::SubmitBatch(std::vector<std::function<void()>> tasks) {
     for (std::function<void()>& task : tasks) tasks_.push(std::move(task));
     in_flight_ += tasks.size();
   }
+  Metrics().queue_depth->Add(static_cast<int64_t>(tasks.size()));
   task_ready_.notify_all();
 }
 
@@ -97,11 +121,16 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
-    uint64_t left;
+    Metrics().queue_depth->Add(-1);
+    Metrics().tasks->Increment();
+    {
+      trace::Span span("threadpool.task");
+      metrics::ScopedTimer timer(Metrics().task_ns);
+      task();
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
-      left = --in_flight_;
+      --in_flight_;
     }
     all_done_.notify_all();
   }

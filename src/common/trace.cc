@@ -1,0 +1,226 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+
+#include "common/metrics.h"
+
+namespace cfest {
+namespace trace {
+namespace {
+
+std::atomic<bool> g_enabled{false};
+std::atomic<size_t> g_ring_capacity{kDefaultRingCapacity};
+/// Trace time base: records store offsets from it so exported timestamps
+/// start near zero. Reset() re-bases.
+std::atomic<uint64_t> g_base_ns{0};
+
+/// One thread's bounded span ring. The owning thread appends under `mu`;
+/// collectors lock the same mutex — uncontended in steady state, since
+/// collection happens at export time.
+struct ThreadBuffer {
+  explicit ThreadBuffer(size_t cap, uint32_t id)
+      : capacity(std::max<size_t>(16, cap)), thread_id(id) {
+    ring.reserve(capacity);
+  }
+
+  std::mutex mu;
+  std::vector<SpanRecord> ring;
+  size_t capacity;
+  /// Records ever appended; the ring holds the last min(total, capacity).
+  uint64_t total = 0;
+  uint32_t thread_id;
+};
+
+struct BufferList {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  uint32_t next_thread_id = 0;
+};
+
+BufferList& Buffers() {
+  static BufferList* list = new BufferList();  // never destroyed
+  return *list;
+}
+
+ThreadBuffer& LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    BufferList& list = Buffers();
+    std::lock_guard<std::mutex> lock(list.mu);
+    auto created = std::make_shared<ThreadBuffer>(
+        g_ring_capacity.load(std::memory_order_relaxed),
+        list.next_thread_id++);
+    list.buffers.push_back(created);
+    return created;
+  }();
+  return *buffer;
+}
+
+thread_local uint32_t tls_depth = 0;
+
+void Append(const char* name, uint64_t start_ns, uint64_t duration_ns,
+            uint32_t depth) {
+  ThreadBuffer& buffer = LocalBuffer();
+  SpanRecord record;
+  record.name = name;
+  record.start_ns = start_ns;
+  record.duration_ns = duration_ns;
+  record.thread_id = buffer.thread_id;
+  record.depth = depth;
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  if (buffer.ring.size() < buffer.capacity) {
+    buffer.ring.push_back(record);
+  } else {
+    buffer.ring[buffer.total % buffer.capacity] = record;
+  }
+  ++buffer.total;
+}
+
+std::string EscapeJson(const char* s) {
+  std::string out;
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                    static_cast<unsigned char>(c));
+      out += buffer;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool Enabled() {
+#ifdef CFEST_METRICS_DISABLED
+  return false;
+#else
+  return g_enabled.load(std::memory_order_relaxed);
+#endif
+}
+
+void SetEnabled(bool enabled) {
+#ifdef CFEST_METRICS_DISABLED
+  (void)enabled;
+#else
+  if (enabled && g_base_ns.load(std::memory_order_relaxed) == 0) {
+    g_base_ns.store(metrics::NowNanos(), std::memory_order_relaxed);
+  }
+  g_enabled.store(enabled, std::memory_order_relaxed);
+#endif
+}
+
+void SetRingCapacity(size_t records) {
+  const size_t cap = std::max<size_t>(16, records);
+  g_ring_capacity.store(cap, std::memory_order_relaxed);
+  // Resize existing buffers too (dropping their retained records), so the
+  // new bound holds process-wide and not just for threads yet to record.
+  BufferList& list = Buffers();
+  std::lock_guard<std::mutex> lock(list.mu);
+  for (const std::shared_ptr<ThreadBuffer>& buffer : list.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->capacity = cap;
+    buffer->ring.clear();
+    buffer->ring.reserve(cap);
+    buffer->total = 0;
+  }
+}
+
+Span::Span(const char* name) : name_(name) {
+  if (!Enabled()) return;
+  active_ = true;
+  ++tls_depth;
+  start_ns_ = metrics::NowNanos();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  const uint64_t end_ns = metrics::NowNanos();
+  const uint32_t depth = --tls_depth;
+  const uint64_t base = g_base_ns.load(std::memory_order_relaxed);
+  const uint64_t start = start_ns_ > base ? start_ns_ - base : 0;
+  Append(name_, start, end_ns - start_ns_, depth);
+}
+
+std::vector<SpanRecord> CollectRecords() {
+  std::vector<SpanRecord> records;
+  BufferList& list = Buffers();
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(list.mu);
+    buffers = list.buffers;
+  }
+  for (const std::shared_ptr<ThreadBuffer>& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    const size_t n = buffer->ring.size();
+    // Oldest-first: when wrapped, the oldest record sits at total % cap.
+    const size_t head =
+        n < buffer->capacity ? 0 : buffer->total % buffer->capacity;
+    for (size_t i = 0; i < n; ++i) {
+      records.push_back(buffer->ring[(head + i) % n]);
+    }
+  }
+  return records;
+}
+
+uint64_t TotalStarted() {
+  uint64_t total = 0;
+  BufferList& list = Buffers();
+  std::lock_guard<std::mutex> lock(list.mu);
+  for (const std::shared_ptr<ThreadBuffer>& buffer : list.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    total += buffer->total;
+  }
+  return total;
+}
+
+std::string ExportChromeTraceJson() {
+  const std::vector<SpanRecord> records = CollectRecords();
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  char buffer[64];
+  for (const SpanRecord& record : records) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"";
+    out += EscapeJson(record.name);
+    out += "\",\"cat\":\"cfest\",\"ph\":\"X\",\"ts\":";
+    std::snprintf(buffer, sizeof(buffer), "%.3f",
+                  static_cast<double>(record.start_ns) / 1000.0);
+    out += buffer;
+    out += ",\"dur\":";
+    std::snprintf(buffer, sizeof(buffer), "%.3f",
+                  static_cast<double>(record.duration_ns) / 1000.0);
+    out += buffer;
+    out += ",\"pid\":1,\"tid\":";
+    out += std::to_string(record.thread_id);
+    out += ",\"args\":{\"depth\":";
+    out += std::to_string(record.depth);
+    out += "}}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+void Reset() {
+  BufferList& list = Buffers();
+  std::lock_guard<std::mutex> lock(list.mu);
+  for (const std::shared_ptr<ThreadBuffer>& buffer : list.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->ring.clear();
+    buffer->total = 0;
+  }
+  g_base_ns.store(metrics::NowNanos(), std::memory_order_relaxed);
+}
+
+}  // namespace trace
+}  // namespace cfest

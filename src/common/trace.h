@@ -1,0 +1,101 @@
+// Copyright (c) the samplecf authors. Licensed under the MIT license.
+//
+// Scoped trace spans: RAII timers with parent/child nesting, recorded into
+// a bounded per-thread ring buffer and exportable as Chrome
+// `chrome://tracing` / Perfetto JSON (load the file via chrome://tracing
+// or https://ui.perfetto.dev).
+//
+// Tracing is OFF by default; a Span constructed while tracing is disabled
+// reads no clock and records nothing (one relaxed atomic load). When
+// enabled, each completed span appends one fixed-size record — name
+// pointer, start, duration, depth — to its thread's ring buffer. Rings are
+// bounded (SetRingCapacity, default kDefaultRingCapacity records), so a
+// long traced run keeps the most recent spans per thread instead of
+// growing without limit; TotalStarted() minus CollectRecords().size()
+// tells how many wrapped away.
+//
+// Span names must have static storage duration (string literals): records
+// store the pointer, never copy the text.
+//
+// Nesting: records carry an explicit per-thread depth, and the exported
+// "X" (complete) events nest naturally in the viewer because a child's
+// [ts, ts+dur] interval lies inside its parent's.
+//
+// Ring buffers are owned by a process-wide list (shared_ptr), so records
+// from exited threads survive until Reset(). The writer path takes the
+// buffer's own uncontended mutex — spans mark operations (an estimate, an
+// index build, a pool task), not per-row work, so this costs nanoseconds
+// on events that take microseconds.
+
+#ifndef CFEST_COMMON_TRACE_H_
+#define CFEST_COMMON_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cfest {
+namespace trace {
+
+inline constexpr size_t kDefaultRingCapacity = 8192;
+
+/// Whether spans currently record. Cheap (one relaxed load).
+bool Enabled();
+/// Turns span recording on/off process-wide. Always off (and ignored)
+/// under CFEST_METRICS_DISABLED.
+void SetEnabled(bool enabled);
+
+/// Sets the per-thread ring capacity, in records, process-wide: buffers
+/// created later use it, and existing buffers are resized immediately —
+/// dropping their retained records and zeroing their TotalStarted
+/// contribution. Clamped to >= 16.
+void SetRingCapacity(size_t records);
+
+/// One completed span.
+struct SpanRecord {
+  const char* name = nullptr;
+  /// Nanoseconds since the trace time base (last Reset / process start).
+  uint64_t start_ns = 0;
+  uint64_t duration_ns = 0;
+  /// Small dense id of the recording thread.
+  uint32_t thread_id = 0;
+  /// Nesting depth at the span's start (0 = top level on its thread).
+  uint32_t depth = 0;
+};
+
+/// \brief RAII span: times its scope and records on destruction.
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  uint64_t start_ns_ = 0;
+  bool active_ = false;
+};
+
+/// Every record currently retained, across all threads (exited ones
+/// included), ordered per thread oldest-first.
+std::vector<SpanRecord> CollectRecords();
+
+/// Spans started (and finished) since the last Reset, including records
+/// that have since wrapped away.
+uint64_t TotalStarted();
+
+/// Chrome trace-event JSON of the retained records:
+/// {"traceEvents":[{"name","ph":"X","ts","dur","pid","tid","args":{...}}]}
+/// with ts/dur in microseconds.
+std::string ExportChromeTraceJson();
+
+/// Drops every retained record, zeroes TotalStarted, and restarts the
+/// trace time base. Does not change Enabled().
+void Reset();
+
+}  // namespace trace
+}  // namespace cfest
+
+#endif  // CFEST_COMMON_TRACE_H_

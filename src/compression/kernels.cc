@@ -3,6 +3,8 @@
 #include <bit>
 #include <cstring>
 
+#include "common/metrics.h"
+
 #if defined(__x86_64__) || defined(__i386__)
 #define CFEST_KERNELS_X86 1
 #include <immintrin.h>
@@ -572,6 +574,25 @@ uint64_t HashBytes(const char* data, size_t n) {
 // Dispatched entry points.
 // ---------------------------------------------------------------------------
 
+/// Per-level dispatch counters for the batch-granular kernels (one count
+/// per kernel call, amortized over the n cells it scans — the per-probe
+/// HashBytes path is deliberately NOT counted; see the overhead policy in
+/// estimator/README.md).
+namespace {
+
+void CountDispatch(SimdLevel level) {
+  static metrics::Counter* const counters[] = {
+      metrics::MetricRegistry::Global().GetCounter(
+          "cfest.kernels.dispatch_scalar"),
+      metrics::MetricRegistry::Global().GetCounter(
+          "cfest.kernels.dispatch_sse42"),
+      metrics::MetricRegistry::Global().GetCounter(
+          "cfest.kernels.dispatch_avx2")};
+  counters[static_cast<int>(level)]->Increment();
+}
+
+}  // namespace
+
 void NullSuppressedLengths(const char* cells, uint32_t width, size_t n,
                            bool is_string, uint32_t* out) {
   if (n == 0 || width == 0) {
@@ -579,6 +600,7 @@ void NullSuppressedLengths(const char* cells, uint32_t width, size_t n,
     return;
   }
   const SimdLevel level = ActiveSimdLevel();
+  CountDispatch(level);
   if (level == SimdLevel::kScalar || n * width < 64) {
     scalar::NullSuppressedLengths(cells, width, n, is_string, out);
     return;
@@ -601,6 +623,7 @@ uint64_t TotalNullSuppressedLength(const char* cells, uint32_t width,
                                    size_t n, bool is_string) {
   if (n == 0 || width == 0) return 0;
   const SimdLevel level = ActiveSimdLevel();
+  CountDispatch(level);
   if (level == SimdLevel::kScalar || n * width < 64) {
     return scalar::TotalNullSuppressedLength(cells, width, n, is_string);
   }
@@ -628,6 +651,7 @@ void RunStarts(const char* cells, uint32_t width, size_t n,
     return;
   }
   const SimdLevel level = ActiveSimdLevel();
+  CountDispatch(level);
   if (level == SimdLevel::kScalar || n < 2 || (n - 1) * width < 64) {
     scalar::RunStarts(cells, width, n, prev_cell, starts);
     return;
@@ -658,6 +682,7 @@ size_t CountRuns(const char* cells, uint32_t width, size_t n,
   if (n == 0) return 0;
   if (width == 0) return prev_cell == nullptr ? 1 : 0;
   const SimdLevel level = ActiveSimdLevel();
+  CountDispatch(level);
   if (level == SimdLevel::kScalar || n < 2 || (n - 1) * width < 64) {
     return scalar::CountRuns(cells, width, n, prev_cell);
   }

@@ -7,12 +7,32 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/metrics.h"
 #include "common/stats.h"
+#include "common/trace.h"
 #include "index/index.h"
 #include "storage/table_view.h"
 
 namespace cfest {
 namespace {
+
+/// Registry-backed adaptive-loop counters (process-wide; the loop has no
+/// long-lived stats struct of its own, so the registry is the only home).
+struct AdaptiveMetrics {
+  metrics::Counter* rounds;
+  metrics::Counter* growth_steps;
+  metrics::Counter* rows_sized;
+};
+
+const AdaptiveMetrics& Metrics() {
+  static const AdaptiveMetrics m{
+      metrics::MetricRegistry::Global().GetCounter("cfest.adaptive.rounds"),
+      metrics::MetricRegistry::Global().GetCounter(
+          "cfest.adaptive.growth_steps"),
+      metrics::MetricRegistry::Global().GetCounter(
+          "cfest.adaptive.rows_sized")};
+  return m;
+}
 
 constexpr const char* kMethodExact = "exact";
 constexpr const char* kMethodTheorem1 = "theorem1";
@@ -301,6 +321,7 @@ Status EstimateCandidateNow(EstimationEngine& engine, const SampleEpoch& epoch,
                             const PrecisionTarget& target,
                             GroupIndexCache* cache,
                             AdaptiveCandidateResult* r) {
+  trace::Span span("adaptive.estimate_candidate");
   // One cached-index build + compression yields both the base-metric CF'
   // (controlled quantity) and the page-metric footprint (what
   // EstimationEngine::Estimate reports). Everything reads the pinned epoch
@@ -325,6 +346,11 @@ Status EstimateCandidateNow(EstimationEngine& engine, const SampleEpoch& epoch,
   r->sized.sample_rows = est.sample_rows;
   r->cf = est.cf.value;
   r->rows_sampled = est.sample_rows;
+  // Accumulate, never overwrite: the round loop re-estimates into the same
+  // persistent result each round, so this sums the candidate's per-round
+  // sizing work (attribution that survives convergence dropout).
+  r->cumulative_rows_sized += est.sample_rows;
+  Metrics().rows_sized->Add(est.sample_rows);
   r->target_half_width = target.rel_error * std::max(r->cf, target.cf_floor);
   CFEST_ASSIGN_OR_RETURN(
       r->interval,
@@ -441,7 +467,9 @@ Result<AdaptiveBatchResult> AdaptiveEstimator::EstimateAll(
             std::min(cap, std::max<uint64_t>(1, target_.min_rows))));
 
     while (true) {
+      trace::Span round_span("adaptive.round");
       ++report.rounds;
+      Metrics().rounds->Increment();
       const uint64_t rows = epoch->sample_rows();
       report.rows_per_round.push_back(rows);
       const uint32_t round = report.rounds;
@@ -484,6 +512,7 @@ Result<AdaptiveBatchResult> AdaptiveEstimator::EstimateAll(
           static_cast<double>(rows) * target_.growth_factor));
       const uint64_t next = std::min(cap, std::max(max_needed, geometric));
       CFEST_ASSIGN_OR_RETURN(epoch, engine_.GrowSampleToEpoch(next));
+      Metrics().growth_steps->Increment();
       if (epoch->sample_rows() <= rows) {  // table exhausted below the cap
         report.budget_exhausted = true;
         break;
@@ -578,9 +607,15 @@ Result<AdaptiveCandidateResult> CandidateRefiner::RefineUntil(
   if (IsUncompressedScheme(candidate.scheme)) {
     return EstimateAtCurrentSample(candidate);  // exact, no sampling
   }
+  // EstimateAtCurrentSample returns a fresh result each call, so its
+  // cumulative counter covers only that one estimate; carry the running
+  // total across iterations here and stamp it before every return.
+  uint64_t cumulative_rows = 0;
   while (true) {
     CFEST_ASSIGN_OR_RETURN(AdaptiveCandidateResult r,
                            EstimateAtCurrentSample(candidate));
+    cumulative_rows += r.cumulative_rows_sized;
+    r.cumulative_rows_sized = cumulative_rows;
     const uint64_t rows = r.rows_sampled;
     if (r.converged && rows >= min_rows) return r;
     if (done != nullptr && done(r)) return r;
@@ -596,6 +631,7 @@ Result<AdaptiveCandidateResult> CandidateRefiner::RefineUntil(
                     : std::max(NeededRowsFor(r, rows, num_sigmas_), min_rows);
     const uint64_t next = std::min(cap_, std::max(needed, geometric));
     CFEST_ASSIGN_OR_RETURN(const uint64_t grown, engine_->GrowSample(next));
+    Metrics().growth_steps->Increment();
     ++rounds_;
     if (grown <= rows) return r;  // table exhausted below the nominal cap
   }

@@ -118,6 +118,13 @@ struct AdaptiveCandidateResult {
   double target_half_width = 0.0;
   /// Sample rows behind the final estimate (its fixed-f-equivalent draw).
   uint64_t rows_sampled = 0;
+  /// Sum of the sample rows this candidate was estimated on across EVERY
+  /// round it participated in — per-candidate sizing-work attribution
+  /// that survives convergence dropout (rows_sampled only reports the
+  /// final round's sample; a candidate that converged in round 1 and a
+  /// candidate refined for 5 rounds can report the same rows_sampled
+  /// while costing very different work). 0 for uncompressed candidates.
+  uint64_t cumulative_rows_sized = 0;
   /// Growth rounds this candidate participated in.
   uint32_t rounds = 0;
   bool converged = false;

@@ -45,10 +45,10 @@ std::string CoalesceKey(const std::string& table_name,
 
 RequestCoalescer::Ticket RequestCoalescer::Admit(const std::string& key) {
   std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.requests;
+  requests_.Increment();
   auto it = entries_.find(key);
   if (it != entries_.end()) {
-    ++stats_.merged;
+    merged_.Increment();
     return Ticket{false, it->second.future};
   }
   Entry entry;
@@ -56,7 +56,7 @@ RequestCoalescer::Ticket RequestCoalescer::Admit(const std::string& key) {
   entry.future = entry.promise->get_future().share();
   Ticket ticket{true, entry.future};
   entries_.emplace(key, std::move(entry));
-  ++stats_.admitted;
+  admitted_.Increment();
   return ticket;
 }
 
@@ -79,8 +79,13 @@ void RequestCoalescer::Complete(const std::string& key,
 }
 
 RequestCoalescer::Stats RequestCoalescer::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  // Reads the same registry-backed counters a MetricsSnapshot aggregates;
+  // no lock needed — the counters are themselves thread-safe and monotone.
+  Stats stats;
+  stats.requests = requests_.Value();
+  stats.admitted = admitted_.Value();
+  stats.merged = merged_.Value();
+  return stats;
 }
 
 }  // namespace cfest

@@ -37,6 +37,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "estimator/engine.h"
 #include "estimator/epoch.h"
@@ -82,7 +83,9 @@ class RequestCoalescer {
   /// exactly once per owning Admit.
   void Complete(const std::string& key, SizingOutcome outcome);
 
-  /// \brief Traffic counters (monotone).
+  /// \brief Traffic counters (monotone). A compat snapshot of the
+  /// registry-backed `cfest.coalescer.*` counters below — both views are
+  /// bit-identical by construction (they read the same Counter objects).
   struct Stats {
     /// Admit calls.
     uint64_t requests = 0;
@@ -101,7 +104,18 @@ class RequestCoalescer {
 
   mutable std::mutex mu_;
   std::unordered_map<std::string, Entry> entries_;
-  Stats stats_;
+
+  /// Outcome counters, registered process-wide under `cfest.coalescer.*`.
+  /// The registration member is declared last so it retires the final
+  /// values into the registry before the counters destruct.
+  metrics::Counter requests_;
+  metrics::Counter admitted_;
+  metrics::Counter merged_;
+  metrics::MetricRegistry::Registration registration_ =
+      metrics::MetricRegistry::Global().RegisterCounters(
+          {{"cfest.coalescer.requests", &requests_},
+           {"cfest.coalescer.admitted", &admitted_},
+           {"cfest.coalescer.merged", &merged_}});
 };
 
 }  // namespace cfest

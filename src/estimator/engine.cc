@@ -3,6 +3,7 @@
 #include <cmath>
 #include <utility>
 
+#include "common/trace.h"
 #include "storage/page.h"
 
 namespace cfest {
@@ -89,6 +90,7 @@ void EstimationEngine::PublishLocked(std::shared_ptr<SampleEpoch> epoch) {
 }
 
 Status EstimationEngine::DrawInitialLocked() {
+  trace::Span span("engine.draw_sample");
   if (options_.maintain_reservoir) {
     if (options_.rng != nullptr) {
       return Status::InvalidArgument(
@@ -113,7 +115,7 @@ Status EstimationEngine::DrawInitialLocked() {
     CFEST_ASSIGN_OR_RETURN(
         std::unique_ptr<TableView> view,
         TableView::Make(table_, std::vector<RowId>(reservoir_ids_)));
-    counters_->samples_drawn.fetch_add(1, std::memory_order_relaxed);
+    counters_->samples_drawn.Increment();
     ++version_;
     PublishLocked(MakeEpochLocked(std::move(view), n));
     return Status::OK();
@@ -132,7 +134,7 @@ Status EstimationEngine::DrawInitialLocked() {
       std::unique_ptr<TableView> view,
       sampler->SampleView(table_, options_.base.fraction, rng));
   draw_table_rows_ = n;
-  counters_->samples_drawn.fetch_add(1, std::memory_order_relaxed);
+  counters_->samples_drawn.Increment();
   ++version_;
   PublishLocked(MakeEpochLocked(std::move(view), n));
   return Status::OK();
@@ -145,7 +147,7 @@ Result<std::shared_ptr<const SampleEpoch>> EstimationEngine::PinEpoch() {
   std::shared_ptr<const SampleEpoch> epoch =
       epoch_.load(std::memory_order_acquire);
   if (epoch != nullptr) {
-    counters_->lock_free_pins.fetch_add(1, std::memory_order_relaxed);
+    counters_->lock_free_pins.Increment();
     return epoch;
   }
   std::lock_guard<std::mutex> lock(mu_);
@@ -154,7 +156,7 @@ Result<std::shared_ptr<const SampleEpoch>> EstimationEngine::PinEpoch() {
     CFEST_RETURN_NOT_OK(DrawInitialLocked());
     epoch = epoch_.load(std::memory_order_acquire);
   }
-  counters_->locked_pins.fetch_add(1, std::memory_order_relaxed);
+  counters_->locked_pins.Increment();
   return epoch;
 }
 
@@ -206,8 +208,7 @@ Status EstimationEngine::NotifyAppend(RowRange range) {
   CFEST_ASSIGN_OR_RETURN(
       std::unique_ptr<TableView> view,
       TableView::Make(table_, std::vector<RowId>(reservoir_ids_)));
-  counters_->invalidations.fetch_add(current->CachedIndexCount(),
-                                     std::memory_order_relaxed);
+  counters_->invalidations.Add(current->CachedIndexCount());
   ++version_;
   PublishLocked(MakeEpochLocked(std::move(view),
                                 reservoir_core_->items_seen()));
@@ -229,6 +230,7 @@ uint64_t EstimationEngine::sample_rows() const {
 Result<std::shared_ptr<const SampleEpoch>> EstimationEngine::GrowSampleToEpoch(
     uint64_t target_rows) {
   CFEST_RETURN_NOT_OK(PinEpoch().status());
+  trace::Span span("engine.grow_sample");
   std::lock_guard<std::mutex> lock(mu_);
   std::shared_ptr<const SampleEpoch> current =
       epoch_.load(std::memory_order_acquire);
@@ -258,8 +260,7 @@ Result<std::shared_ptr<const SampleEpoch>> EstimationEngine::GrowSampleToEpoch(
     CFEST_ASSIGN_OR_RETURN(
         std::unique_ptr<TableView> view,
         TableView::Make(table_, std::vector<RowId>(reservoir_ids_)));
-    counters_->invalidations.fetch_add(current->CachedIndexCount(),
-                                       std::memory_order_relaxed);
+    counters_->invalidations.Add(current->CachedIndexCount());
     ++version_;
     PublishLocked(MakeEpochLocked(std::move(view), items_seen));
     return epoch_.load(std::memory_order_acquire);
@@ -308,7 +309,7 @@ Result<std::shared_ptr<const SampleEpoch>> EstimationEngine::GrowSampleToEpoch(
     if (!merged.ok()) continue;  // drop: the next request rebuilds
     next->SeedIndex(key, std::make_shared<const Index>(
                              std::move(merged).ValueOrDie()));
-    counters_->index_extensions.fetch_add(1, std::memory_order_relaxed);
+    counters_->index_extensions.Increment();
   }
   PublishLocked(std::move(next));
   return epoch_.load(std::memory_order_acquire);
@@ -337,6 +338,7 @@ Result<SampleCFResult> EstimationEngine::EstimateCFWithMetricAt(
     const CompressionScheme& scheme, SizeMetric metric) const {
   CFEST_ASSIGN_OR_RETURN(std::shared_ptr<const Index> index,
                          SampleIndexAt(epoch, descriptor));
+  trace::Span span("engine.compress");
   CFEST_ASSIGN_OR_RETURN(CompressedIndex compressed,
                          index->Compress(scheme, options_.base.build));
 
@@ -380,6 +382,7 @@ Result<CompressedIndex> EstimationEngine::CompressOnSample(
 
 Result<SizedCandidate> EstimationEngine::EstimateAt(
     const SampleEpoch& epoch, const CandidateConfiguration& candidate) const {
+  trace::Span span("engine.estimate");
   SizedCandidate sized;
   sized.config = candidate;
   CFEST_ASSIGN_OR_RETURN(
@@ -453,22 +456,17 @@ Result<std::vector<SizedCandidate>> EstimationEngine::EstimateAll(
 
 EstimationEngine::CacheStats EstimationEngine::cache_stats() const {
   CacheStats stats;
-  stats.samples_drawn =
-      counters_->samples_drawn.load(std::memory_order_relaxed);
-  stats.index_builds = counters_->index_builds.load(std::memory_order_relaxed);
-  stats.index_cache_hits =
-      counters_->index_cache_hits.load(std::memory_order_relaxed);
-  stats.index_extensions =
-      counters_->index_extensions.load(std::memory_order_relaxed);
-  stats.invalidations =
-      counters_->invalidations.load(std::memory_order_relaxed);
-  stats.lock_free_pins =
-      counters_->lock_free_pins.load(std::memory_order_relaxed);
-  stats.locked_pins = counters_->locked_pins.load(std::memory_order_relaxed);
-  stats.epochs_published =
-      counters_->epochs_published.load(std::memory_order_relaxed);
-  stats.epochs_retired =
-      counters_->epochs_retired.load(std::memory_order_relaxed);
+  // Reads the same metrics::Counter objects the registry aggregates, so
+  // this compat struct and a MetricRegistry snapshot agree bit for bit.
+  stats.samples_drawn = counters_->samples_drawn.Value();
+  stats.index_builds = counters_->index_builds.Value();
+  stats.index_cache_hits = counters_->index_cache_hits.Value();
+  stats.index_extensions = counters_->index_extensions.Value();
+  stats.invalidations = counters_->invalidations.Value();
+  stats.lock_free_pins = counters_->lock_free_pins.Value();
+  stats.locked_pins = counters_->locked_pins.Value();
+  stats.epochs_published = counters_->epochs_published.Value();
+  stats.epochs_retired = counters_->epochs_retired.Value();
   std::shared_ptr<const SampleEpoch> epoch =
       epoch_.load(std::memory_order_acquire);
   stats.sample_version = epoch == nullptr ? 0 : epoch->version();

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "common/trace.h"
 #include "estimator/engine.h"
 
 
@@ -15,11 +16,11 @@ SampleEpoch::SampleEpoch(std::shared_ptr<const TableView> sample,
       table_rows_(table_rows),
       counters_(std::move(counters)),
       indexes_(std::make_shared<const IndexMap>()) {
-  counters_->epochs_published.fetch_add(1, std::memory_order_relaxed);
+  counters_->epochs_published.Increment();
 }
 
 SampleEpoch::~SampleEpoch() {
-  counters_->epochs_retired.fetch_add(1, std::memory_order_relaxed);
+  counters_->epochs_retired.Increment();
 }
 
 Result<std::shared_ptr<const Index>> SampleEpoch::SampleIndex(
@@ -36,7 +37,7 @@ Result<std::shared_ptr<const Index>> SampleEpoch::SampleIndex(
   auto hit = snapshot->find(key);
   if (hit != snapshot->end()) {
     future = hit->second;
-    counters_->index_cache_hits.fetch_add(1, std::memory_order_relaxed);
+    counters_->index_cache_hits.Increment();
   } else {
     // Miss: register the build under the epoch-local mutex so concurrent
     // missers for the same key share one build. The lock guards only the
@@ -46,7 +47,7 @@ Result<std::shared_ptr<const Index>> SampleEpoch::SampleIndex(
     auto raced = snapshot->find(key);
     if (raced != snapshot->end()) {
       future = raced->second;
-      counters_->index_cache_hits.fetch_add(1, std::memory_order_relaxed);
+      counters_->index_cache_hits.Increment();
     } else {
       future = promise.get_future().share();
       auto next = std::make_shared<IndexMap>(*snapshot);
@@ -58,6 +59,7 @@ Result<std::shared_ptr<const Index>> SampleEpoch::SampleIndex(
   }
 
   if (builder) {
+    trace::Span span("engine.index_build");
     IndexEntry entry;
     Result<Index> built = Index::Build(*sample_, descriptor, build);
     if (built.ok()) {
@@ -67,7 +69,7 @@ Result<std::shared_ptr<const Index>> SampleEpoch::SampleIndex(
       entry.status = built.status();
     }
     promise.set_value(std::move(entry));
-    counters_->index_builds.fetch_add(1, std::memory_order_relaxed);
+    counters_->index_builds.Increment();
   }
 
   const IndexEntry& entry = future.get();

@@ -44,6 +44,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/result.h"
 #include "compression/compressed_index.h"
 #include "index/index.h"
@@ -55,22 +56,42 @@ namespace cfest {
 /// epoch it ever published (epochs can outlive the engine while pinned, so
 /// the counter block is refcounted).
 ///
-/// All fields are atomics: the estimate path increments them without any
-/// lock, which is what lets tests assert lock-freedom by counting — a
-/// steady-state estimate bumps lock_free_pins, never locked_pins.
+/// All fields are sharded metrics::Counter objects: the estimate path
+/// increments them without any lock, which is what lets tests assert
+/// lock-freedom by counting — a steady-state estimate bumps
+/// lock_free_pins, never locked_pins. The constructor registers every
+/// field with the process-wide MetricRegistry under `cfest.engine.*`, so
+/// CacheStats (which reads these same counters) and a registry snapshot
+/// agree bit for bit; the registration handle is declared last so it
+/// retires the block's totals into the registry before the counters die.
 struct EpochCounters {
-  std::atomic<uint64_t> samples_drawn{0};
-  std::atomic<uint64_t> index_builds{0};
-  std::atomic<uint64_t> index_cache_hits{0};
-  std::atomic<uint64_t> index_extensions{0};
-  std::atomic<uint64_t> invalidations{0};
+  EpochCounters()
+      : registration(metrics::MetricRegistry::Global().RegisterCounters(
+            {{"cfest.engine.samples_drawn", &samples_drawn},
+             {"cfest.engine.index_builds", &index_builds},
+             {"cfest.engine.index_cache_hits", &index_cache_hits},
+             {"cfest.engine.index_extensions", &index_extensions},
+             {"cfest.engine.invalidations", &invalidations},
+             {"cfest.engine.lock_free_pins", &lock_free_pins},
+             {"cfest.engine.locked_pins", &locked_pins},
+             {"cfest.engine.epochs_published", &epochs_published},
+             {"cfest.engine.epochs_retired", &epochs_retired}})) {}
+
+  metrics::Counter samples_drawn;
+  metrics::Counter index_builds;
+  metrics::Counter index_cache_hits;
+  metrics::Counter index_extensions;
+  metrics::Counter invalidations;
   /// Epoch pins served by the lock-free atomic load (steady state).
-  std::atomic<uint64_t> lock_free_pins{0};
+  metrics::Counter lock_free_pins;
   /// Epoch pins that fell through to the writer mutex (first draw only).
-  std::atomic<uint64_t> locked_pins{0};
-  std::atomic<uint64_t> epochs_published{0};
+  metrics::Counter locked_pins;
+  metrics::Counter epochs_published;
   /// Epochs destroyed after their last reader unpinned them.
-  std::atomic<uint64_t> epochs_retired{0};
+  metrics::Counter epochs_retired;
+  /// Declared after the counters: destructs first, folding their final
+  /// values into the registry's retired totals while they still exist.
+  metrics::MetricRegistry::Registration registration;
 };
 
 /// \brief One immutable sample generation: the view, the sizing snapshot,

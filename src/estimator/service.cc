@@ -1,7 +1,10 @@
 #include "estimator/service.h"
 
+#include <chrono>
 #include <utility>
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "estimator/epoch.h"
 
 namespace cfest {
@@ -59,6 +62,7 @@ ThreadPool* CatalogEstimationService::Pool() {
 
 Result<std::vector<SizedCandidate>> CatalogEstimationService::EstimateAll(
     std::span<const CandidateConfiguration> candidates) {
+  trace::Span batch_span("service.estimate_all");
   // Group by table name: resolve each distinct table's engine exactly once
   // (creating it if needed) before any estimation work starts, so a
   // missing table fails the whole batch up front.
@@ -153,8 +157,22 @@ Result<std::vector<SizedCandidate>> CatalogEstimationService::EstimateAll(
   // Collect every result in input order — owners and sharers alike read
   // their future (an owner's is already ready). First failure wins, like
   // the plain fan-out's StatusParallelFor.
+  metrics::Histogram* wait_hist =
+      metrics::MetricRegistry::Global().GetHistogram(
+          "cfest.coalescer.wait_ns");
   for (size_t i = 0; i < candidates.size(); ++i) {
-    SizingOutcome outcome = tickets[i].future.get();
+    SizingOutcome outcome;
+    if (!tickets[i].owner && metrics::TimingEnabled()) {
+      // A sharer may block here on an owner racing in another batch (the
+      // owners of THIS batch already completed above); the wait histogram
+      // is the coalescer's latency cost of deduplication.
+      trace::Span wait_span("coalescer.wait");
+      const uint64_t t0 = metrics::NowNanos();
+      outcome = tickets[i].future.get();
+      wait_hist->Record(metrics::NowNanos() - t0);
+    } else {
+      outcome = tickets[i].future.get();
+    }
     if (!outcome.status.ok()) return outcome.status;
     results[i] = std::move(outcome.sized);
     // The coalesce key ignores the cosmetic index name and the caller's

@@ -45,6 +45,12 @@
 //   gen-tpch  <scale-factor> <output-dir>
 //       Writes the seven synthetic TPC-H tables as CSV plus .schema files.
 //
+// Every subcommand additionally accepts [--metrics-out <file>] (dump a
+// metric-registry snapshot after the run: Prometheus text exposition for
+// .prom/.txt paths, JSON otherwise) and [--trace-out <file>] (record trace
+// spans during the run and dump Chrome-trace JSON for chrome://tracing or
+// ui.perfetto.dev).
+//
 // Scheme names: none, null_suppression, dictionary_page, dictionary_global,
 // rle, prefix, delta, prefix_dictionary.
 //
@@ -69,6 +75,8 @@
 #include "advisor/search.h"
 #include "common/format.h"
 #include "common/json_writer.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
 #include "datagen/tpch/tables.h"
@@ -259,6 +267,8 @@ void PrintCandidateJson(const SizedCandidate& sized, double ci_cf,
     json.AddBool("converged", adaptive->converged);
     json.AddInt("rounds", adaptive->rounds);
     json.AddDouble("target_half_width", adaptive->target_half_width);
+    json.AddInt("cumulative_rows_sized",
+                static_cast<int64_t>(adaptive->cumulative_rows_sized));
   }
   json.Print();
 }
@@ -910,17 +920,7 @@ int CmdGenTpch(const std::vector<std::string>& args) {
   return 0;
 }
 
-int Main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: %s "
-                 "<estimate|exact|recommend|batch|advise|analyze|gen-tpch> "
-                 "...\n",
-                 argv[0]);
-    return 1;
-  }
-  const std::string command = argv[1];
-  std::vector<std::string> args(argv + 2, argv + argc);
+int RunCommand(const std::string& command, std::vector<std::string> args) {
   if (command == "estimate") return CmdEstimate(args);
   if (command == "exact") return CmdExact(args);
   if (command == "recommend") return CmdRecommend(args);
@@ -929,6 +929,52 @@ int Main(int argc, char** argv) {
   if (command == "analyze") return CmdAnalyze(args);
   if (command == "gen-tpch") return CmdGenTpch(args);
   return Fail("unknown command: " + command);
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s "
+                 "<estimate|exact|recommend|batch|advise|analyze|gen-tpch> "
+                 "... [--metrics-out <file>] [--trace-out <file>]\n",
+                 argv[0]);
+    return 1;
+  }
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  // Observability exports work on every subcommand: --metrics-out dumps a
+  // registry snapshot after the run (Prometheus text exposition for .prom
+  // and .txt paths, JSON otherwise), --trace-out enables span recording
+  // for the run and dumps Chrome-trace JSON (load in chrome://tracing or
+  // ui.perfetto.dev).
+  auto metrics_out = StripFlag(&args, "--metrics-out", "");
+  if (!metrics_out.ok()) return Fail(metrics_out.status().ToString());
+  auto trace_out = StripFlag(&args, "--trace-out", "");
+  if (!trace_out.ok()) return Fail(trace_out.status().ToString());
+  if (!trace_out->empty()) {
+    trace::Reset();
+    trace::SetEnabled(true);
+  }
+  const int rc = RunCommand(command, std::move(args));
+  if (rc != 0) return rc;
+  if (!metrics_out->empty()) {
+    const metrics::MetricsSnapshot snapshot =
+        metrics::MetricRegistry::Global().Snapshot();
+    const bool prom = metrics_out->ends_with(".prom") ||
+                      metrics_out->ends_with(".txt");
+    Status st = WriteFile(
+        *metrics_out, prom ? snapshot.ToPrometheusText() : snapshot.ToJson());
+    if (!st.ok()) return Fail(st.ToString());
+    std::fprintf(stderr, "metrics snapshot written to %s\n",
+                 metrics_out->c_str());
+  }
+  if (!trace_out->empty()) {
+    trace::SetEnabled(false);
+    Status st = WriteFile(*trace_out, trace::ExportChromeTraceJson());
+    if (!st.ok()) return Fail(st.ToString());
+    std::fprintf(stderr, "chrome trace written to %s\n", trace_out->c_str());
+  }
+  return 0;
 }
 
 }  // namespace
