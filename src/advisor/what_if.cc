@@ -9,7 +9,12 @@ Result<SizedCandidate> EstimateCandidateSize(
   engine_options.base = options;
   engine_options.rng = rng;
   EstimationEngine engine(table, engine_options);
-  return engine.Estimate(candidate);
+  if (IsUncompressedScheme(candidate.scheme)) {
+    return engine.EstimateExact(candidate);
+  }
+  CFEST_ASSIGN_OR_RETURN(std::shared_ptr<const SampleEpoch> epoch,
+                         engine.PinEpoch());
+  return engine.EstimateAt(*epoch, candidate);
 }
 
 }  // namespace cfest

@@ -65,6 +65,28 @@ void HistogramData::Merge(const HistogramData& other) {
   }
 }
 
+double HistogramData::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    const uint64_t next = cumulative + buckets[i];
+    if (static_cast<double>(next) >= rank) {
+      const double lower =
+          i == 0 ? 0.0 : static_cast<double>(uint64_t{1} << (i - 1));
+      const double upper = static_cast<double>(HistogramBucketUpperBound(i));
+      const double within =
+          (rank - static_cast<double>(cumulative)) /
+          static_cast<double>(buckets[i]);
+      return lower + within * (upper - lower);
+    }
+    cumulative = next;
+  }
+  return static_cast<double>(HistogramBucketUpperBound(kHistogramBuckets - 1));
+}
+
 Histogram::Histogram()
     : mask_(ShardCount() - 1), shards_(new Shard[ShardCount()]) {}
 
@@ -123,6 +145,8 @@ JsonWriter MetricsSnapshot::ToJsonWriter() const {
       buckets.push_back(static_cast<int64_t>(data.buckets[i]));
     }
     h.AddIntArray("buckets", buckets);
+    h.AddDouble("p50", data.Quantile(0.5));
+    h.AddDouble("p99", data.Quantile(0.99));
     histograms_json.AddObject(name, h);
   }
   JsonWriter out;
@@ -162,6 +186,12 @@ std::string MetricsSnapshot::ToPrometheusText() const {
     out += p + "_bucket{le=\"+Inf\"} " + std::to_string(data.count) + "\n";
     out += p + "_sum " + std::to_string(data.sum) + "\n";
     out += p + "_count " + std::to_string(data.count) + "\n";
+    // Precomputed quantiles as gauges (the bucket-derived estimates, so
+    // dashboards without a PromQL histogram_quantile still get p50/p99).
+    out += "# TYPE " + p + "_p50 gauge\n";
+    out += p + "_p50 " + std::to_string(data.Quantile(0.5)) + "\n";
+    out += "# TYPE " + p + "_p99 gauge\n";
+    out += p + "_p99 " + std::to_string(data.Quantile(0.99)) + "\n";
   }
   return out;
 }
@@ -172,21 +202,21 @@ MetricRegistry& MetricRegistry::Global() {
 }
 
 Counter* MetricRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   CounterEntry& entry = counters_[name];
   if (entry.owned == nullptr) entry.owned = std::make_unique<Counter>();
   return entry.owned.get();
 }
 
 Gauge* MetricRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::unique_ptr<Gauge>& gauge = gauges_[name];
   if (gauge == nullptr) gauge = std::make_unique<Gauge>();
   return gauge.get();
 }
 
 Histogram* MetricRegistry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::unique_ptr<Histogram>& histogram = histograms_[name];
   if (histogram == nullptr) histogram = std::make_unique<Histogram>();
   return histogram.get();
@@ -195,7 +225,7 @@ Histogram* MetricRegistry::GetHistogram(const std::string& name) {
 MetricRegistry::Registration MetricRegistry::RegisterCounters(
     std::vector<std::pair<std::string, const Counter*>> counters) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const auto& [name, counter] : counters) {
       counters_[name].instances.push_back(counter);
     }
@@ -205,7 +235,7 @@ MetricRegistry::Registration MetricRegistry::RegisterCounters(
 
 void MetricRegistry::Retire(
     const std::vector<std::pair<std::string, const Counter*>>& counters) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& [name, counter] : counters) {
     CounterEntry& entry = counters_[name];
     entry.retired += counter->Value();
@@ -246,7 +276,7 @@ MetricsSnapshot MetricRegistry::Snapshot() const {
 #ifdef CFEST_METRICS_DISABLED
   return snapshot;
 #else
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& [name, entry] : counters_) {
     uint64_t total = entry.retired;
     if (entry.owned != nullptr) total += entry.owned->Value();

@@ -47,12 +47,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/json_writer.h"
+#include "common/mutex.h"
 
 namespace cfest {
 namespace metrics {
@@ -131,6 +131,15 @@ struct HistogramData {
   std::array<uint64_t, kHistogramBuckets> buckets{};
 
   void Merge(const HistogramData& other);
+
+  /// Quantile estimate from the log2 buckets: a value v such that a
+  /// fraction `q` of the recorded values is <= v, linearly interpolated
+  /// within the bucket where the q-th rank lands. Buckets are exact only
+  /// at their power-of-two boundaries, so the estimate's relative error is
+  /// bounded by the bucket width (a factor of 2) — plenty for p50/p99
+  /// latency dashboards, which is what the exported snapshots feed. `q`
+  /// is clamped to [0, 1]; an empty histogram reports 0.
+  double Quantile(double q) const;
 };
 
 /// \brief Log2-bucketed histogram with sharded cells, for latency-style
@@ -150,6 +159,9 @@ class Histogram {
   }
 
   HistogramData Data() const;
+
+  /// Quantile over a fresh shard aggregation: Data().Quantile(q).
+  double Quantile(double q) const { return Data().Quantile(q); }
 
  private:
   struct alignas(kCacheLineBytes) Shard {
@@ -185,7 +197,7 @@ struct MetricsSnapshot {
   uint64_t CounterValue(const std::string& name) const;
 
   /// Nested JSON: {"counters": {...}, "gauges": {...},
-  /// "histograms": {name: {count, sum, buckets}}}.
+  /// "histograms": {name: {count, sum, buckets, p50, p99}}}.
   JsonWriter ToJsonWriter() const;
   std::string ToJson() const;
 
@@ -254,10 +266,11 @@ class MetricRegistry {
     std::vector<const Counter*> instances;
   };
 
-  mutable std::mutex mu_;
-  std::map<std::string, CounterEntry> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex mu_;
+  std::map<std::string, CounterEntry> counters_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      GUARDED_BY(mu_);
 };
 
 /// \brief Stopwatch that records its lifetime into a histogram when timing

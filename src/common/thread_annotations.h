@@ -1,0 +1,78 @@
+// Copyright (c) the samplecf authors. Licensed under the MIT license.
+//
+// Clang thread-safety annotation macros (the Abseil/GUARDED_BY model).
+//
+// The concurrent core of this codebase — the epoch-swapped engine read
+// path, the request coalescer's owner/sharer handoff, the thread pool, the
+// sharded metric registry — keeps its locking discipline in invariants
+// ("guarded by the writer mutex", "REQUIRES mu_ held"). These macros turn
+// those invariants into compiler-checked contracts: under clang the build
+// runs with -Wthread-safety -Werror (see CMakeLists.txt), so acquiring the
+// wrong lock, forgetting one, or calling a REQUIRES method unlocked fails
+// the build instead of waiting for TSan to get lucky.
+//
+// Under compilers without the attribute (GCC) every macro expands to
+// nothing, so annotated code builds everywhere; only clang enforces.
+//
+// Use the annotated wrappers in common/mutex.h (Mutex, MutexLock, CondVar)
+// rather than std::mutex directly — raw std::mutex carries no capability
+// attributes, so the analysis cannot see it (tools/cfest_lint.py enforces
+// that rule tree-wide).
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+
+#ifndef CFEST_COMMON_THREAD_ANNOTATIONS_H_
+#define CFEST_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && !defined(SWIG)
+#define CFEST_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define CFEST_THREAD_ANNOTATION(x)  // no-op
+#endif
+
+/// Declares a type as a lockable capability ("mutex").
+#define CAPABILITY(x) CFEST_THREAD_ANNOTATION(capability(x))
+
+/// Declares a RAII type whose lifetime is an acquire/release pair.
+#define SCOPED_CAPABILITY CFEST_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding the given mutex(es).
+#define GUARDED_BY(x) CFEST_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose pointee is guarded by the given mutex(es).
+#define PT_GUARDED_BY(x) CFEST_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function that must be called with the given mutex(es) held.
+#define REQUIRES(...) \
+  CFEST_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function that must be called with the given mutex(es) held shared.
+#define REQUIRES_SHARED(...) \
+  CFEST_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function that acquires the given mutex(es) and does not release them.
+#define ACQUIRE(...) CFEST_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function that releases the given mutex(es).
+#define RELEASE(...) CFEST_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function that acquires the mutex(es) when it returns the given value.
+#define TRY_ACQUIRE(...) \
+  CFEST_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function that must be called with the given mutex(es) NOT held.
+#define EXCLUDES(...) CFEST_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returning a reference to the mutex guarding its result.
+#define RETURN_CAPABILITY(x) CFEST_THREAD_ANNOTATION(lock_returned(x))
+
+/// Runtime assertion that the calling thread holds the mutex(es).
+#define ASSERT_CAPABILITY(x) CFEST_THREAD_ANNOTATION(assert_capability(x))
+
+/// Opts a function out of the analysis. Use sparingly, with a comment
+/// saying which external discipline makes the access safe (e.g. move
+/// operations, which require the caller to serialize all access anyway).
+#define NO_THREAD_SAFETY_ANALYSIS \
+  CFEST_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // CFEST_COMMON_THREAD_ANNOTATIONS_H_

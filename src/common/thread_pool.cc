@@ -37,38 +37,38 @@ ThreadPool::ThreadPool(uint32_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    all_done_.wait(lock, [this] { return in_flight_ == 0; });
+    MutexLock lock(mu_);
+    while (in_flight_ != 0) all_done_.Wait(mu_);
     shutting_down_ = true;
   }
-  task_ready_.notify_all();
+  task_ready_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     tasks_.push(std::move(task));
     ++in_flight_;
   }
   Metrics().queue_depth->Add(1);
-  task_ready_.notify_one();
+  task_ready_.NotifyOne();
 }
 
 void ThreadPool::SubmitBatch(std::vector<std::function<void()>> tasks) {
   if (tasks.empty()) return;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (std::function<void()>& task : tasks) tasks_.push(std::move(task));
     in_flight_ += tasks.size();
   }
   Metrics().queue_depth->Add(static_cast<int64_t>(tasks.size()));
-  task_ready_.notify_all();
+  task_ready_.NotifyAll();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mu_);
+  while (in_flight_ != 0) all_done_.Wait(mu_);
 }
 
 void ThreadPool::ParallelFor(uint64_t n,
@@ -84,9 +84,9 @@ void ThreadPool::ParallelFor(uint64_t n,
   // running their final iteration when the caller wakes up and returns.
   struct SharedState {
     std::atomic<uint64_t> next{0};
-    std::mutex mu;
-    std::condition_variable all_done;
-    uint64_t done = 0;
+    Mutex mu;
+    CondVar all_done;
+    uint64_t done GUARDED_BY(mu) = 0;
   };
   auto state = std::make_shared<SharedState>();
   const uint64_t tasks = std::min<uint64_t>(num_threads(), n);
@@ -97,26 +97,25 @@ void ThreadPool::ParallelFor(uint64_t n,
       ++completed;
     }
     if (completed == 0) return;
-    std::lock_guard<std::mutex> lock(state->mu);
+    MutexLock lock(state->mu);
     state->done += completed;
-    if (state->done == n) state->all_done.notify_all();
+    if (state->done == n) state->all_done.NotifyAll();
   };
   if (tasks > 1) {
     SubmitBatch(std::vector<std::function<void()>>(
         static_cast<size_t>(tasks - 1), drain));
   }
   drain();
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->all_done.wait(lock, [&] { return state->done == n; });
+  MutexLock lock(state->mu);
+  while (state->done != n) state->all_done.Wait(state->mu);
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_ready_.wait(lock,
-                       [this] { return shutting_down_ || !tasks_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutting_down_ && tasks_.empty()) task_ready_.Wait(mu_);
       if (tasks_.empty()) return;  // shutting down
       task = std::move(tasks_.front());
       tasks_.pop();
@@ -129,10 +128,10 @@ void ThreadPool::WorkerLoop() {
       task();
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --in_flight_;
     }
-    all_done_.notify_all();
+    all_done_.NotifyAll();
   }
 }
 

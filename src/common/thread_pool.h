@@ -12,14 +12,13 @@
 #ifndef CFEST_COMMON_THREAD_POOL_H_
 #define CFEST_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 
 namespace cfest {
@@ -67,12 +66,12 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable task_ready_;
-  std::condition_variable all_done_;
-  std::queue<std::function<void()>> tasks_;
-  uint64_t in_flight_ = 0;  // queued + running
-  bool shutting_down_ = false;
+  Mutex mu_;
+  CondVar task_ready_;
+  CondVar all_done_;
+  std::queue<std::function<void()>> tasks_ GUARDED_BY(mu_);
+  uint64_t in_flight_ GUARDED_BY(mu_) = 0;  // queued + running
+  bool shutting_down_ GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

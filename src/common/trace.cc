@@ -4,9 +4,9 @@
 #include <atomic>
 #include <cstdio>
 #include <memory>
-#include <mutex>
 
 #include "common/metrics.h"
+#include "common/mutex.h"
 
 namespace cfest {
 namespace trace {
@@ -27,18 +27,18 @@ struct ThreadBuffer {
     ring.reserve(capacity);
   }
 
-  std::mutex mu;
-  std::vector<SpanRecord> ring;
-  size_t capacity;
+  Mutex mu;
+  std::vector<SpanRecord> ring GUARDED_BY(mu);
+  size_t capacity GUARDED_BY(mu);
   /// Records ever appended; the ring holds the last min(total, capacity).
-  uint64_t total = 0;
+  uint64_t total GUARDED_BY(mu) = 0;
   uint32_t thread_id;
 };
 
 struct BufferList {
-  std::mutex mu;
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
-  uint32_t next_thread_id = 0;
+  Mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers GUARDED_BY(mu);
+  uint32_t next_thread_id GUARDED_BY(mu) = 0;
 };
 
 BufferList& Buffers() {
@@ -49,7 +49,7 @@ BufferList& Buffers() {
 ThreadBuffer& LocalBuffer() {
   thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
     BufferList& list = Buffers();
-    std::lock_guard<std::mutex> lock(list.mu);
+    MutexLock lock(list.mu);
     auto created = std::make_shared<ThreadBuffer>(
         g_ring_capacity.load(std::memory_order_relaxed),
         list.next_thread_id++);
@@ -70,7 +70,7 @@ void Append(const char* name, uint64_t start_ns, uint64_t duration_ns,
   record.duration_ns = duration_ns;
   record.thread_id = buffer.thread_id;
   record.depth = depth;
-  std::lock_guard<std::mutex> lock(buffer.mu);
+  MutexLock lock(buffer.mu);
   if (buffer.ring.size() < buffer.capacity) {
     buffer.ring.push_back(record);
   } else {
@@ -125,9 +125,9 @@ void SetRingCapacity(size_t records) {
   // Resize existing buffers too (dropping their retained records), so the
   // new bound holds process-wide and not just for threads yet to record.
   BufferList& list = Buffers();
-  std::lock_guard<std::mutex> lock(list.mu);
+  MutexLock lock(list.mu);
   for (const std::shared_ptr<ThreadBuffer>& buffer : list.buffers) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    MutexLock buffer_lock(buffer->mu);
     buffer->capacity = cap;
     buffer->ring.clear();
     buffer->ring.reserve(cap);
@@ -156,11 +156,11 @@ std::vector<SpanRecord> CollectRecords() {
   BufferList& list = Buffers();
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
   {
-    std::lock_guard<std::mutex> lock(list.mu);
+    MutexLock lock(list.mu);
     buffers = list.buffers;
   }
   for (const std::shared_ptr<ThreadBuffer>& buffer : buffers) {
-    std::lock_guard<std::mutex> lock(buffer->mu);
+    MutexLock lock(buffer->mu);
     const size_t n = buffer->ring.size();
     // Oldest-first: when wrapped, the oldest record sits at total % cap.
     const size_t head =
@@ -175,9 +175,9 @@ std::vector<SpanRecord> CollectRecords() {
 uint64_t TotalStarted() {
   uint64_t total = 0;
   BufferList& list = Buffers();
-  std::lock_guard<std::mutex> lock(list.mu);
+  MutexLock lock(list.mu);
   for (const std::shared_ptr<ThreadBuffer>& buffer : list.buffers) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    MutexLock buffer_lock(buffer->mu);
     total += buffer->total;
   }
   return total;
@@ -213,9 +213,9 @@ std::string ExportChromeTraceJson() {
 
 void Reset() {
   BufferList& list = Buffers();
-  std::lock_guard<std::mutex> lock(list.mu);
+  MutexLock lock(list.mu);
   for (const std::shared_ptr<ThreadBuffer>& buffer : list.buffers) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    MutexLock buffer_lock(buffer->mu);
     buffer->ring.clear();
     buffer->total = 0;
   }

@@ -568,6 +568,20 @@ uint64_t HashBytes(const char* data, size_t n) {
   return h;
 }
 
+void GatherRows(const char* rows, uint32_t width, const uint64_t* perm,
+                size_t n, char* out) {
+  for (size_t i = 0; i < n; ++i) {
+    std::memcpy(out + i * width, rows + perm[i] * width, width);
+  }
+}
+
+void GatherStrided(const char* src, size_t stride, uint32_t width, size_t n,
+                   char* out) {
+  for (size_t i = 0; i < n; ++i) {
+    std::memcpy(out + i * width, src + i * stride, width);
+  }
+}
+
 }  // namespace scalar
 
 // ---------------------------------------------------------------------------

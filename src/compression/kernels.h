@@ -115,6 +115,10 @@ size_t CountRuns(const char* cells, uint32_t width, size_t n,
 void DecodeInts(const char* cells, uint32_t width, size_t n, int64_t* out);
 MinMax MinMaxInts(const int64_t* values, size_t n);
 uint64_t HashBytes(const char* data, size_t n);
+void GatherRows(const char* rows, uint32_t width, const uint64_t* perm,
+                size_t n, char* out);
+void GatherStrided(const char* src, size_t stride, uint32_t width, size_t n,
+                   char* out);
 }  // namespace scalar
 
 }  // namespace kernels

@@ -179,7 +179,7 @@ class GroupIndexCache {
     bool builder = false;
     std::promise<Entry> promise;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       auto it = entries_.find(key);
       if (it != entries_.end()) {
         future = it->second;
@@ -211,8 +211,9 @@ class GroupIndexCache {
     Status status = Status::OK();
     std::shared_ptr<const std::vector<Index>> indexes;
   };
-  std::mutex mu_;
-  std::unordered_map<std::string, std::shared_future<Entry>> entries_;
+  Mutex mu_;
+  std::unordered_map<std::string, std::shared_future<Entry>> entries_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace internal
@@ -437,12 +438,13 @@ Result<AdaptiveBatchResult> AdaptiveEstimator::EstimateAll(
   AdaptiveTableReport report;
   if (!candidates.empty()) report.table_name = candidates[0].table_name;
 
-  // Uncompressed candidates are exact — no sampling, converged at once.
+  // Uncompressed candidates are exact — no sampling (no epoch, no draw),
+  // converged at once.
   std::vector<size_t> active;
   for (size_t i = 0; i < candidates.size(); ++i) {
     if (IsUncompressedScheme(candidates[i].scheme)) {
       AdaptiveCandidateResult& r = batch.candidates[i];
-      CFEST_ASSIGN_OR_RETURN(r.sized, engine_.Estimate(candidates[i]));
+      CFEST_ASSIGN_OR_RETURN(r.sized, engine_.EstimateExact(candidates[i]));
       r.cf = 1.0;
       r.interval = ConfidenceInterval{1.0, 1.0, z};
       r.interval_method = kMethodExact;
@@ -572,7 +574,7 @@ Result<CandidateRefiner::PinnedCache> CandidateRefiner::CurrentCache() {
   // pair keeps them coherent even if the engine grows concurrently.
   CFEST_ASSIGN_OR_RETURN(std::shared_ptr<const SampleEpoch> epoch,
                          engine_->PinEpoch());
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  MutexLock lock(cache_mu_);
   if (cache_ == nullptr || epoch->version() != cache_version_) {
     cache_ = std::make_shared<internal::GroupIndexCache>();
     cache_version_ = epoch->version();
@@ -584,7 +586,7 @@ Result<AdaptiveCandidateResult> CandidateRefiner::EstimateAtCurrentSample(
     const CandidateConfiguration& candidate) {
   AdaptiveCandidateResult r;
   if (IsUncompressedScheme(candidate.scheme)) {
-    CFEST_ASSIGN_OR_RETURN(r.sized, engine_->Estimate(candidate));
+    CFEST_ASSIGN_OR_RETURN(r.sized, engine_->EstimateExact(candidate));
     r.cf = 1.0;
     r.interval = ConfidenceInterval{1.0, 1.0, num_sigmas_};
     r.interval_method = kMethodExact;

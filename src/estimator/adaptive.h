@@ -41,11 +41,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "estimator/analytic_model.h"
@@ -208,8 +208,12 @@ class CandidateRefiner {
   /// table size. The engine must outlive the refiner.
   static Result<CandidateRefiner> Make(EstimationEngine& engine,
                                        PrecisionTarget target);
-  CandidateRefiner(CandidateRefiner&&) noexcept;
-  CandidateRefiner& operator=(CandidateRefiner&&) noexcept;
+  /// Moves are exempt from the thread-safety analysis: moving a refiner
+  /// while another thread uses it is a caller bug by contract (same as any
+  /// std type), and the analysis cannot name the moved-from object's lock.
+  CandidateRefiner(CandidateRefiner&&) noexcept NO_THREAD_SAFETY_ANALYSIS;
+  CandidateRefiner& operator=(CandidateRefiner&&) noexcept
+      NO_THREAD_SAFETY_ANALYSIS;
   ~CandidateRefiner();
 
   /// Estimates `candidate` on the engine's current sample (no growth) and
@@ -270,9 +274,9 @@ class CandidateRefiner {
   /// Guards the (cache_version_, cache_) pair against concurrent
   /// EstimateAtCurrentSample calls; the GroupIndexCache itself is
   /// thread-safe.
-  mutable std::mutex cache_mu_;
-  uint64_t cache_version_ = 0;
-  std::shared_ptr<internal::GroupIndexCache> cache_;
+  mutable Mutex cache_mu_;
+  uint64_t cache_version_ GUARDED_BY(cache_mu_) = 0;
+  std::shared_ptr<internal::GroupIndexCache> cache_ GUARDED_BY(cache_mu_);
 };
 
 /// \brief Drives one engine's sample growth until every candidate meets the

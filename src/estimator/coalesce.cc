@@ -44,7 +44,7 @@ std::string CoalesceKey(const std::string& table_name,
 }
 
 RequestCoalescer::Ticket RequestCoalescer::Admit(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   requests_.Increment();
   auto it = entries_.find(key);
   if (it != entries_.end()) {
@@ -64,7 +64,7 @@ void RequestCoalescer::Complete(const std::string& key,
                                 SizingOutcome outcome) {
   std::shared_ptr<std::promise<SizingOutcome>> promise;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = entries_.find(key);
     if (it == entries_.end()) return;
     promise = std::move(it->second.promise);

@@ -33,11 +33,11 @@
 
 #include <cstdint>
 #include <future>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "common/metrics.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "estimator/engine.h"
 #include "estimator/epoch.h"
@@ -102,8 +102,8 @@ class RequestCoalescer {
     std::shared_future<SizingOutcome> future;
   };
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, Entry> entries_;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, Entry> entries_ GUARDED_BY(mu_);
 
   /// Outcome counters, registered process-wide under `cfest.coalescer.*`.
   /// The registration member is declared last so it retires the final

@@ -150,7 +150,7 @@ Result<std::shared_ptr<const SampleEpoch>> EstimationEngine::PinEpoch() {
     counters_->lock_free_pins.Increment();
     return epoch;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   epoch = epoch_.load(std::memory_order_acquire);
   if (epoch == nullptr) {
     CFEST_RETURN_NOT_OK(DrawInitialLocked());
@@ -161,7 +161,7 @@ Result<std::shared_ptr<const SampleEpoch>> EstimationEngine::PinEpoch() {
 }
 
 Status EstimationEngine::NotifyAppend(RowRange range) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!options_.maintain_reservoir) {
     return Status::InvalidArgument(
         "NotifyAppend requires maintain_reservoir");
@@ -231,7 +231,7 @@ Result<std::shared_ptr<const SampleEpoch>> EstimationEngine::GrowSampleToEpoch(
     uint64_t target_rows) {
   CFEST_RETURN_NOT_OK(PinEpoch().status());
   trace::Span span("engine.grow_sample");
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::shared_ptr<const SampleEpoch> current =
       epoch_.load(std::memory_order_acquire);
   const uint64_t current_rows = sample_->num_rows();
@@ -409,28 +409,33 @@ Result<SizedCandidate> EstimationEngine::EstimateAt(
   return sized;
 }
 
+Result<SizedCandidate> EstimationEngine::EstimateExact(
+    const CandidateConfiguration& candidate) const {
+  if (!IsUncompressedScheme(candidate.scheme)) {
+    return Status::InvalidArgument(
+        "EstimateExact requires an uncompressed scheme");
+  }
+  SizedCandidate sized;
+  sized.config = candidate;
+  CFEST_ASSIGN_OR_RETURN(
+      sized.uncompressed_bytes,
+      EstimateUncompressedIndexBytes(table_, candidate.index,
+                                     options_.base.build.page_size));
+  sized.estimated_cf = 1.0;
+  sized.estimated_bytes = sized.uncompressed_bytes;
+  return sized;
+}
+
 Result<SizedCandidate> EstimationEngine::Estimate(
     const CandidateConfiguration& candidate) {
-  if (IsUncompressedScheme(candidate.scheme)) {
-    // Exact schema-formula sizing: no sample (and hence no epoch) is
-    // needed, so a purely uncompressed workload never triggers a draw.
-    SizedCandidate sized;
-    sized.config = candidate;
-    CFEST_ASSIGN_OR_RETURN(
-        sized.uncompressed_bytes,
-        EstimateUncompressedIndexBytes(table_, candidate.index,
-                                       options_.base.build.page_size));
-    sized.estimated_cf = 1.0;
-    sized.estimated_bytes = sized.uncompressed_bytes;
-    return sized;
-  }
+  if (IsUncompressedScheme(candidate.scheme)) return EstimateExact(candidate);
   CFEST_ASSIGN_OR_RETURN(std::shared_ptr<const SampleEpoch> epoch,
                          PinEpoch());
   return EstimateAt(*epoch, candidate);
 }
 
 ThreadPool* EstimationEngine::Pool() {
-  std::lock_guard<std::mutex> lock(pool_mu_);
+  MutexLock lock(pool_mu_);
   if (pool_ == nullptr) {
     pool_ = std::make_unique<ThreadPool>(options_.num_threads);
   }

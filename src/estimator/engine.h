@@ -46,12 +46,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/random.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
@@ -193,6 +193,13 @@ class EstimationEngine {
   Result<SizedCandidate> EstimateAt(
       const SampleEpoch& epoch, const CandidateConfiguration& candidate) const;
 
+  /// Exact schema-formula sizing for an uncompressed candidate: no sample
+  /// (and hence no epoch, pin, or draw) is involved, so a purely
+  /// uncompressed workload never triggers a draw. InvalidArgument when the
+  /// scheme compresses any column.
+  Result<SizedCandidate> EstimateExact(
+      const CandidateConfiguration& candidate) const;
+
   // -------------------------------------------------------------------
   // Current-epoch conveniences (pin once, then the epoch API)
   // -------------------------------------------------------------------
@@ -321,12 +328,13 @@ class EstimationEngine {
  private:
   /// Draws the initial sample and publishes epoch 1. Caller holds mu_ and
   /// has checked that no epoch exists yet.
-  Status DrawInitialLocked();
+  Status DrawInitialLocked() REQUIRES(mu_);
   /// Builds and publishes a successor epoch over `view`. Caller holds mu_.
   std::shared_ptr<SampleEpoch> MakeEpochLocked(
-      std::shared_ptr<const TableView> view, uint64_t table_rows);
-  void PublishLocked(std::shared_ptr<SampleEpoch> epoch);
-  ThreadPool* Pool();
+      std::shared_ptr<const TableView> view, uint64_t table_rows)
+      REQUIRES(mu_);
+  void PublishLocked(std::shared_ptr<SampleEpoch> epoch) REQUIRES(mu_);
+  ThreadPool* Pool() EXCLUDES(pool_mu_);
 
   const Table& table_;
   EstimationEngineOptions options_;
@@ -342,30 +350,30 @@ class EstimationEngine {
   /// Writer mutex: serializes the initial draw, NotifyAppend, and
   /// GrowSample. Guards the draw-stream state below; never held while an
   /// estimate runs.
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   /// Writer-side handle on the current sample view (== current epoch's).
-  std::shared_ptr<const TableView> sample_;
+  std::shared_ptr<const TableView> sample_ GUARDED_BY(mu_);
   /// Sample-contents version behind the current epoch.
-  uint64_t version_ = 0;
+  uint64_t version_ GUARDED_BY(mu_) = 0;
   /// Base-table rows the frozen draw was taken over (the n all frozen-mode
   /// epochs scale by; GrowSample resumes the draw stream against it).
-  uint64_t draw_table_rows_ = 0;
+  uint64_t draw_table_rows_ GUARDED_BY(mu_) = 0;
 
   /// Reservoir state (maintain_reservoir mode only): the Algorithm-R slot
   /// core, the RNG stream it consumes (resumed by NotifyAppend), and the
   /// slot storage — the row ids the current sample view is built from.
-  std::optional<ReservoirSampler> reservoir_core_;
-  Random reservoir_rng_{0};
-  std::vector<RowId> reservoir_ids_;
+  std::optional<ReservoirSampler> reservoir_core_ GUARDED_BY(mu_);
+  Random reservoir_rng_ GUARDED_BY(mu_){0};
+  std::vector<RowId> reservoir_ids_ GUARDED_BY(mu_);
 
   /// The frozen-draw RNG stream (default mode, engine-owned seed only).
   /// Kept alive past the initial draw so GrowSample can resume it.
-  Random draw_rng_{0};
+  Random draw_rng_ GUARDED_BY(mu_){0};
 
   /// Pool creation is guarded separately from mu_ so estimate fan-out can
   /// never contend with the writer path.
-  mutable std::mutex pool_mu_;
-  std::unique_ptr<ThreadPool> pool_;
+  mutable Mutex pool_mu_;
+  std::unique_ptr<ThreadPool> pool_ GUARDED_BY(pool_mu_);
 };
 
 /// The engine's sample-index cache key for `descriptor`: one build per

@@ -42,7 +42,7 @@ Result<std::shared_ptr<const Index>> SampleEpoch::SampleIndex(
     // Miss: register the build under the epoch-local mutex so concurrent
     // missers for the same key share one build. The lock guards only the
     // copy-on-write insert — the build itself runs outside it.
-    std::unique_lock<std::mutex> lock(build_mu_);
+    MutexLock lock(build_mu_);
     snapshot = indexes_.load(std::memory_order_acquire);
     auto raced = snapshot->find(key);
     if (raced != snapshot->end()) {

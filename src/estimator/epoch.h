@@ -38,13 +38,13 @@
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/mutex.h"
 #include "common/result.h"
 #include "compression/compressed_index.h"
 #include "index/index.h"
@@ -161,9 +161,11 @@ class SampleEpoch {
   uint64_t table_rows_ = 0;
   std::shared_ptr<EpochCounters> counters_;
 
-  /// Immutable snapshot map, copied-on-insert under build_mu_.
+  /// Immutable snapshot map, copied-on-insert under build_mu_. Atomic
+  /// (not GUARDED_BY): the hit path reads it lock-free by design; build_mu_
+  /// serializes only the copy-on-write registration of new builds.
   mutable std::atomic<std::shared_ptr<const IndexMap>> indexes_;
-  mutable std::mutex build_mu_;
+  mutable Mutex build_mu_;
 };
 
 }  // namespace cfest

@@ -48,12 +48,15 @@ Result<HybridCFResult> HybridDictionaryCF(EstimationEngine& engine,
         "scheme (the paper's simplified model)");
   }
 
-  // The engine's shared sample and cached sample index feed both the plain
-  // SampleCF pipeline and the correction step below.
+  // One pinned epoch feeds both the plain SampleCF pipeline and the
+  // correction step below, so the two reads see the same sample even if
+  // the engine refreshes concurrently.
+  CFEST_ASSIGN_OR_RETURN(std::shared_ptr<const SampleEpoch> epoch,
+                         engine.PinEpoch());
   CFEST_ASSIGN_OR_RETURN(std::shared_ptr<const Index> index,
-                         engine.SampleIndex(descriptor));
+                         engine.SampleIndexAt(*epoch, descriptor));
   CFEST_ASSIGN_OR_RETURN(CompressedIndex compressed,
-                         engine.CompressOnSample(descriptor, scheme));
+                         engine.CompressOnSampleAt(*epoch, descriptor, scheme));
 
   HybridCFResult result;
   result.plain.cf = MeasureCF(index->stats(), compressed.stats(),

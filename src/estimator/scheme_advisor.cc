@@ -37,10 +37,13 @@ Result<SchemeRecommendation> RecommendScheme(
   for (CompressionType t : pool) has_none |= (t == CompressionType::kNone);
   if (!has_none) pool.push_back(CompressionType::kNone);
 
-  // One sample, one sorted build per key set: every scheme ranked below
-  // compresses the same cached sample index.
+  // One pinned epoch, one sorted build per key set: every scheme ranked
+  // below compresses the same cached sample index, immune to concurrent
+  // refreshes.
+  CFEST_ASSIGN_OR_RETURN(std::shared_ptr<const SampleEpoch> epoch,
+                         engine.PinEpoch());
   CFEST_ASSIGN_OR_RETURN(std::shared_ptr<const Index> index,
-                         engine.SampleIndex(descriptor));
+                         engine.SampleIndexAt(*epoch, descriptor));
   const Schema& schema = index->schema();
   const uint64_t r = index->num_rows();
   if (r == 0) {
@@ -74,8 +77,9 @@ Result<SchemeRecommendation> RecommendScheme(
       }
     }
     if (!any) continue;
-    CFEST_ASSIGN_OR_RETURN(CompressedIndex compressed,
-                           engine.CompressOnSample(descriptor, scheme));
+    CFEST_ASSIGN_OR_RETURN(
+        CompressedIndex compressed,
+        engine.CompressOnSampleAt(*epoch, descriptor, scheme));
     for (size_t c = 0; c < schema.num_columns(); ++c) {
       if (scheme.per_column[c] != type) continue;
       const ColumnCompressionStats& col = compressed.stats().columns[c];

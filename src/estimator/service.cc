@@ -21,7 +21,7 @@ uint64_t CatalogEstimationService::SeedForTable(
 
 Result<EstimationEngine*> CatalogEstimationService::Engine(
     const std::string& table_name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Re-validate against the catalog even on a cache hit: a cached engine
   // for a table that was removed (or removed and re-added) must never be
   // served — it borrows the old Table object. The check is by the
@@ -53,7 +53,7 @@ Result<EstimationEngine*> CatalogEstimationService::Engine(
 }
 
 ThreadPool* CatalogEstimationService::Pool() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (pool_ == nullptr) {
     pool_ = std::make_unique<ThreadPool>(options_.num_threads);
   }
@@ -187,7 +187,7 @@ Status CatalogEstimationService::NotifyAppend(const std::string& table_name,
                                               RowRange range) {
   EstimationEngine* engine = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     CFEST_RETURN_NOT_OK(catalog_.GetTable(table_name).status());
     auto it = engines_.find(table_name);
     if (it == engines_.end()) return Status::OK();  // nothing cached yet
@@ -205,7 +205,7 @@ Status CatalogEstimationService::NotifyAppend(const std::string& table_name,
 CatalogEstimationService::Stats CatalogEstimationService::stats() const {
   Stats stats;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stats.engines_created = engines_.size();
     for (const auto& [name, entry] : engines_) {
       (void)name;

@@ -37,11 +37,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "estimator/coalesce.h"
@@ -162,15 +162,15 @@ class CatalogEstimationService {
     uint64_t table_version = 0;
   };
 
-  ThreadPool* Pool();
+  ThreadPool* Pool() EXCLUDES(mu_);
 
   const Catalog& catalog_;
   CatalogEstimationServiceOptions options_;
   RequestCoalescer coalescer_;
 
-  mutable std::mutex mu_;
-  std::map<std::string, EngineEntry> engines_;
-  std::unique_ptr<ThreadPool> pool_;
+  mutable Mutex mu_;
+  std::map<std::string, EngineEntry> engines_ GUARDED_BY(mu_);
+  std::unique_ptr<ThreadPool> pool_ GUARDED_BY(mu_);
 };
 
 }  // namespace cfest

@@ -250,6 +250,10 @@ TEST(KernelsTest, GatherMatchesNaive) {
       ASSERT_EQ(0, std::memcmp(got.data() + i * w,
                                rows.data() + perm[i] * w, w));
     }
+    // The scalar reference is bit-identical to the dispatched entry point.
+    std::string ref(n * w, '\0');
+    kernels::scalar::GatherRows(rows.data(), w, perm.data(), n, ref.data());
+    ASSERT_EQ(ref, got);
     // Strided gather of "column" bytes out of wider rows.
     const size_t stride = w + 3;
     std::string wide(n * stride, '\0');
@@ -260,6 +264,10 @@ TEST(KernelsTest, GatherMatchesNaive) {
       ASSERT_EQ(0, std::memcmp(cells.data() + i * w,
                                wide.data() + i * stride, w));
     }
+    std::string cells_ref(n * w, '\0');
+    kernels::scalar::GatherStrided(wide.data(), stride, w, n,
+                                   cells_ref.data());
+    ASSERT_EQ(cells_ref, cells);
   }
 }
 

@@ -1,0 +1,19 @@
+// Fixture: trips [epoch-compat] — estimator/advisor internals must size
+// through the epoch-pinned *At(epoch, ...) surface, never the
+// pin-and-forward compat wrappers. Never compiled; parsed by
+// tools/cfest_lint.py --check-fixtures.
+namespace cfest_fixture {
+
+struct Engine;
+
+struct BadAdvisor {
+  Engine* engine_;
+
+  void Rank(Engine& engine) {
+    engine.SampleIndex(0);           // finding: compat wrapper
+    engine_->CompressOnSample(0, 1); // finding: compat wrapper
+    engine_->Estimate(2);            // finding: compat wrapper
+  }
+};
+
+}  // namespace cfest_fixture

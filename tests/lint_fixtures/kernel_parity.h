@@ -1,0 +1,23 @@
+// Fixture: trips [kernel-parity] — every kernels:: entry point needs a
+// kernels::scalar:: reference implementation. Never compiled; parsed by
+// tools/cfest_lint.py --check-fixtures.
+#ifndef CFEST_TESTS_LINT_FIXTURES_KERNEL_PARITY_H_
+#define CFEST_TESTS_LINT_FIXTURES_KERNEL_PARITY_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cfest {
+namespace kernels {
+
+void CoveredKernel(const char* cells, size_t n, uint32_t* out);
+uint64_t OrphanKernel(const char* cells, size_t n);  // finding: no scalar ref
+
+namespace scalar {
+void CoveredKernel(const char* cells, size_t n, uint32_t* out);
+}  // namespace scalar
+
+}  // namespace kernels
+}  // namespace cfest
+
+#endif  // CFEST_TESTS_LINT_FIXTURES_KERNEL_PARITY_H_

@@ -1,0 +1,37 @@
+// Fixture: must lint clean — exercises every way a finding is legitimately
+// absent: allow() suppressions (same line and preceding comment line),
+// rule tokens inside comments/strings, and the epoch-pinned surface that
+// the epoch-compat rule must NOT flag. Never compiled; parsed by
+// tools/cfest_lint.py --check-fixtures.
+namespace cfest_fixture {
+
+struct Engine;
+
+struct BridgeToExternalApi {
+  // An audited exception: this bridge re-exports the compat wrapper for
+  // external callers and is allowed to touch it.
+  void Forward(Engine& engine) {
+    engine.Estimate(0);  // cfest-lint: allow(epoch-compat)
+    // cfest-lint: allow(epoch-compat)
+    engine.SampleIndex(1);
+  }
+
+  // The epoch-pinned surface and the pin-once batch API are fine.
+  void Pinned(Engine& engine) {
+    engine.EstimateAt(0, 1);
+    engine.EstimateCFAt(0, 1, 2);
+    engine.SampleIndexAt(0, 1);
+    engine.CompressOnSampleAt(0, 1, 2);
+    engine.EstimateAll(3);
+  }
+
+  // Mentions in comments and strings never fire: std::mutex,
+  // engine.Estimate(x), int num_rows = 0.
+  const char* doc = "std::mutex and engine.CompressOnSample(a, b)";
+
+  // Row counts in the right type are fine.
+  unsigned long long num_rows = 0;
+  void Rows(unsigned long long total_rows);
+};
+
+}  // namespace cfest_fixture

@@ -1,0 +1,17 @@
+// Fixture: trips [raw-mutex] — raw std:: synchronization primitives are
+// banned outside src/common/mutex.h. Never compiled; parsed by
+// tools/cfest_lint.py --check-fixtures.
+#include <mutex>
+
+namespace cfest_fixture {
+
+struct BadQueue {
+  std::mutex mu;                  // finding: raw std::mutex
+  std::condition_variable ready;  // finding: raw std::condition_variable
+
+  void Drain() {
+    std::lock_guard<std::mutex> lock(mu);  // finding: raw std::lock_guard
+  }
+};
+
+}  // namespace cfest_fixture

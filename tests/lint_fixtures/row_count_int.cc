@@ -1,0 +1,19 @@
+// Fixture: trips [row-count-int] — row counts are uint64_t by contract;
+// int-typed declarations and casts truncate sizing math past 2^31 rows.
+// Never compiled; parsed by tools/cfest_lint.py --check-fixtures.
+namespace cfest_fixture {
+
+unsigned long long TableRows();
+
+void Size() {
+  int num_rows = 0;                                   // finding
+  long total_rows = 0;                                // finding
+  int sampled = static_cast<int>(TableRows());        // ok: name not rowish
+  int bad_cast = static_cast<int>(0 + TableRows());   // ok: no rowish token
+  (void)num_rows;
+  (void)total_rows;
+  (void)sampled;
+  (void)bad_cast;
+}
+
+}  // namespace cfest_fixture

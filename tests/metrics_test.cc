@@ -210,6 +210,45 @@ TEST(MetricsTest, HistogramRecordAndMerge) {
   EXPECT_EQ(data.buckets[7], 1u);
 }
 
+TEST(MetricsTest, QuantileEmptyHistogramIsZero) {
+  metrics::HistogramData data;
+  EXPECT_EQ(data.Quantile(0.5), 0.0);
+  EXPECT_EQ(data.Quantile(0.99), 0.0);
+}
+
+TEST(MetricsTest, QuantileExactWhenBucketIsSingleValued) {
+  // Buckets 0 ([0,0]) and 1 ([1,1]) hold exactly one value, so the
+  // interpolation collapses and the quantile is exact.
+  metrics::Histogram zeros;
+  for (int i = 0; i < 10; ++i) zeros.Record(0);
+  EXPECT_EQ(zeros.Quantile(0.5), 0.0);
+  metrics::Histogram ones;
+  for (int i = 0; i < 10; ++i) ones.Record(1);
+  EXPECT_EQ(ones.Quantile(0.1), 1.0);
+  EXPECT_EQ(ones.Quantile(0.99), 1.0);
+}
+
+TEST(MetricsTest, QuantileInterpolatesWithinBucketBounds) {
+  // 50 values of 0 and 50 values in bucket 4 ([8, 15]).
+  metrics::Histogram h;
+  for (int i = 0; i < 50; ++i) h.Record(0);
+  for (int i = 0; i < 50; ++i) h.Record(12);
+  // p50 lands exactly at the end of the zero bucket.
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+  // p99's rank (99 of 100) falls inside bucket 4: the estimate must lie
+  // within that bucket's range even though 12 is the only recorded value.
+  const double p99 = h.Quantile(0.99);
+  EXPECT_GE(p99, 8.0);
+  EXPECT_LE(p99, 15.0);
+  // Quantiles are monotone in q.
+  EXPECT_LE(h.Quantile(0.5), h.Quantile(0.9));
+  EXPECT_LE(h.Quantile(0.9), h.Quantile(0.99));
+  EXPECT_LE(h.Quantile(0.99), h.Quantile(1.0));
+  // Out-of-range q clamps instead of reading past the buckets.
+  EXPECT_EQ(h.Quantile(-1.0), h.Quantile(0.0));
+  EXPECT_EQ(h.Quantile(2.0), h.Quantile(1.0));
+}
+
 TEST(MetricsTest, HistogramTotalsExactAcrossThreads) {
   metrics::Histogram h;
   constexpr int kThreads = 6;
@@ -253,6 +292,21 @@ TEST(MetricsTest, SnapshotJsonAndPrometheusContainRegisteredNames) {
   const std::string prom = snapshot.ToPrometheusText();
   EXPECT_NE(prom.find("cfest_test_export"), std::string::npos);
   EXPECT_NE(prom.find("# TYPE cfest_test_export counter"),
+            std::string::npos);
+}
+
+TEST(MetricsTest, SnapshotExportsHistogramQuantiles) {
+  metrics::Histogram* h =
+      MetricRegistry::Global().GetHistogram("cfest.test.quantile_ns");
+  for (int i = 0; i < 100; ++i) h->Record(static_cast<uint64_t>(i));
+  MetricsSnapshot snapshot = MetricRegistry::Global().Snapshot();
+  const std::string json = snapshot.ToJson();
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  const std::string prom = snapshot.ToPrometheusText();
+  EXPECT_NE(prom.find("cfest_test_quantile_ns_p50 "), std::string::npos);
+  EXPECT_NE(prom.find("cfest_test_quantile_ns_p99 "), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE cfest_test_quantile_ns_p50 gauge"),
             std::string::npos);
 }
 

@@ -1,0 +1,441 @@
+#!/usr/bin/env python3
+"""cfest project-invariant linter.
+
+Enforces repo-specific rules that generic tools (clang-tidy, compiler
+warnings) cannot express:
+
+  raw-mutex      No raw std:: synchronization primitives (std::mutex,
+                 std::condition_variable, std::lock_guard, ...) outside
+                 src/common/mutex.h. Everything else must use the
+                 thread-safety-annotated Mutex/MutexLock/CondVar wrappers,
+                 or clang's -Wthread-safety analysis has nothing to check.
+  epoch-compat   Estimator/advisor internals must size against a pinned
+                 epoch via the *At(epoch, ...) surface. The pin-and-forward
+                 compat wrappers (Estimate, EstimateCF, CompressOnSample,
+                 SampleIndex, SampleTable) are for external callers only:
+                 an internal multi-call sequence through them may straddle
+                 a concurrent refresh and mix samples.
+  kernel-parity  Every kernels:: entry point declared in
+                 src/compression/kernels.h has a kernels::scalar::
+                 reference implementation (the semantics-defining loop the
+                 tests pin vector variants against).
+  row-count-int  Row counts are uint64_t by contract (tables stream
+                 appends past 2^31 rows). Declaring a row-count-named
+                 variable as int/int32_t/long, or casting one to int,
+                 truncates sizing math.
+
+A finding can be suppressed for one line with a trailing or preceding
+comment: // cfest-lint: allow(rule-id)
+
+Usage:
+  cfest_lint.py [-p BUILD_DIR] [files...]   lint the tree (or given files)
+  cfest_lint.py --check-fixtures            self-test on tests/lint_fixtures
+
+With -p, the file list is seeded from BUILD_DIR/compile_commands.json
+(plus all headers under src/, which a compilation database omits); without
+it the linter walks src/, bench/, tools/, and examples/. Pure Python 3,
+no third-party dependencies.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+ALLOW_RE = re.compile(r"cfest-lint:\s*allow\(([a-z0-9-]+)\)")
+
+# ---------------------------------------------------------------------------
+# Source preprocessing: strip comments and string/char literals so rules
+# never fire on prose or quoted code, while preserving line numbers.
+# ---------------------------------------------------------------------------
+
+
+def collect_allows(text):
+    """Line number -> set of rule ids allowed there (the comment's own line
+    and, for a comment-only line, the following line)."""
+    allows = {}
+    lines = text.split("\n")
+    for i, line in enumerate(lines, start=1):
+        for match in ALLOW_RE.finditer(line):
+            rule = match.group(1)
+            allows.setdefault(i, set()).add(rule)
+            stripped = line.strip()
+            if stripped.startswith("//") or stripped.startswith("*"):
+                allows.setdefault(i + 1, set()).add(rule)
+    return allows
+
+
+def strip_comments_and_strings(text):
+    """Replaces comment and string-literal contents with spaces, keeping
+    newlines (and thus line numbers) intact."""
+    out = []
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif c == "/" and nxt == "*":
+            i += 2
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                out.append("\n" if text[i] == "\n" else " ")
+                i += 1
+            i += 2
+        elif c == '"' or c == "'":
+            quote = c
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    i += 1
+                if i < n:
+                    out.append("\n" if text[i] == "\n" else " ")
+                    i += 1
+            i += 1
+            out.append(" ")
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+# ---------------------------------------------------------------------------
+# Rules. Each returns a list of (line, rule_id, message).
+# ---------------------------------------------------------------------------
+
+RAW_MUTEX_RE = re.compile(
+    r"\bstd::(mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|condition_variable(?:_any)?|"
+    r"lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+)
+
+# Receiver spelled like an engine (engine, engine_, &engine, *engine_) calling
+# a pin-and-forward compat wrapper. The (?=\s*\() lookahead keeps the
+# epoch-pinned surface (EstimateAt, EstimateCFAt, SampleIndexAt, ...) and the
+# pin-once batch API (EstimateAll) from matching.
+EPOCH_COMPAT_RE = re.compile(
+    r"\b[A-Za-z_]*[Ee]ngine\w*\s*(?:\.|->)\s*"
+    r"(SampleTable|SampleIndex|EstimateCF|CompressOnSample|Estimate)"
+    r"(?=\s*\()"
+)
+
+ROW_COUNT_DECL_RE = re.compile(
+    r"(?<![\w])(?<!unsigned )(?<!long )(?:int|int32_t|long)\s+"
+    r"(\w*(?:num_rows|row_count|total_rows|n_rows|rows)\w*)\s*(?:=|;|,|\))"
+)
+ROW_COUNT_CAST_RE = re.compile(
+    r"static_cast<\s*(?:int|int32_t|long)\s*>\s*\(\s*[^()]*"
+    r"\b(?:num_rows|row_count|total_rows|n_rows|rows)\b"
+)
+
+FUNC_DECL_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\(", re.MULTILINE)
+
+
+def is_mutex_home(path):
+    return path.replace(os.sep, "/").endswith("src/common/mutex.h")
+
+
+def is_estimator_internal(path):
+    p = path.replace(os.sep, "/")
+    if p.endswith("src/estimator/engine.h") or p.endswith(
+        "src/estimator/engine.cc"
+    ):
+        return False  # the wrappers' own definitions live here
+    return "/src/estimator/" in p or "/src/advisor/" in p
+
+
+def check_raw_mutex(path, stripped, everywhere=False):
+    if not everywhere and is_mutex_home(path):
+        return []
+    findings = []
+    for i, line in enumerate(stripped.split("\n"), start=1):
+        for match in RAW_MUTEX_RE.finditer(line):
+            findings.append(
+                (
+                    i,
+                    "raw-mutex",
+                    "raw std::%s; use the annotated wrappers in "
+                    "common/mutex.h" % match.group(1),
+                )
+            )
+    return findings
+
+
+def check_epoch_compat(path, stripped, everywhere=False):
+    if not everywhere and not is_estimator_internal(path):
+        return []
+    findings = []
+    for i, line in enumerate(stripped.split("\n"), start=1):
+        for match in EPOCH_COMPAT_RE.finditer(line):
+            findings.append(
+                (
+                    i,
+                    "epoch-compat",
+                    "compat wrapper %s() in estimator/advisor internals; "
+                    "pin an epoch and use %sAt(epoch, ...)"
+                    % (match.group(1), match.group(1)),
+                )
+            )
+    return findings
+
+
+def check_row_count_int(path, stripped, everywhere=False):
+    del path, everywhere  # applies everywhere
+    findings = []
+    for i, line in enumerate(stripped.split("\n"), start=1):
+        for match in ROW_COUNT_DECL_RE.finditer(line):
+            findings.append(
+                (
+                    i,
+                    "row-count-int",
+                    "row count '%s' declared as a (possibly 32-bit) signed "
+                    "type; row counts are uint64_t" % match.group(1),
+                )
+            )
+        if ROW_COUNT_CAST_RE.search(line):
+            findings.append(
+                (
+                    i,
+                    "row-count-int",
+                    "row count narrowed through static_cast<int>; row "
+                    "counts are uint64_t",
+                )
+            )
+    return findings
+
+
+def declared_functions(region):
+    """Function names declared (`name(...);`) in a stripped header region."""
+    names = set()
+    # A declaration's parameter list ends in `);` possibly across lines.
+    for match in re.finditer(r"([A-Za-z_]\w*)\s*\(", region):
+        name = match.group(1)
+        # Walk to the matching close paren; a declaration ends with ';'.
+        depth = 0
+        j = match.end() - 1
+        while j < len(region):
+            if region[j] == "(":
+                depth += 1
+            elif region[j] == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            j += 1
+        tail = region[j + 1 : j + 3].strip()
+        if tail.startswith(";"):
+            names.add(name)
+    return names
+
+
+def check_kernel_parity(path, stripped):
+    """Parses the kernels header: every function declared in the top-level
+    kernels namespace must also be declared in kernels::scalar."""
+    marker = "namespace scalar {"
+    pos = stripped.find(marker)
+    if pos < 0:
+        return [
+            (
+                1,
+                "kernel-parity",
+                "no `namespace scalar` region found in kernels header",
+            )
+        ]
+    kernels_start = stripped.find("namespace kernels {")
+    public_region = stripped[max(kernels_start, 0) : pos]
+    scalar_region = stripped[pos : stripped.find("}", pos + len(marker) + 1)]
+    scalar_end = stripped.find("}  // namespace scalar", pos)
+    if scalar_end > 0:
+        scalar_region = stripped[pos:scalar_end]
+    public_fns = declared_functions(public_region)
+    scalar_fns = declared_functions(scalar_region)
+    findings = []
+    for name in sorted(public_fns - scalar_fns):
+        line = 1
+        match = re.search(r"\b%s\s*\(" % re.escape(name), stripped)
+        if match:
+            line = stripped.count("\n", 0, match.start()) + 1
+        findings.append(
+            (
+                line,
+                "kernel-parity",
+                "kernels::%s has no kernels::scalar::%s reference "
+                "implementation" % (name, name),
+            )
+        )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+SOURCE_DIRS = ("src", "bench", "tools", "examples")
+SOURCE_EXTS = (".cc", ".h", ".cpp")
+KERNELS_HEADER = os.path.join("src", "compression", "kernels.h")
+
+
+def files_from_compile_db(build_dir):
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.isfile(db_path):
+        return None
+    with open(db_path, encoding="utf-8") as f:
+        db = json.load(f)
+    files = set()
+    for entry in db:
+        path = os.path.normpath(
+            os.path.join(entry.get("directory", ""), entry["file"])
+        )
+        rel = os.path.relpath(path, REPO_ROOT)
+        if rel.split(os.sep)[0] in SOURCE_DIRS and rel.endswith(SOURCE_EXTS):
+            files.add(path)
+    return sorted(files)
+
+
+def walk_source_tree():
+    files = []
+    for top in SOURCE_DIRS:
+        for dirpath, _, names in os.walk(os.path.join(REPO_ROOT, top)):
+            for name in names:
+                if name.endswith(SOURCE_EXTS):
+                    files.append(os.path.join(dirpath, name))
+    return sorted(files)
+
+
+def repo_headers():
+    files = []
+    for dirpath, _, names in os.walk(os.path.join(REPO_ROOT, "src")):
+        for name in names:
+            if name.endswith(".h"):
+                files.append(os.path.join(dirpath, name))
+    return files
+
+
+def lint_file(path, everywhere=False):
+    with open(path, encoding="utf-8", errors="replace") as f:
+        text = f.read()
+    allows = collect_allows(text)
+    stripped = strip_comments_and_strings(text)
+    findings = []
+    findings += check_raw_mutex(path, stripped, everywhere)
+    findings += check_epoch_compat(path, stripped, everywhere)
+    findings += check_row_count_int(path, stripped, everywhere)
+    norm = path.replace(os.sep, "/")
+    if norm.endswith(KERNELS_HEADER.replace(os.sep, "/")) or (
+        everywhere and "kernel_parity" in os.path.basename(path)
+    ):
+        findings += check_kernel_parity(path, stripped)
+    return [
+        (line, rule, msg)
+        for line, rule, msg in findings
+        if rule not in allows.get(line, ())
+    ]
+
+
+def run_lint(paths):
+    total = 0
+    for path in paths:
+        for line, rule, msg in lint_file(path):
+            rel = os.path.relpath(path, REPO_ROOT)
+            print("%s:%d: [%s] %s" % (rel, line, rule, msg))
+            total += 1
+    if total:
+        print("cfest_lint: %d finding(s)" % total, file=sys.stderr)
+        return 1
+    return 0
+
+
+def run_fixture_check():
+    """Self-test: every fixture file named <rule-with-underscores>_*.cc must
+    trip exactly that rule; every ok_*.cc must be clean."""
+    fixture_dir = os.path.join(REPO_ROOT, "tests", "lint_fixtures")
+    if not os.path.isdir(fixture_dir):
+        print("cfest_lint: missing %s" % fixture_dir, file=sys.stderr)
+        return 1
+    failures = 0
+    checked = 0
+    for name in sorted(os.listdir(fixture_dir)):
+        if not name.endswith(SOURCE_EXTS):
+            continue
+        path = os.path.join(fixture_dir, name)
+        findings = lint_file(path, everywhere=True)
+        rules_hit = {rule for _, rule, _ in findings}
+        checked += 1
+        if name.startswith("ok_"):
+            if findings:
+                print(
+                    "FIXTURE FAIL %s: expected clean, got %s"
+                    % (name, sorted(rules_hit)),
+                    file=sys.stderr,
+                )
+                failures += 1
+            continue
+        expected = None
+        for rule in ("raw-mutex", "epoch-compat", "kernel-parity",
+                     "row-count-int"):
+            if name.startswith(rule.replace("-", "_")):
+                expected = rule
+                break
+        if expected is None:
+            print(
+                "FIXTURE FAIL %s: name matches no rule id" % name,
+                file=sys.stderr,
+            )
+            failures += 1
+        elif expected not in rules_hit:
+            print(
+                "FIXTURE FAIL %s: expected [%s], got %s"
+                % (name, expected, sorted(rules_hit) or "no findings"),
+                file=sys.stderr,
+            )
+            failures += 1
+    if checked == 0:
+        print("cfest_lint: no fixtures found", file=sys.stderr)
+        return 1
+    if failures:
+        return 1
+    print("cfest_lint: %d fixture(s) OK" % checked)
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "-p",
+        dest="build_dir",
+        help="build directory holding compile_commands.json",
+    )
+    parser.add_argument(
+        "--check-fixtures",
+        action="store_true",
+        help="self-test the rules against tests/lint_fixtures",
+    )
+    parser.add_argument("files", nargs="*", help="explicit files to lint")
+    args = parser.parse_args()
+
+    if args.check_fixtures:
+        return run_fixture_check()
+
+    if args.files:
+        paths = [os.path.abspath(f) for f in args.files]
+    elif args.build_dir:
+        paths = files_from_compile_db(args.build_dir)
+        if paths is None:
+            print(
+                "cfest_lint: no compile_commands.json in %s; walking the "
+                "source tree" % args.build_dir,
+                file=sys.stderr,
+            )
+            paths = walk_source_tree()
+        else:
+            paths = sorted(set(paths) | set(repo_headers()))
+    else:
+        paths = walk_source_tree()
+    return run_lint(paths)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
