@@ -4,6 +4,7 @@
 #include <cmath>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -18,39 +19,67 @@ namespace {
 /// owns one instance, so a run's compat struct is filled from these
 /// counters' Values — while MetricRegistry aggregates every live instance
 /// plus retired totals under `cfest.lazy.*`, making the two views agree
-/// bit for bit on any quiesced run. The registration member is declared
-/// last so it folds the final values into the registry before the
-/// counters destruct.
+/// bit for bit on any quiesced run. Refinement work is attributed per
+/// table: `cfest.lazy.refined` / `cfest.lazy.refine_rounds` live in
+/// {table=<name>} labeled blocks (one per distinct table a run refines,
+/// resolved once per table by ForTable) whose registry children a
+/// dashboard can split, while ToStats sums them back into the run totals.
+/// The registration members are declared after the counters they cover so
+/// final values fold into the registry before the counters destruct.
 struct LazyRunCounters {
   LazyRunCounters()
       : registration(metrics::MetricRegistry::Global().RegisterCounters(
             {{"cfest.lazy.candidates", &candidates},
-             {"cfest.lazy.refined", &refined},
-             {"cfest.lazy.refine_rounds", &refine_rounds},
              {"cfest.lazy.nodes_visited", &nodes_visited},
              {"cfest.lazy.nodes_pruned", &nodes_pruned},
              {"cfest.lazy.total_rows_sized", &total_rows_sized},
              {"cfest.lazy.coarse_rows", &coarse_rows}})) {}
 
+  /// The per-table refine block: the table's labeled child of the two
+  /// refine families (the unlabeled child when `table_name` is empty).
+  struct PerTable {
+    explicit PerTable(const std::string& table_name)
+        : registration(metrics::MetricRegistry::Global().RegisterCounters(
+              table_name.empty()
+                  ? metrics::LabelSet{}
+                  : metrics::LabelSet{{"table", table_name}},
+              {{"cfest.lazy.refined", &refined},
+               {"cfest.lazy.refine_rounds", &refine_rounds}})) {}
+    metrics::Counter refined;
+    metrics::Counter refine_rounds;
+    metrics::MetricRegistry::Registration registration;
+  };
+
+  PerTable& ForTable(const std::string& table_name) {
+    MutexLock lock(mu);
+    std::unique_ptr<PerTable>& block = per_table[table_name];
+    if (block == nullptr) block = std::make_unique<PerTable>(table_name);
+    return *block;
+  }
+
   LazyAdvisorStats ToStats() const {
     LazyAdvisorStats s;
     s.candidates = static_cast<size_t>(candidates.Value());
-    s.refined = static_cast<size_t>(refined.Value());
-    s.refine_rounds = refine_rounds.Value();
     s.nodes_visited = nodes_visited.Value();
     s.nodes_pruned = nodes_pruned.Value();
     s.total_rows_sized = total_rows_sized.Value();
     s.coarse_rows = coarse_rows.Value();
+    MutexLock lock(mu);
+    for (const auto& [name, block] : per_table) {
+      (void)name;
+      s.refined += static_cast<size_t>(block->refined.Value());
+      s.refine_rounds += block->refine_rounds.Value();
+    }
     return s;
   }
 
   metrics::Counter candidates;
-  metrics::Counter refined;
-  metrics::Counter refine_rounds;
   metrics::Counter nodes_visited;
   metrics::Counter nodes_pruned;
   metrics::Counter total_rows_sized;
   metrics::Counter coarse_rows;
+  mutable Mutex mu;
+  std::map<std::string, std::unique_ptr<PerTable>> per_table GUARDED_BY(mu);
   metrics::MetricRegistry::Registration registration;
 };
 
@@ -199,11 +228,13 @@ class ItemRefinery {
     // accepted by `done`).
     ApplyEstimate(r, (r.converged && r.rows_sampled >= floor) || !accepted,
                   item);
+    LazyRunCounters::PerTable& table_counters =
+        stats_->ForTable(item->sized.config.table_name);
     if (!item->was_refined) {
       item->was_refined = true;
-      stats_->refined.Increment();
+      table_counters.refined.Increment();
     }
-    stats_->refine_rounds.Add(refiner->rounds() - rounds_before);
+    table_counters.refine_rounds.Add(refiner->rounds() - rounds_before);
     return Status::OK();
   }
 

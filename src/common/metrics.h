@@ -19,12 +19,25 @@
 //      this).
 //   3. Component-local counter blocks (one per engine, per coalescer, per
 //      lazy-advisor run) register under shared process-wide names. The
-//      registry keeps raw pointers to live instances plus a per-name
+//      registry keeps raw pointers to live instances plus a per-child
 //      "retired" total that absorbs an instance's final value when its
 //      RAII Registration dies — so registry totals stay monotone and
 //      exact across engine churn. The Registration member must be declared
 //      AFTER the counters it registers (members destruct in reverse
 //      order, so the handle folds values while the counters still exist).
+//
+// Labels: every metric name is a FAMILY of children keyed by a small fixed
+// LabelSet (e.g. {table=lineitem} or {table=orders, scheme=rle}). The
+// empty label set is the classic unlabeled child, so the label-free API is
+// unchanged. Label resolution (string canonicalization + registry lookup)
+// happens once, at instrumentation-site setup, when a child or an
+// instance-block registration is obtained — the returned Counter/Gauge/
+// Histogram pointers keep the exact lock-free sharded fast path. Snapshot
+// aggregates every child (labeled, unlabeled, and retired) into the
+// name-keyed maps, so the unlabeled aggregate view is bit-identical to a
+// registry without labels; per-child values are exported alongside as
+// labeled series (JSON `labeled_*` objects; Prometheus `name{k="v"}`
+// samples next to the label-less aggregate sample).
 //
 // Naming scheme: `cfest.<component>.<metric>` (dots map to underscores in
 // the Prometheus encoding). Counters count events; `*_ns` histograms hold
@@ -70,6 +83,17 @@ inline size_t ThreadIndex() {
       next.fetch_add(1, std::memory_order_relaxed);
   return index;
 }
+
+/// One label dimension of a metric child: key/value pair. Keys should be
+/// short fixed identifiers (`table`, `scheme`); values are free-form and
+/// escaped by the exporters.
+using Label = std::pair<std::string, std::string>;
+
+/// A small fixed set of labels identifying one child of a metric family.
+/// Order-insensitive: the registry canonicalizes by sorting on key, so
+/// {{a,1},{b,2}} and {{b,2},{a,1}} name the same child. Empty = the
+/// unlabeled child (the classic label-free API).
+using LabelSet = std::vector<Label>;
 
 /// \brief Monotone counter with per-thread sharded cells. Add is one
 /// relaxed fetch_add on a cacheline owned (in steady state) by the calling
@@ -188,34 +212,68 @@ inline uint64_t NowNanos() {
 }
 
 /// \brief Point-in-time aggregation of every registered metric.
+///
+/// The name-keyed maps hold the family AGGREGATES (every child — labeled,
+/// unlabeled, retired — summed/merged), bit-identical to what a label-free
+/// registry would report. The labeled_* maps list each labeled child
+/// separately (families with no labeled children do not appear there).
 struct MetricsSnapshot {
+  struct LabeledCounter {
+    LabelSet labels;
+    uint64_t value = 0;
+  };
+  struct LabeledGauge {
+    LabelSet labels;
+    int64_t value = 0;
+  };
+  struct LabeledHistogram {
+    LabelSet labels;
+    HistogramData data;
+  };
+
   std::map<std::string, uint64_t> counters;
   std::map<std::string, int64_t> gauges;
   std::map<std::string, HistogramData> histograms;
 
-  /// Value of a counter by name (0 when absent).
+  std::map<std::string, std::vector<LabeledCounter>> labeled_counters;
+  std::map<std::string, std::vector<LabeledGauge>> labeled_gauges;
+  std::map<std::string, std::vector<LabeledHistogram>> labeled_histograms;
+
+  /// Aggregate value of a counter family by name (0 when absent).
   uint64_t CounterValue(const std::string& name) const;
 
+  /// Value of one labeled counter child (0 when absent). `labels` may be
+  /// given in any order.
+  uint64_t LabeledCounterValue(const std::string& name,
+                               const LabelSet& labels) const;
+
   /// Nested JSON: {"counters": {...}, "gauges": {...},
-  /// "histograms": {name: {count, sum, buckets, p50, p99}}}.
+  /// "histograms": {name: {count, sum, buckets, p50, p99}},
+  /// "labeled_counters": {name: [{labels, value}]}, ...}.
   JsonWriter ToJsonWriter() const;
   std::string ToJson() const;
 
-  /// Prometheus text exposition (dots in names become underscores;
-  /// histograms render cumulative `_bucket{le="..."}` series).
+  /// Prometheus text exposition: `# HELP` + `# TYPE` per family, the
+  /// label-less sample carrying the family aggregate, one `name{k="v"}`
+  /// sample per labeled child (label values escaped per the exposition
+  /// format), and histograms rendered as cumulative `_bucket{le="..."}`
+  /// series plus `_p50`/`_p99` gauges. Dots in names become underscores.
   std::string ToPrometheusText() const;
 };
 
-/// \brief The process-wide name → metric map.
+/// \brief The process-wide (name, labels) → metric map.
 ///
 /// Two registration styles:
 ///   - GetCounter/GetGauge/GetHistogram return a process-lifetime singleton
-///     for a name (created on first request) — for component-independent
-///     metrics like thread-pool or kernel-dispatch counts.
+///     child for a (name, labels) pair (created on first request) — for
+///     component-independent metrics like thread-pool or kernel-dispatch
+///     counts. The label-free overloads are the unlabeled child.
 ///   - RegisterCounters attaches short(er)-lived instance counters (an
 ///     engine's EpochCounters block, one lazy run's stats block) to shared
-///     names. The snapshot value of a name is singleton + live instances +
-///     retired total, so it is monotone and exact across instance churn.
+///     names, optionally under a LabelSet (e.g. {table=X}). The snapshot
+///     value of a child is singleton + live instances + retired total, so
+///     it is monotone and exact across instance churn; the family
+///     aggregate sums its children.
 ///
 /// Thread-safe. Metric pointers returned by Get* are valid for the process
 /// lifetime.
@@ -224,11 +282,14 @@ class MetricRegistry {
   static MetricRegistry& Global();
 
   Counter* GetCounter(const std::string& name);
+  Counter* GetCounter(const std::string& name, const LabelSet& labels);
   Gauge* GetGauge(const std::string& name);
+  Gauge* GetGauge(const std::string& name, const LabelSet& labels);
   Histogram* GetHistogram(const std::string& name);
+  Histogram* GetHistogram(const std::string& name, const LabelSet& labels);
 
   /// RAII handle for a batch of instance-counter registrations; its
-  /// destructor folds each counter's final Value into the per-name retired
+  /// destructor folds each counter's final Value into the child's retired
   /// total and detaches the pointers. Declare it after the counters it
   /// registers.
   class Registration {
@@ -240,16 +301,27 @@ class MetricRegistry {
 
    private:
     friend class MetricRegistry;
-    Registration(MetricRegistry* registry,
+    Registration(MetricRegistry* registry, std::string labels_key,
                  std::vector<std::pair<std::string, const Counter*>> counters)
-        : registry_(registry), counters_(std::move(counters)) {}
+        : registry_(registry),
+          labels_key_(std::move(labels_key)),
+          counters_(std::move(counters)) {}
     void Release();
 
     MetricRegistry* registry_ = nullptr;
+    std::string labels_key_;
     std::vector<std::pair<std::string, const Counter*>> counters_;
   };
 
   [[nodiscard]] Registration RegisterCounters(
+      std::vector<std::pair<std::string, const Counter*>> counters);
+
+  /// Registers the batch as instances of each name's `labels` child — the
+  /// per-table form of the instance-block pattern. One Registration covers
+  /// one label set; a component spanning label values holds one block (and
+  /// one Registration) per value.
+  [[nodiscard]] Registration RegisterCounters(
+      const LabelSet& labels,
       std::vector<std::pair<std::string, const Counter*>> counters);
 
   /// Empty under CFEST_METRICS_DISABLED; otherwise every known name.
@@ -257,20 +329,36 @@ class MetricRegistry {
 
  private:
   MetricRegistry() = default;
-  void Retire(const std::vector<std::pair<std::string, const Counter*>>&
+  void Retire(const std::string& labels_key,
+              const std::vector<std::pair<std::string, const Counter*>>&
                   counters);
 
-  struct CounterEntry {
+  /// One child of a counter family: the (name, labels) singleton plus any
+  /// registered instance blocks and their retired totals.
+  struct CounterChild {
+    LabelSet labels;  // canonical (sorted) form
     std::unique_ptr<Counter> owned;
     uint64_t retired = 0;
     std::vector<const Counter*> instances;
   };
+  struct GaugeChild {
+    LabelSet labels;
+    std::unique_ptr<Gauge> gauge;
+  };
+  struct HistogramChild {
+    LabelSet labels;
+    std::unique_ptr<Histogram> histogram;
+  };
+  /// Children are keyed by the canonical label encoding ("" = unlabeled).
+  template <typename Child>
+  struct Family {
+    std::map<std::string, Child> children;
+  };
 
   mutable Mutex mu_;
-  std::map<std::string, CounterEntry> counters_ GUARDED_BY(mu_);
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_
-      GUARDED_BY(mu_);
+  std::map<std::string, Family<CounterChild>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, Family<GaugeChild>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, Family<HistogramChild>> histograms_ GUARDED_BY(mu_);
 };
 
 /// \brief Stopwatch that records its lifetime into a histogram when timing

@@ -61,20 +61,25 @@ ThreadBuffer& LocalBuffer() {
 
 thread_local uint32_t tls_depth = 0;
 
-void Append(const char* name, uint64_t start_ns, uint64_t duration_ns,
-            uint32_t depth) {
+/// Ring-wrap accounting: overwritten spans are silently gone from the
+/// trace, so count them where dashboards can see them. The child pointer
+/// is resolved once (function-local static), keeping the wrap branch at
+/// one sharded counter add.
+metrics::Counter* DroppedSpansCounter() {
+  static metrics::Counter* counter =
+      metrics::MetricRegistry::Global().GetCounter("cfest.trace.dropped_spans");
+  return counter;
+}
+
+void Append(SpanRecord record) {
   ThreadBuffer& buffer = LocalBuffer();
-  SpanRecord record;
-  record.name = name;
-  record.start_ns = start_ns;
-  record.duration_ns = duration_ns;
   record.thread_id = buffer.thread_id;
-  record.depth = depth;
   MutexLock lock(buffer.mu);
   if (buffer.ring.size() < buffer.capacity) {
     buffer.ring.push_back(record);
   } else {
     buffer.ring[buffer.total % buffer.capacity] = record;
+    DroppedSpansCounter()->Increment();
   }
   ++buffer.total;
 }
@@ -135,6 +140,11 @@ void SetRingCapacity(size_t records) {
   }
 }
 
+uint64_t NextFlowId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
 Span::Span(const char* name) : name_(name) {
   if (!Enabled()) return;
   active_ = true;
@@ -142,13 +152,25 @@ Span::Span(const char* name) : name_(name) {
   start_ns_ = metrics::NowNanos();
 }
 
+void Span::SetFlow(uint64_t flow_id, FlowRole role) {
+  if (!active_) return;
+  flow_id_ = flow_id;
+  flow_role_ = role;
+}
+
 Span::~Span() {
   if (!active_) return;
   const uint64_t end_ns = metrics::NowNanos();
   const uint32_t depth = --tls_depth;
   const uint64_t base = g_base_ns.load(std::memory_order_relaxed);
-  const uint64_t start = start_ns_ > base ? start_ns_ - base : 0;
-  Append(name_, start, end_ns - start_ns_, depth);
+  SpanRecord record;
+  record.name = name_;
+  record.start_ns = start_ns_ > base ? start_ns_ - base : 0;
+  record.duration_ns = end_ns - start_ns_;
+  record.flow_id = flow_id_;
+  record.depth = depth;
+  record.flow_role = flow_role_;
+  Append(record);
 }
 
 std::vector<SpanRecord> CollectRecords() {
@@ -206,6 +228,25 @@ std::string ExportChromeTraceJson() {
     out += ",\"args\":{\"depth\":";
     out += std::to_string(record.depth);
     out += "}}";
+    if (record.flow_id == 0 || record.flow_role == FlowRole::kNone) continue;
+    // Flow record bound to this slice: `s` (flow start) at the source
+    // span's end, `f` with bp:"e" at each sink span's end. A sink's
+    // future.get() returns only after the source completed, so the arrow
+    // always points forward in time. The flow carries one shared display
+    // name so viewers group the arrows; slices keep their own names.
+    const uint64_t end_ns = record.start_ns + record.duration_ns;
+    out += ",{\"name\":\"coalesce\",\"cat\":\"cfest\",\"ph\":\"";
+    out += record.flow_role == FlowRole::kSource ? "s" : "f";
+    out += "\",\"id\":";
+    out += std::to_string(record.flow_id);
+    if (record.flow_role == FlowRole::kSink) out += ",\"bp\":\"e\"";
+    out += ",\"ts\":";
+    std::snprintf(buffer, sizeof(buffer), "%.3f",
+                  static_cast<double>(end_ns) / 1000.0);
+    out += buffer;
+    out += ",\"pid\":1,\"tid\":";
+    out += std::to_string(record.thread_id);
+    out += "}";
   }
   out += "],\"displayTimeUnit\":\"ms\"}";
   return out;

@@ -21,6 +21,17 @@
 // "X" (complete) events nest naturally in the viewer because a child's
 // [ts, ts+dur] interval lies inside its parent's.
 //
+// Flows: spans on different threads can be correlated by stamping a shared
+// flow id (Span::SetFlow with a NextFlowId() value): one span is the flow
+// SOURCE (the computation that produced a result) and any number are
+// SINKS (consumers that waited on it). The export emits Chrome-trace
+// `s`/`f` flow records bound to the spans' slices, so Perfetto draws an
+// arrow from the source to each sink — e.g. from a coalesced request's
+// owner compute span to every merged waiter's wait span. When a ring
+// wraps, the overwritten spans are counted in the
+// `cfest.trace.dropped_spans` registry counter so truncation is
+// detectable from a metrics snapshot.
+//
 // Ring buffers are owned by a process-wide list (shared_ptr), so records
 // from exited threads survive until Reset(). The writer path takes the
 // buffer's own uncontended mutex — spans mark operations (an estimate, an
@@ -52,17 +63,33 @@ void SetEnabled(bool enabled);
 /// contribution. Clamped to >= 16.
 void SetRingCapacity(size_t records);
 
+/// Role of a span in a cross-thread flow (see SetFlow).
+enum class FlowRole : uint8_t {
+  kNone = 0,
+  /// The span that produced the flowed result (arrow tail).
+  kSource = 1,
+  /// A span that consumed/waited on the result (arrow head).
+  kSink = 2,
+};
+
 /// One completed span.
 struct SpanRecord {
   const char* name = nullptr;
   /// Nanoseconds since the trace time base (last Reset / process start).
   uint64_t start_ns = 0;
   uint64_t duration_ns = 0;
+  /// Shared flow id correlating this span with spans on other threads
+  /// (0 = not part of a flow).
+  uint64_t flow_id = 0;
   /// Small dense id of the recording thread.
   uint32_t thread_id = 0;
   /// Nesting depth at the span's start (0 = top level on its thread).
   uint32_t depth = 0;
+  FlowRole flow_role = FlowRole::kNone;
 };
+
+/// Mints a process-unique nonzero flow id.
+uint64_t NextFlowId();
 
 /// \brief RAII span: times its scope and records on destruction.
 class Span {
@@ -72,9 +99,16 @@ class Span {
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
 
+  /// Marks this span as one endpoint of flow `flow_id` (from NextFlowId).
+  /// One source and any number of sinks sharing an id are linked in the
+  /// exported trace. No-op while tracing is disabled.
+  void SetFlow(uint64_t flow_id, FlowRole role);
+
  private:
   const char* name_;
   uint64_t start_ns_ = 0;
+  uint64_t flow_id_ = 0;
+  FlowRole flow_role_ = FlowRole::kNone;
   bool active_ = false;
 };
 
@@ -88,7 +122,11 @@ uint64_t TotalStarted();
 
 /// Chrome trace-event JSON of the retained records:
 /// {"traceEvents":[{"name","ph":"X","ts","dur","pid","tid","args":{...}}]}
-/// with ts/dur in microseconds.
+/// with ts/dur in microseconds. Spans carrying a flow id additionally emit
+/// a flow record bound to their slice: `ph:"s"` (start) at the source
+/// span's end, `ph:"f"` with `bp:"e"` (end, bind-to-enclosing) at each
+/// sink span's end, matched by `id` — the format Perfetto renders as
+/// arrows.
 std::string ExportChromeTraceJson();
 
 /// Drops every retained record, zeroes TotalStarted, and restarts the

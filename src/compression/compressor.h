@@ -41,6 +41,11 @@ enum class CompressionType : uint8_t {
   kFrameOfReference = 8,  // bit-packed offsets from a per-page base (extension)
 };
 
+/// Number of CompressionType values (the enum is dense from 0); sized
+/// per-scheme arrays — e.g. the engine's labeled estimate counters — index
+/// by static_cast<size_t>(type).
+inline constexpr size_t kCompressionTypeCount = 9;
+
 const char* CompressionTypeName(CompressionType type);
 Result<CompressionType> CompressionTypeFromName(const std::string& name);
 

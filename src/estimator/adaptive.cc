@@ -24,14 +24,36 @@ struct AdaptiveMetrics {
   metrics::Counter* rows_sized;
 };
 
-const AdaptiveMetrics& Metrics() {
-  static const AdaptiveMetrics m{
-      metrics::MetricRegistry::Global().GetCounter("cfest.adaptive.rounds"),
-      metrics::MetricRegistry::Global().GetCounter(
-          "cfest.adaptive.growth_steps"),
-      metrics::MetricRegistry::Global().GetCounter(
-          "cfest.adaptive.rows_sized")};
-  return m;
+/// The `cfest.adaptive.*` children for one table label (empty = the
+/// unlabeled children). Resolved through the registry once per distinct
+/// table and memoized here, so round/sizing call sites pay one map lookup
+/// per call — never per-row label resolution. Family aggregates keep the
+/// process-wide totals regardless of how traffic splits across tables.
+const AdaptiveMetrics& MetricsFor(const std::string& table_name) {
+  static Mutex* mu = new Mutex();
+  static std::unordered_map<std::string, AdaptiveMetrics>* cache =
+      new std::unordered_map<std::string, AdaptiveMetrics>();
+  MutexLock lock(*mu);
+  auto it = cache->find(table_name);
+  if (it == cache->end()) {
+    metrics::LabelSet labels;
+    if (!table_name.empty()) labels.emplace_back("table", table_name);
+    AdaptiveMetrics m{
+        metrics::MetricRegistry::Global().GetCounter("cfest.adaptive.rounds",
+                                                     labels),
+        metrics::MetricRegistry::Global().GetCounter(
+            "cfest.adaptive.growth_steps", labels),
+        metrics::MetricRegistry::Global().GetCounter(
+            "cfest.adaptive.rows_sized", labels)};
+    it = cache->emplace(table_name, m).first;
+  }
+  return it->second;
+}
+
+/// The engine's table label — how every adaptive call site picks its
+/// children (engines created by the catalog service carry the name).
+const AdaptiveMetrics& MetricsFor(const EstimationEngine& engine) {
+  return MetricsFor(engine.options().table_name);
 }
 
 constexpr const char* kMethodExact = "exact";
@@ -351,7 +373,7 @@ Status EstimateCandidateNow(EstimationEngine& engine, const SampleEpoch& epoch,
   // persistent result each round, so this sums the candidate's per-round
   // sizing work (attribution that survives convergence dropout).
   r->cumulative_rows_sized += est.sample_rows;
-  Metrics().rows_sized->Add(est.sample_rows);
+  MetricsFor(engine).rows_sized->Add(est.sample_rows);
   r->target_half_width = target.rel_error * std::max(r->cf, target.cf_floor);
   CFEST_ASSIGN_OR_RETURN(
       r->interval,
@@ -471,7 +493,7 @@ Result<AdaptiveBatchResult> AdaptiveEstimator::EstimateAll(
     while (true) {
       trace::Span round_span("adaptive.round");
       ++report.rounds;
-      Metrics().rounds->Increment();
+      MetricsFor(engine_).rounds->Increment();
       const uint64_t rows = epoch->sample_rows();
       report.rows_per_round.push_back(rows);
       const uint32_t round = report.rounds;
@@ -514,7 +536,7 @@ Result<AdaptiveBatchResult> AdaptiveEstimator::EstimateAll(
           static_cast<double>(rows) * target_.growth_factor));
       const uint64_t next = std::min(cap, std::max(max_needed, geometric));
       CFEST_ASSIGN_OR_RETURN(epoch, engine_.GrowSampleToEpoch(next));
-      Metrics().growth_steps->Increment();
+      MetricsFor(engine_).growth_steps->Increment();
       if (epoch->sample_rows() <= rows) {  // table exhausted below the cap
         report.budget_exhausted = true;
         break;
@@ -633,7 +655,7 @@ Result<AdaptiveCandidateResult> CandidateRefiner::RefineUntil(
                     : std::max(NeededRowsFor(r, rows, num_sigmas_), min_rows);
     const uint64_t next = std::min(cap_, std::max(needed, geometric));
     CFEST_ASSIGN_OR_RETURN(const uint64_t grown, engine_->GrowSample(next));
-    Metrics().growth_steps->Increment();
+    MetricsFor(*engine_).growth_steps->Increment();
     ++rounds_;
     if (grown <= rows) return r;  // table exhausted below the nominal cap
   }

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "common/trace.h"
+
 namespace cfest {
 namespace {
 
@@ -43,20 +45,41 @@ std::string CoalesceKey(const std::string& table_name,
   return key;
 }
 
-RequestCoalescer::Ticket RequestCoalescer::Admit(const std::string& key) {
+RequestCoalescer::TableCounters* RequestCoalescer::CountersForTable(
+    const std::string& table_name) {
   MutexLock lock(mu_);
-  requests_.Increment();
+  std::unique_ptr<TableCounters>& block = table_counters_[table_name];
+  if (block == nullptr) block = std::make_unique<TableCounters>(table_name);
+  return block.get();
+}
+
+RequestCoalescer::Ticket RequestCoalescer::Admit(
+    const std::string& key, TableCounters* table_counters) {
+  MutexLock lock(mu_);
+  // Attribute to the caller's per-table child when it resolved one, to
+  // the unlabeled child otherwise — never both, so the family aggregate
+  // counts each admission exactly once.
+  metrics::Counter& requests =
+      table_counters != nullptr ? table_counters->requests : requests_;
+  metrics::Counter& admitted =
+      table_counters != nullptr ? table_counters->admitted : admitted_;
+  metrics::Counter& merged =
+      table_counters != nullptr ? table_counters->merged : merged_;
+  requests.Increment();
   auto it = entries_.find(key);
   if (it != entries_.end()) {
-    merged_.Increment();
-    return Ticket{false, it->second.future};
+    merged.Increment();
+    return Ticket{false, it->second.flow_id, it->second.future};
   }
   Entry entry;
   entry.promise = std::make_shared<std::promise<SizingOutcome>>();
   entry.future = entry.promise->get_future().share();
-  Ticket ticket{true, entry.future};
+  // Mint the flow id at owner admission so every sharer of this key gets
+  // the same id — the correlation the exported trace draws as arrows.
+  entry.flow_id = trace::Enabled() ? trace::NextFlowId() : 0;
+  Ticket ticket{true, entry.flow_id, entry.future};
   entries_.emplace(key, std::move(entry));
-  admitted_.Increment();
+  admitted.Increment();
   return ticket;
 }
 
@@ -79,12 +102,21 @@ void RequestCoalescer::Complete(const std::string& key,
 }
 
 RequestCoalescer::Stats RequestCoalescer::stats() const {
-  // Reads the same registry-backed counters a MetricsSnapshot aggregates;
-  // no lock needed — the counters are themselves thread-safe and monotone.
+  // Reads the same registry-backed counters a MetricsSnapshot aggregates —
+  // the unlabeled fallback plus every per-table block — so the compat
+  // struct equals the family aggregates bit for bit. The lock only guards
+  // the block map; the counters are themselves thread-safe and monotone.
   Stats stats;
   stats.requests = requests_.Value();
   stats.admitted = admitted_.Value();
   stats.merged = merged_.Value();
+  MutexLock lock(mu_);
+  for (const auto& [name, block] : table_counters_) {
+    (void)name;
+    stats.requests += block->requests.Value();
+    stats.admitted += block->admitted.Value();
+    stats.merged += block->merged.Value();
+  }
   return stats;
 }
 

@@ -33,6 +33,8 @@
 
 #include <cstdint>
 #include <future>
+#include <map>
+#include <memory>
 #include <string>
 #include <unordered_map>
 
@@ -70,13 +72,45 @@ class RequestCoalescer {
   struct Ticket {
     /// True when this caller must compute and Complete() the key.
     bool owner = false;
+    /// Trace flow id shared by the owner and every merged waiter of this
+    /// key (0 when tracing is disabled): the owner stamps it on its
+    /// compute span as the flow source, each sharer on its wait span as a
+    /// sink, so the exported trace draws an arrow from the merged request
+    /// to the computation that served it.
+    uint64_t flow_id = 0;
     std::shared_future<SizingOutcome> future;
   };
 
+  /// \brief Per-table labeled child block of the `cfest.coalescer.*`
+  /// counter families. Resolved once per table via CountersForTable (label
+  /// resolution at admission-site setup); Admit then increments the block
+  /// with plain sharded adds. The registration member is declared last so
+  /// it retires final values while the counters still exist.
+  struct TableCounters {
+    explicit TableCounters(const std::string& table_name)
+        : registration(metrics::MetricRegistry::Global().RegisterCounters(
+              {{"table", table_name}},
+              {{"cfest.coalescer.requests", &requests},
+               {"cfest.coalescer.admitted", &admitted},
+               {"cfest.coalescer.merged", &merged}})) {}
+    metrics::Counter requests;
+    metrics::Counter admitted;
+    metrics::Counter merged;
+    metrics::MetricRegistry::Registration registration;
+  };
+
+  /// The per-table counter block for `table_name`, created on first use
+  /// and stable for the coalescer's lifetime.
+  TableCounters* CountersForTable(const std::string& table_name);
+
   /// Admits a request: the first caller for a key becomes the owner; every
   /// caller landing while the owner's computation is in flight shares the
-  /// owner's future.
-  Ticket Admit(const std::string& key);
+  /// owner's future (and its flow id). When `table_counters` is given
+  /// (from CountersForTable), traffic is attributed to that table's
+  /// labeled children; otherwise to the unlabeled child — either way the
+  /// family aggregates (and stats()) count every admission exactly once.
+  Ticket Admit(const std::string& key,
+               TableCounters* table_counters = nullptr);
 
   /// Publishes the owner's outcome, releasing every waiter, and retires
   /// the entry (later requests for the key recompute). Must be called
@@ -100,14 +134,20 @@ class RequestCoalescer {
   struct Entry {
     std::shared_ptr<std::promise<SizingOutcome>> promise;
     std::shared_future<SizingOutcome> future;
+    uint64_t flow_id = 0;
   };
 
   mutable Mutex mu_;
   std::unordered_map<std::string, Entry> entries_ GUARDED_BY(mu_);
+  /// Per-table labeled blocks, created lazily by CountersForTable. Block
+  /// pointers stay valid for the coalescer's lifetime.
+  std::map<std::string, std::unique_ptr<TableCounters>> table_counters_
+      GUARDED_BY(mu_);
 
-  /// Outcome counters, registered process-wide under `cfest.coalescer.*`.
-  /// The registration member is declared last so it retires the final
-  /// values into the registry before the counters destruct.
+  /// Unlabeled-child fallback for admissions without a table handle,
+  /// registered process-wide under `cfest.coalescer.*`. The registration
+  /// member is declared last so it retires the final values into the
+  /// registry before the counters destruct.
   metrics::Counter requests_;
   metrics::Counter admitted_;
   metrics::Counter merged_;

@@ -75,7 +75,7 @@ EstimationEngine::EstimationEngine(const Table& table,
                                    EstimationEngineOptions options)
     : table_(table),
       options_(std::move(options)),
-      counters_(std::make_shared<EpochCounters>()) {}
+      counters_(std::make_shared<EpochCounters>(options_.table_name)) {}
 
 std::shared_ptr<SampleEpoch> EstimationEngine::MakeEpochLocked(
     std::shared_ptr<const TableView> view, uint64_t table_rows) {
@@ -383,6 +383,13 @@ Result<CompressedIndex> EstimationEngine::CompressOnSample(
 Result<SizedCandidate> EstimationEngine::EstimateAt(
     const SampleEpoch& epoch, const CandidateConfiguration& candidate) const {
   trace::Span span("engine.estimate");
+  // Per-(table, scheme-family) traffic attribution: the labeled child was
+  // resolved when the counter block was built, so this is a plain array
+  // index plus one sharded add.
+  const size_t scheme = static_cast<size_t>(candidate.scheme.default_type);
+  if (scheme < counters_->estimates_by_scheme.size()) {
+    counters_->estimates_by_scheme[scheme].Increment();
+  }
   SizedCandidate sized;
   sized.config = candidate;
   CFEST_ASSIGN_OR_RETURN(

@@ -133,6 +133,12 @@ struct EstimationEngineOptions {
   /// callers comparing engines across differently grown tables should pin
   /// an explicit capacity.
   uint64_t reservoir_capacity = 0;
+  /// Metric label: when non-empty, the engine's `cfest.engine.*` counters
+  /// register as the {table=<table_name>} child of each family (the
+  /// service sets this to the catalog name), so snapshots split per table
+  /// while the family aggregate stays the engine-wide total. Empty keeps
+  /// the unlabeled child (standalone engines).
+  std::string table_name;
 };
 
 /// \brief Batched, cached CF estimation over one table.

@@ -34,6 +34,7 @@
 #ifndef CFEST_ESTIMATOR_EPOCH_H_
 #define CFEST_ESTIMATOR_EPOCH_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <future>
@@ -60,13 +61,22 @@ namespace cfest {
 /// increments them without any lock, which is what lets tests assert
 /// lock-freedom by counting — a steady-state estimate bumps
 /// lock_free_pins, never locked_pins. The constructor registers every
-/// field with the process-wide MetricRegistry under `cfest.engine.*`, so
-/// CacheStats (which reads these same counters) and a registry snapshot
-/// agree bit for bit; the registration handle is declared last so it
-/// retires the block's totals into the registry before the counters die.
+/// field with the process-wide MetricRegistry under `cfest.engine.*` —
+/// labeled {table=<name>} when the engine was given a table name, as the
+/// unlabeled child otherwise — so CacheStats (which reads these same
+/// counters) and the registry's family aggregate agree bit for bit, while
+/// per-table dashboards read the labeled children. Estimate counts also
+/// register one {table, scheme} child per compression family
+/// (`cfest.engine.estimates`), indexed by enum value so the hot path is a
+/// plain array increment (label resolution happened at construction). The
+/// registration handles are declared last so they retire the block's
+/// totals into the registry before the counters die.
 struct EpochCounters {
-  EpochCounters()
+  EpochCounters() : EpochCounters(std::string()) {}
+
+  explicit EpochCounters(const std::string& table_name)
       : registration(metrics::MetricRegistry::Global().RegisterCounters(
+            TableLabels(table_name),
             {{"cfest.engine.samples_drawn", &samples_drawn},
              {"cfest.engine.index_builds", &index_builds},
              {"cfest.engine.index_cache_hits", &index_cache_hits},
@@ -75,7 +85,21 @@ struct EpochCounters {
              {"cfest.engine.lock_free_pins", &lock_free_pins},
              {"cfest.engine.locked_pins", &locked_pins},
              {"cfest.engine.epochs_published", &epochs_published},
-             {"cfest.engine.epochs_retired", &epochs_retired}})) {}
+             {"cfest.engine.epochs_retired", &epochs_retired}})) {
+    for (size_t i = 0; i < kCompressionTypeCount; ++i) {
+      metrics::LabelSet labels = TableLabels(table_name);
+      labels.emplace_back(
+          "scheme", CompressionTypeName(static_cast<CompressionType>(i)));
+      scheme_registrations[i] =
+          metrics::MetricRegistry::Global().RegisterCounters(
+              labels, {{"cfest.engine.estimates", &estimates_by_scheme[i]}});
+    }
+  }
+
+  static metrics::LabelSet TableLabels(const std::string& table_name) {
+    if (table_name.empty()) return {};
+    return {{"table", table_name}};
+  }
 
   metrics::Counter samples_drawn;
   metrics::Counter index_builds;
@@ -89,9 +113,14 @@ struct EpochCounters {
   metrics::Counter epochs_published;
   /// Epochs destroyed after their last reader unpinned them.
   metrics::Counter epochs_retired;
-  /// Declared after the counters: destructs first, folding their final
+  /// Sampled estimates served, by the candidate scheme's default
+  /// compression family (indexed by CompressionType value).
+  std::array<metrics::Counter, kCompressionTypeCount> estimates_by_scheme;
+  /// Declared after the counters: destruct first, folding their final
   /// values into the registry's retired totals while they still exist.
   metrics::MetricRegistry::Registration registration;
+  std::array<metrics::MetricRegistry::Registration, kCompressionTypeCount>
+      scheme_registrations;
 };
 
 /// \brief One immutable sample generation: the view, the sizing snapshot,

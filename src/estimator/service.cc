@@ -46,6 +46,10 @@ Result<EstimationEngine*> CatalogEstimationService::Engine(
   engine_options.num_threads = 1;
   engine_options.maintain_reservoir = options_.maintain_reservoirs;
   engine_options.reservoir_capacity = options_.reservoir_capacity;
+  // Per-table metric labels: the engine's cfest.engine.* counters register
+  // as this table's children, so snapshots split by table while the
+  // family aggregates keep reporting the catalog-wide totals.
+  engine_options.table_name = table_name;
   auto engine = std::make_unique<EstimationEngine>(**table, engine_options);
   EstimationEngine* raw = engine.get();
   engines_[table_name] = EngineEntry{std::move(engine), version};
@@ -123,14 +127,30 @@ Result<std::vector<SizedCandidate>> CatalogEstimationService::EstimateAll(
   // Coalesced admission: structurally identical candidates at the same
   // epoch — within this batch or racing in from concurrent EstimateAll
   // calls — share one computation. Owners compute; sharers just collect
-  // the owner's future below.
+  // the owner's future below. Per-table telemetry handles (labeled
+  // admission counters and wait histograms) are resolved once per
+  // distinct table here, at batch setup, so admission and collection do
+  // no label work per candidate.
+  std::map<std::string, RequestCoalescer::TableCounters*> group_counters;
+  std::map<std::string, metrics::Histogram*> group_wait_hists;
+  std::vector<RequestCoalescer::TableCounters*> counters_of(candidates.size());
+  std::vector<metrics::Histogram*> wait_hist_of(candidates.size());
+  for (const auto& [name, engine] : group_engines) {
+    (void)engine;
+    group_counters[name] = coalescer_.CountersForTable(name);
+    group_wait_hists[name] = metrics::MetricRegistry::Global().GetHistogram(
+        "cfest.coalescer.wait_ns", {{"table", name}});
+  }
   std::vector<std::string> keys(candidates.size());
   std::vector<RequestCoalescer::Ticket> tickets(candidates.size());
   std::vector<uint64_t> owned;
   owned.reserve(candidates.size());
   for (size_t i = 0; i < candidates.size(); ++i) {
-    keys[i] = CoalesceKey(candidates[i].table_name, candidates[i], *epoch_of[i]);
-    tickets[i] = coalescer_.Admit(keys[i]);
+    const std::string& name = candidates[i].table_name;
+    counters_of[i] = group_counters[name];
+    wait_hist_of[i] = group_wait_hists[name];
+    keys[i] = CoalesceKey(name, candidates[i], *epoch_of[i]);
+    tickets[i] = coalescer_.Admit(keys[i], counters_of[i]);
     if (tickets[i].owner) owned.push_back(i);
   }
 
@@ -143,12 +163,23 @@ Result<std::vector<SizedCandidate>> CatalogEstimationService::EstimateAll(
       [&](uint64_t k) {
         const uint64_t i = owned[k];
         SizingOutcome outcome;
-        Result<SizedCandidate> sized =
-            engine_of[i]->EstimateAt(*epoch_of[i], candidates[i]);
-        if (sized.ok()) {
-          outcome.sized = std::move(*sized);
-        } else {
-          outcome.status = sized.status();
+        {
+          // The owner's compute slice carries the ticket's flow id as the
+          // flow SOURCE: every sharer of this key — in this batch or a
+          // concurrent one — stamps the same id on its wait span, so the
+          // exported trace draws an arrow from the computation to each
+          // merged waiter.
+          trace::Span compute_span("coalescer.compute");
+          if (tickets[i].flow_id != 0) {
+            compute_span.SetFlow(tickets[i].flow_id, trace::FlowRole::kSource);
+          }
+          Result<SizedCandidate> sized =
+              engine_of[i]->EstimateAt(*epoch_of[i], candidates[i]);
+          if (sized.ok()) {
+            outcome.sized = std::move(*sized);
+          } else {
+            outcome.status = sized.status();
+          }
         }
         coalescer_.Complete(keys[i], std::move(outcome));
         return Status::OK();
@@ -157,19 +188,25 @@ Result<std::vector<SizedCandidate>> CatalogEstimationService::EstimateAll(
   // Collect every result in input order — owners and sharers alike read
   // their future (an owner's is already ready). First failure wins, like
   // the plain fan-out's StatusParallelFor.
-  metrics::Histogram* wait_hist =
-      metrics::MetricRegistry::Global().GetHistogram(
-          "cfest.coalescer.wait_ns");
   for (size_t i = 0; i < candidates.size(); ++i) {
     SizingOutcome outcome;
-    if (!tickets[i].owner && metrics::TimingEnabled()) {
+    if (!tickets[i].owner) {
       // A sharer may block here on an owner racing in another batch (the
       // owners of THIS batch already completed above); the wait histogram
-      // is the coalescer's latency cost of deduplication.
+      // is the coalescer's latency cost of deduplication, recorded into
+      // the table's labeled child. The wait span is this flow's SINK —
+      // flow-linked to the owning compute span by the shared id.
       trace::Span wait_span("coalescer.wait");
-      const uint64_t t0 = metrics::NowNanos();
-      outcome = tickets[i].future.get();
-      wait_hist->Record(metrics::NowNanos() - t0);
+      if (tickets[i].flow_id != 0) {
+        wait_span.SetFlow(tickets[i].flow_id, trace::FlowRole::kSink);
+      }
+      if (metrics::TimingEnabled()) {
+        const uint64_t t0 = metrics::NowNanos();
+        outcome = tickets[i].future.get();
+        wait_hist_of[i]->Record(metrics::NowNanos() - t0);
+      } else {
+        outcome = tickets[i].future.get();
+      }
     } else {
       outcome = tickets[i].future.get();
     }

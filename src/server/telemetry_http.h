@@ -1,0 +1,75 @@
+// Copyright (c) the samplecf authors. Licensed under the MIT license.
+//
+// TelemetryHttpServer — a minimal embedded HTTP endpoint for live metric
+// scraping. Plain blocking POSIX sockets, one background accept thread, no
+// third-party dependencies: just enough HTTP/1.1 to serve a Prometheus
+// scraper or a curl in a CI step.
+//
+// Routes (GET only):
+//   /metrics       Prometheus text exposition of the global registry
+//                  (text/plain; version=0.0.4), including labeled children.
+//   /metrics.json  The same snapshot as JSON (application/json).
+//   /healthz       Liveness probe; responds "ok\n" (text/plain).
+// Anything else is 404; non-GET methods are 405.
+//
+// Every response is rendered fresh per request from
+// MetricRegistry::Global().Snapshot() — the server holds no metric state of
+// its own, so it can start before, during, or after the instrumented work.
+// Connections are handled serially on the accept thread (Connection: close,
+// Content-Length always set); a telemetry scrape every few seconds does not
+// need concurrency, and serial handling keeps the server trivially correct.
+//
+// Lifecycle: Start(port) binds (port 0 picks an ephemeral port — use
+// port() to learn it, handy for tests and for CI scrapes), Stop() shuts
+// the listener down and joins the thread. Stop is idempotent and is also
+// called from the destructor.
+
+#ifndef CFEST_SERVER_TELEMETRY_HTTP_H_
+#define CFEST_SERVER_TELEMETRY_HTTP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+
+namespace cfest {
+
+class TelemetryHttpServer {
+ public:
+  TelemetryHttpServer() = default;
+  ~TelemetryHttpServer();
+
+  TelemetryHttpServer(const TelemetryHttpServer&) = delete;
+  TelemetryHttpServer& operator=(const TelemetryHttpServer&) = delete;
+
+  /// Binds `port` on all interfaces and starts the accept thread. Port 0
+  /// binds an ephemeral port (read it back with port()). Fails if the
+  /// server is already running or the bind/listen fails.
+  Status Start(uint16_t port);
+
+  /// Shuts the listener down and joins the accept thread. Safe to call
+  /// when not running, and safe to call more than once.
+  void Stop();
+
+  /// Whether the accept thread is running.
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The bound TCP port (the ephemeral port when Start was given 0);
+  /// 0 when the server is not running.
+  uint16_t port() const { return port_; }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int client_fd);
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+};
+
+}  // namespace cfest
+
+#endif  // CFEST_SERVER_TELEMETRY_HTTP_H_

@@ -1,0 +1,21 @@
+// Fixture: trips [metric-name-concat] — instrumentation sites must obtain
+// labeled children through the family API (GetCounter(name, labels) /
+// RegisterCounters(labels, ...)), never by concatenating a dimension onto
+// the metric name, which fragments the family and breaks the
+// aggregate-parity contract. Never compiled; parsed by
+// tools/cfest_lint.py --check-fixtures.
+namespace cfest_fixture {
+
+struct Registry {
+  void* GetCounter(const char*);
+};
+
+void BadPerTableCounters(Registry& registry, const char* table) {
+  // finding: per-table metric NAME minted by concatenation
+  registry.GetCounter(("cfest.engine.estimates." + std::string(table)).c_str());
+  // finding: prefix-concatenated variant
+  auto name = std::string(table) + "cfest.coalescer.requests";
+  registry.GetCounter(name.c_str());
+}
+
+}  // namespace cfest_fixture

@@ -1,0 +1,27 @@
+// Fixture: must lint clean — the approved ways to split a metric by
+// dimension: fixed family names with label sets, concatenation that is
+// NOT a metric name, and an audited allow() suppression. Never compiled;
+// parsed by tools/cfest_lint.py --check-fixtures.
+namespace cfest_fixture {
+
+struct Registry {
+  void* GetCounter(const char*);
+  void* GetCounterLabeled(const char*, const char*, const char*);
+};
+
+void GoodPerTableCounters(Registry& registry, const char* table) {
+  // Fixed family name; the dimension travels as a label.
+  registry.GetCounterLabeled("cfest.engine.estimates", "table", table);
+  // Mentioning "cfest.engine." + table in a comment must not fire.
+  registry.GetCounter("cfest.engine.samples_drawn");
+  // Concatenation of non-metric strings is fine.
+  auto path = std::string("/tmp/cfest.out.") + table;
+  (void)path;
+}
+
+void AuditedException(Registry& registry, const char* suffix) {
+  // A one-off migration shim, explicitly suppressed:
+  registry.GetCounter(("cfest.legacy." + std::string(suffix)).c_str());  // cfest-lint: allow(metric-name-concat)
+}
+
+}  // namespace cfest_fixture

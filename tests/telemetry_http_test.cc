@@ -1,0 +1,160 @@
+// Tests for the embedded telemetry endpoint (server/telemetry_http.h):
+// lifecycle (ephemeral-port start, idempotent stop, restart), routing
+// (/healthz, /metrics Prometheus text, /metrics.json, 404, 405), and that
+// scraped payloads reflect live registry counters — including labeled
+// children — without the server caching anything between requests.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "server/telemetry_http.h"
+
+namespace cfest {
+namespace {
+
+/// Blocking one-shot HTTP client: connects to 127.0.0.1:`port`, sends the
+/// request verbatim, and returns everything the server wrote until it
+/// closed the connection.
+std::string HttpRoundTrip(uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0) << std::strerror(errno);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  EXPECT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0)
+      << std::strerror(errno);
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string Get(uint16_t port, const std::string& path) {
+  return HttpRoundTrip(port, "GET " + path +
+                                 " HTTP/1.1\r\nHost: localhost\r\n"
+                                 "Connection: close\r\n\r\n");
+}
+
+std::string Body(const std::string& response) {
+  const size_t split = response.find("\r\n\r\n");
+  return split == std::string::npos ? "" : response.substr(split + 4);
+}
+
+TEST(TelemetryHttpTest, StartsOnEphemeralPortAndStops) {
+  TelemetryHttpServer server;
+  ASSERT_TRUE(server.Start(0).ok());
+  EXPECT_TRUE(server.running());
+  EXPECT_NE(server.port(), 0);
+  // A second Start while running must refuse, not rebind.
+  EXPECT_FALSE(server.Start(0).ok());
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  EXPECT_EQ(server.port(), 0);
+  server.Stop();  // idempotent
+  // And the server restarts cleanly after a stop.
+  ASSERT_TRUE(server.Start(0).ok());
+  EXPECT_TRUE(server.running());
+  server.Stop();
+}
+
+TEST(TelemetryHttpTest, HealthzRespondsOk) {
+  TelemetryHttpServer server;
+  ASSERT_TRUE(server.Start(0).ok());
+  const std::string response = Get(server.port(), "/healthz");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos) << response;
+  EXPECT_EQ(Body(response), "ok\n");
+  server.Stop();
+}
+
+TEST(TelemetryHttpTest, UnknownRouteIs404AndNonGetIs405) {
+  TelemetryHttpServer server;
+  ASSERT_TRUE(server.Start(0).ok());
+  EXPECT_NE(Get(server.port(), "/nope").find("404 Not Found"),
+            std::string::npos);
+  const std::string post = HttpRoundTrip(
+      server.port(),
+      "POST /metrics HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n");
+  EXPECT_NE(post.find("405 Method Not Allowed"), std::string::npos) << post;
+  server.Stop();
+}
+
+#ifndef CFEST_METRICS_DISABLED
+
+TEST(TelemetryHttpTest, MetricsRouteServesLivePrometheusText) {
+  metrics::Counter plain;
+  metrics::Counter labeled;
+  auto plain_reg = metrics::MetricRegistry::Global().RegisterCounters(
+      {{"cfest.test.http_scrape", &plain}});
+  auto labeled_reg = metrics::MetricRegistry::Global().RegisterCounters(
+      {{"table", "scrape_t"}}, {{"cfest.test.http_scrape", &labeled}});
+  plain.Add(5);
+  labeled.Add(7);
+
+  TelemetryHttpServer server;
+  ASSERT_TRUE(server.Start(0).ok());
+  const std::string response = Get(server.port(), "/metrics");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("text/plain; version=0.0.4"), std::string::npos);
+  const std::string body = Body(response);
+  // Aggregate = 5 + 7, labeled child listed with its label set.
+  EXPECT_NE(body.find("cfest_test_http_scrape 12"), std::string::npos)
+      << body;
+  EXPECT_NE(body.find("cfest_test_http_scrape{table=\"scrape_t\"} 7"),
+            std::string::npos)
+      << body;
+
+  // The server renders fresh per request: a later increment shows up in
+  // the next scrape without a restart.
+  plain.Add(100);
+  EXPECT_NE(Body(Get(server.port(), "/metrics"))
+                .find("cfest_test_http_scrape 112"),
+            std::string::npos);
+  server.Stop();
+}
+
+TEST(TelemetryHttpTest, MetricsJsonRouteServesSnapshotJson) {
+  metrics::Counter counter;
+  auto reg = metrics::MetricRegistry::Global().RegisterCounters(
+      {{"table", "json_t"}}, {{"cfest.test.http_json", &counter}});
+  counter.Add(3);
+
+  TelemetryHttpServer server;
+  ASSERT_TRUE(server.Start(0).ok());
+  const std::string response = Get(server.port(), "/metrics.json");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("application/json"), std::string::npos);
+  const std::string body = Body(response);
+  EXPECT_NE(body.find("\"labeled_counters\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"cfest.test.http_json\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"json_t\""), std::string::npos) << body;
+  server.Stop();
+}
+
+#endif  // CFEST_METRICS_DISABLED
+
+}  // namespace
+}  // namespace cfest

@@ -23,6 +23,14 @@ warnings) cannot express:
                  appends past 2^31 rows). Declaring a row-count-named
                  variable as int/int32_t/long, or casting one to int,
                  truncates sizing math.
+  metric-name-concat
+                 Metric names are fixed family names; dimensions (table,
+                 scheme, ...) are labels. Concatenating onto a "cfest."
+                 string literal (e.g. `"cfest.engine." + table`) mints
+                 per-dimension metric NAMES, which fragments families,
+                 breaks the aggregate-parity contract, and bypasses the
+                 labeled-child API (GetCounter(name, labels) /
+                 RegisterCounters(labels, ...)).
 
 A finding can be suppressed for one line with a trailing or preceding
 comment: // cfest-lint: allow(rule-id)
@@ -66,6 +74,44 @@ def collect_allows(text):
             if stripped.startswith("//") or stripped.startswith("*"):
                 allows.setdefault(i + 1, set()).add(rule)
     return allows
+
+
+def strip_comments(text):
+    """Replaces comment contents with spaces, keeping string literals AND
+    newlines intact — for rules that must look inside string literals
+    (metric-name-concat)."""
+    out = []
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif c == "/" and nxt == "*":
+            i += 2
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                out.append("\n" if text[i] == "\n" else " ")
+                i += 1
+            i += 2
+        elif c == '"' or c == "'":
+            quote = c
+            out.append(c)
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\" and i + 1 < n:
+                    out.append(text[i])
+                    i += 1
+                out.append(text[i])
+                i += 1
+            if i < n:
+                out.append(quote)
+            i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
 
 
 def strip_comments_and_strings(text):
@@ -133,6 +179,13 @@ ROW_COUNT_CAST_RE = re.compile(
 )
 
 FUNC_DECL_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\(", re.MULTILINE)
+
+# A "cfest." metric-name literal being concatenated with runtime data, in
+# either direction: `"cfest.engine." + table` or `prefix + ".cfest.x"`-style
+# builds. Metric names are fixed; dimensions travel as labels.
+METRIC_NAME_CONCAT_RE = re.compile(
+    r"\"cfest\.[A-Za-z0-9_.]*\"\s*\+|\+\s*\"cfest\.[A-Za-z0-9_.]*\""
+)
 
 
 def is_mutex_home(path):
@@ -203,6 +256,24 @@ def check_row_count_int(path, stripped, everywhere=False):
                     "row-count-int",
                     "row count narrowed through static_cast<int>; row "
                     "counts are uint64_t",
+                )
+            )
+    return findings
+
+
+def check_metric_name_concat(path, comment_stripped, everywhere=False):
+    del path, everywhere  # applies everywhere
+    findings = []
+    for i, line in enumerate(comment_stripped.split("\n"), start=1):
+        if METRIC_NAME_CONCAT_RE.search(line):
+            findings.append(
+                (
+                    i,
+                    "metric-name-concat",
+                    "metric name built by string concatenation; family "
+                    "names are fixed — pass the dimension as a label "
+                    "(GetCounter(name, {{\"table\", t}}) / "
+                    "RegisterCounters(labels, ...))",
                 )
             )
     return findings
@@ -319,10 +390,12 @@ def lint_file(path, everywhere=False):
         text = f.read()
     allows = collect_allows(text)
     stripped = strip_comments_and_strings(text)
+    comment_stripped = strip_comments(text)
     findings = []
     findings += check_raw_mutex(path, stripped, everywhere)
     findings += check_epoch_compat(path, stripped, everywhere)
     findings += check_row_count_int(path, stripped, everywhere)
+    findings += check_metric_name_concat(path, comment_stripped, everywhere)
     norm = path.replace(os.sep, "/")
     if norm.endswith(KERNELS_HEADER.replace(os.sep, "/")) or (
         everywhere and "kernel_parity" in os.path.basename(path)
@@ -375,7 +448,7 @@ def run_fixture_check():
             continue
         expected = None
         for rule in ("raw-mutex", "epoch-compat", "kernel-parity",
-                     "row-count-int"):
+                     "row-count-int", "metric-name-concat"):
             if name.startswith(rule.replace("-", "_")):
                 expected = rule
                 break

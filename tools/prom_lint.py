@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Lint a Prometheus text-exposition file (the `/metrics` payload or a
+`--metrics-out <file>.prom` dump) against the exposition-format rules the
+cfest exporter promises:
+
+  - metric names match [a-zA-Z_:][a-zA-Z0-9_:]*
+  - label names match [a-zA-Z_][a-zA-Z0-9_]* (no colons)
+  - label values use only the legal escapes (\\\\, \\", \\n) and close
+    their quotes on the same line
+  - every `# TYPE` is immediately preceded by the family's `# HELP`
+  - every sample belongs to the most recently declared TYPE family
+    (histogram samples may extend the family name with _bucket/_sum/_count)
+  - sample values parse as numbers
+  - a family is declared at most once (no duplicate TYPE lines)
+
+Pure stdlib. Usage: prom_lint.py <file> [<file> ...]; reads stdin when
+given `-`. Exits nonzero on the first file with findings.
+"""
+
+import re
+import sys
+
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def parse_labels(text, errors, where):
+    """Validates the `name="value",...` body of a label set; returns the
+    label names seen."""
+    names = []
+    i = 0
+    n = len(text)
+    while i < n:
+        eq = text.find("=", i)
+        if eq < 0:
+            errors.append(f"{where}: malformed label set near {text[i:]!r}")
+            return names
+        name = text[i:eq].strip()
+        if not LABEL_NAME_RE.match(name):
+            errors.append(f"{where}: bad label name {name!r}")
+        names.append(name)
+        if eq + 1 >= n or text[eq + 1] != '"':
+            errors.append(f"{where}: label {name!r} value is not quoted")
+            return names
+        j = eq + 2
+        closed = False
+        while j < n:
+            c = text[j]
+            if c == "\\":
+                if j + 1 >= n or text[j + 1] not in ('"', "\\", "n"):
+                    errors.append(
+                        f"{where}: illegal escape in label {name!r} "
+                        f"(only \\\\, \\\", \\n allowed)")
+                j += 2
+                continue
+            if c == '"':
+                closed = True
+                break
+            j += 1
+        if not closed:
+            errors.append(f"{where}: unterminated value for label {name!r}")
+            return names
+        i = j + 1
+        if i < n:
+            if text[i] != ",":
+                errors.append(
+                    f"{where}: expected ',' between labels, got {text[i]!r}")
+                return names
+            i += 1
+    return names
+
+
+def lint_text(text, filename):
+    errors = []
+    declared = {}          # family name -> type
+    pending_help = None    # family named by the last # HELP line
+    current_family = None  # family of the most recent # TYPE line
+    current_type = None
+
+    for lineno, line in enumerate(text.split("\n"), start=1):
+        where = f"{filename}:{lineno}"
+        if line == "":
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                # Free-form comment: legal, resets nothing.
+                continue
+            kind, name = parts[1], parts[2]
+            if not METRIC_NAME_RE.match(name):
+                errors.append(f"{where}: bad metric name {name!r} in {kind}")
+            if kind == "HELP":
+                pending_help = name
+                continue
+            # TYPE
+            mtype = parts[3].strip() if len(parts) > 3 else ""
+            if mtype not in TYPES:
+                errors.append(f"{where}: bad TYPE {mtype!r} for {name}")
+            if pending_help != name:
+                errors.append(
+                    f"{where}: # TYPE {name} not immediately preceded by "
+                    f"its # HELP")
+            if name in declared:
+                errors.append(f"{where}: duplicate TYPE for family {name}")
+            declared[name] = mtype
+            current_family = name
+            current_type = mtype
+            pending_help = None
+            continue
+
+        # Sample line: name[{labels}] value [timestamp]
+        match = re.match(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{(.*)\})?\s+(\S+)"
+                         r"(\s+-?\d+)?\s*$", line)
+        if not match:
+            errors.append(f"{where}: unparseable sample line {line!r}")
+            continue
+        name, _, labels, value = match.group(1, 2, 3, 4)
+        label_names = parse_labels(labels, errors, where) if labels else []
+        try:
+            float(value)
+        except ValueError:
+            if value not in ("+Inf", "-Inf", "NaN"):
+                errors.append(f"{where}: non-numeric value {value!r}")
+        if current_family is None:
+            errors.append(f"{where}: sample {name} before any # TYPE")
+            continue
+        allowed = {current_family}
+        if current_type == "histogram":
+            allowed.update(current_family + s for s in HISTOGRAM_SUFFIXES)
+        if name not in allowed:
+            errors.append(
+                f"{where}: sample {name} does not belong to the current "
+                f"family {current_family}")
+        if name.endswith("_bucket") and "le" not in label_names:
+            errors.append(f"{where}: _bucket sample without an le label")
+    return errors
+
+
+def main(argv):
+    files = argv[1:]
+    if not files:
+        raise SystemExit(__doc__)
+    failed = False
+    for path in files:
+        if path == "-":
+            text = sys.stdin.read()
+            name = "<stdin>"
+        else:
+            with open(path, encoding="utf-8") as f:
+                text = f.read()
+            name = path
+        errors = lint_text(text, name)
+        if errors:
+            failed = True
+            for err in errors:
+                print(err, file=sys.stderr)
+        else:
+            print(f"{name}: OK")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

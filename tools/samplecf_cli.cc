@@ -47,9 +47,14 @@
 //
 // Every subcommand additionally accepts [--metrics-out <file>] (dump a
 // metric-registry snapshot after the run: Prometheus text exposition for
-// .prom/.txt paths, JSON otherwise) and [--trace-out <file>] (record trace
+// .prom/.txt paths, JSON otherwise), [--trace-out <file>] (record trace
 // spans during the run and dump Chrome-trace JSON for chrome://tracing or
-// ui.perfetto.dev).
+// ui.perfetto.dev), and [--telemetry-port <port>] (serve /metrics
+// Prometheus text, /metrics.json, and /healthz over HTTP for the run's
+// duration; port 0 picks an ephemeral port, printed to stderr). With
+// [--telemetry-hold-ms <ms>] the endpoint stays up that long after the
+// command finishes, so an external scraper (a CI step, a curl) can read
+// the final counters from a live process.
 //
 // Scheme names: none, null_suppression, dictionary_page, dictionary_global,
 // rle, prefix, delta, prefix_dictionary.
@@ -61,6 +66,7 @@
 //   (one shell line; wrap with a backslash continuation in practice)
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -87,6 +93,7 @@
 #include "estimator/sample_cf.h"
 #include "estimator/scheme_advisor.h"
 #include "estimator/service.h"
+#include "server/telemetry_http.h"
 #include "storage/csv.h"
 
 namespace cfest {
@@ -936,7 +943,8 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s "
                  "<estimate|exact|recommend|batch|advise|analyze|gen-tpch> "
-                 "... [--metrics-out <file>] [--trace-out <file>]\n",
+                 "... [--metrics-out <file>] [--trace-out <file>] "
+                 "[--telemetry-port <port>] [--telemetry-hold-ms <ms>]\n",
                  argv[0]);
     return 1;
   }
@@ -951,12 +959,49 @@ int Main(int argc, char** argv) {
   if (!metrics_out.ok()) return Fail(metrics_out.status().ToString());
   auto trace_out = StripFlag(&args, "--trace-out", "");
   if (!trace_out.ok()) return Fail(trace_out.status().ToString());
+  auto telemetry_port_text = StripFlag(&args, "--telemetry-port", "");
+  if (!telemetry_port_text.ok()) {
+    return Fail(telemetry_port_text.status().ToString());
+  }
+  auto telemetry_hold_text = StripFlag(&args, "--telemetry-hold-ms", "0");
+  if (!telemetry_hold_text.ok()) {
+    return Fail(telemetry_hold_text.status().ToString());
+  }
+  uint64_t telemetry_hold_ms = 0;
+  {
+    auto parsed = ParseUint64Arg(*telemetry_hold_text, "--telemetry-hold-ms");
+    if (!parsed.ok()) return Fail(parsed.status().ToString());
+    telemetry_hold_ms = *parsed;
+  }
+  TelemetryHttpServer telemetry;
+  if (!telemetry_port_text->empty()) {
+    auto parsed = ParseUint64Arg(*telemetry_port_text, "--telemetry-port");
+    if (!parsed.ok()) return Fail(parsed.status().ToString());
+    if (*parsed > 65535) {
+      return Fail("--telemetry-port must be 0..65535");
+    }
+    Status st = telemetry.Start(static_cast<uint16_t>(*parsed));
+    if (!st.ok()) return Fail(st.ToString());
+    // Machine-readable: a wrapper script parses the port (ephemeral when
+    // --telemetry-port 0) from this line before scraping.
+    std::fprintf(stderr, "telemetry serving on port %u\n",
+                 static_cast<unsigned>(telemetry.port()));
+  } else if (telemetry_hold_ms != 0) {
+    return Fail("--telemetry-hold-ms needs --telemetry-port");
+  }
   if (!trace_out->empty()) {
     trace::Reset();
     trace::SetEnabled(true);
   }
   const int rc = RunCommand(command, std::move(args));
   if (rc != 0) return rc;
+  if (telemetry.running() && telemetry_hold_ms != 0) {
+    // Keep the endpoint live past the command so an external scraper can
+    // read the run's final counters from the process itself.
+    std::fprintf(stderr, "telemetry holding for %llu ms\n",
+                 static_cast<unsigned long long>(telemetry_hold_ms));
+    std::this_thread::sleep_for(std::chrono::milliseconds(telemetry_hold_ms));
+  }
   if (!metrics_out->empty()) {
     const metrics::MetricsSnapshot snapshot =
         metrics::MetricRegistry::Global().Snapshot();

@@ -4,8 +4,9 @@
 Dependency-free (stdlib json only): implements exactly the JSON Schema
 subset the schemas under tools/schemas/ use — type, enum, minimum,
 required, properties, patternProperties, additionalProperties (false or
-schema), items (single schema), minItems, maxItems. Anything else in a
-schema is a hard error, so a schema edit can't silently skip validation.
+schema), items (single schema), minItems, maxItems, oneOf (exactly one
+branch must validate). Anything else in a schema is a hard error, so a
+schema edit can't silently skip validation.
 
 Usage:
   validate_metrics_json.py <schema.json> <doc.json> [<doc.json> ...]
@@ -23,7 +24,7 @@ import sys
 _KNOWN_KEYS = {
     "$schema", "title", "description", "type", "enum", "minimum",
     "required", "properties", "patternProperties", "additionalProperties",
-    "items", "minItems", "maxItems",
+    "items", "minItems", "maxItems", "oneOf",
 }
 
 _TYPES = {
@@ -54,6 +55,23 @@ def validate(value, schema, path, errors):
     if unknown:
         raise SystemExit(
             f"schema error at {path}: unsupported keywords {sorted(unknown)}")
+
+    if "oneOf" in schema:
+        matches = []
+        branch_errors = []
+        for i, branch in enumerate(schema["oneOf"]):
+            errs = []
+            validate(value, branch, path, errs)
+            if not errs:
+                matches.append(i)
+            else:
+                branch_errors.append(f"branch {i}: {errs[0]}")
+        if len(matches) != 1:
+            detail = "; ".join(branch_errors[:3])
+            errors.append(
+                f"{path}: matched {len(matches)} of {len(schema['oneOf'])} "
+                f"oneOf branches (need exactly 1): {detail}")
+            return
 
     if "type" in schema and not _check_type(value, schema["type"], path, errors):
         return
